@@ -1,0 +1,75 @@
+"""Ablation: what the zone radius trades off.
+
+Section 3.1 wants zones "small enough to ensure similar performance ...
+but big enough to ensure enough measurement samples".  This ablation
+makes the trade-off measurable: smaller zones are individually more
+homogeneous but far fewer of them reach a workable sample count;
+larger zones are plentiful-per-zone but smear together genuinely
+different locations.
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.tables import TextTable
+from repro.clients.protocol import MeasurementType
+from repro.geo.zones import ZoneGrid
+from repro.network.metrics import relative_std
+from repro.radio.technology import NetworkId
+
+RADII = [125.0, 250.0, 500.0, 1000.0]
+MIN_SAMPLES = 100
+
+
+def _run(standalone_trace, origin):
+    values = [
+        (r.point, r.value)
+        for r in standalone_trace
+        if r.kind is MeasurementType.TCP_DOWNLOAD
+        and r.network is NetworkId.NET_B
+        and not math.isnan(r.value)
+    ]
+    out = {}
+    for radius in RADII:
+        grid = ZoneGrid(origin, radius_m=radius)
+        by_zone = {}
+        for point, value in values:
+            by_zone.setdefault(grid.zone_id_for(point), []).append(value)
+        qualified = {z: v for z, v in by_zone.items() if len(v) >= MIN_SAMPLES}
+        rels = [relative_std(v) for v in qualified.values()]
+        out[radius] = {
+            "zones_total": len(by_zone),
+            "zones_qualified": len(qualified),
+            "qualified_fraction": len(qualified) / max(1, len(by_zone)),
+            "median_relstd": float(np.median(rels)) if rels else float("nan"),
+        }
+    return out
+
+
+def test_ablation_zone_radius(standalone_trace, landscape, benchmark):
+    results = benchmark.pedantic(
+        _run, args=(standalone_trace, landscape.study_area.anchor),
+        rounds=1, iterations=1,
+    )
+
+    table = TextTable(
+        ["radius (m)", "zones seen", f"zones with {MIN_SAMPLES}+",
+         "qualified (%)", "median rel std (%)"],
+        formats=["", "", "", ".0f", ".1f"],
+    )
+    for radius, m in results.items():
+        table.add_row(
+            int(radius), m["zones_total"], m["zones_qualified"],
+            m["qualified_fraction"] * 100.0, m["median_relstd"] * 100.0,
+        )
+    print("\nAblation — the zone-radius trade-off (NetB TCP, Standalone)")
+    print(table.render())
+
+    # Sample-density side: bigger zones qualify at a higher rate.
+    fractions = [results[r]["qualified_fraction"] for r in RADII]
+    assert fractions[-1] > fractions[0]
+    # Homogeneity side: bigger zones are more internally variable.
+    assert results[1000.0]["median_relstd"] > results[125.0]["median_relstd"]
+    # The paper's 250 m already qualifies a healthy share of zones.
+    assert results[250.0]["zones_qualified"] >= 50

@@ -1,0 +1,102 @@
+"""Performance microbenchmarks of the hot paths.
+
+Unlike the figure/table benches (single-shot reproductions), these are
+real timing benchmarks: they answer "how fast is the simulator", which
+bounds how much measurement history one can generate per CPU-second.
+Regression guardrails: the asserts are generous (10x headroom) and only
+exist to catch catastrophic slowdowns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.zones import ZoneGrid
+from repro.network.channel import MeasurementChannel
+from repro.radio.technology import NetworkId
+
+
+@pytest.fixture()
+def point(landscape):
+    return landscape.study_area.anchor.offset(1200.0, -500.0)
+
+
+def test_perf_link_state_query(landscape, point, benchmark):
+    """Ground-truth link lookup: the innermost hot call."""
+    counter = iter(range(10**9))
+
+    def query():
+        return landscape.link_state(
+            NetworkId.NET_B, point, 10.0 * next(counter)
+        )
+
+    result = benchmark(query)
+    assert result.downlink_bps > 0
+
+
+def test_perf_udp_train_100(landscape, point, benchmark):
+    """A 100-packet UDP train (the standard measurement)."""
+    channel = MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(1))
+    counter = iter(range(10**9))
+
+    def train():
+        return channel.udp_train(point, 10.0 * next(counter), n_packets=100)
+
+    result = benchmark(train)
+    assert result.throughput_bps > 0
+
+
+def test_perf_tcp_download(landscape, point, benchmark):
+    """One simulated 1 MB TCP download."""
+    channel = MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(2))
+    counter = iter(range(10**9))
+
+    def download():
+        return channel.tcp_download(point, 10.0 * next(counter), size_bytes=1_000_000)
+
+    result = benchmark(download)
+    assert result.duration_s > 0
+
+
+def test_perf_zone_binning(landscape, benchmark):
+    """GPS fix -> zone id, called for every report and every tick."""
+    grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+    points = [
+        landscape.study_area.anchor.offset(float(dx), float(dy))
+        for dx in range(-5000, 5001, 500)
+        for dy in range(-5000, 5001, 500)
+    ]
+
+    def bin_all():
+        return [grid.zone_id_for(p) for p in points]
+
+    ids = benchmark(bin_all)
+    assert len(ids) == len(points)
+
+
+def test_perf_coordinator_tick(landscape, benchmark):
+    """One coordinator tick with a 6-client fleet."""
+    from repro.clients.agent import ClientAgent
+    from repro.clients.device import Device, DeviceCategory
+    from repro.core.controller import MeasurementCoordinator
+    from repro.mobility.routes import city_bus_routes
+    from repro.mobility.vehicles import TransitBus
+
+    grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+    coordinator = MeasurementCoordinator(grid, seed=1)
+    routes = city_bus_routes(landscape.study_area, count=6)
+    for b in range(6):
+        bus = TransitBus(bus_id=b, routes=routes, seed=b)
+        device = Device(
+            f"perf-bus-{b}", DeviceCategory.SBC_PCMCIA,
+            [NetworkId.NET_B, NetworkId.NET_C], seed=b,
+        )
+        coordinator.register_client(
+            ClientAgent(f"perf-bus-{b}", device, bus, landscape, seed=b)
+        )
+    clock = iter(np.arange(8 * 3600.0, 20 * 3600.0, 60.0))
+
+    def tick():
+        return coordinator.tick(float(next(clock)))
+
+    benchmark(tick)
+    assert coordinator.stats.ticks > 0

@@ -1,0 +1,222 @@
+"""Builders for the paper's figure data.
+
+Each function consumes trace records (and/or live framework objects) and
+returns the series the corresponding figure plots.  Benches print and
+assert on these; examples render them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clients.protocol import MeasurementType
+from repro.core.estimation import (
+    estimate_zones,
+    estimation_errors,
+    split_records,
+)
+from repro.datasets.records import TraceRecord
+from repro.geo.coords import GeoPoint
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.radio.technology import NetworkId
+from repro.stats.correlation import pearson_correlation
+from repro.network.metrics import relative_std
+
+
+# -- Fig 1: city throughput map ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ZoneMapEntry:
+    """One dot of the Fig 1 map."""
+
+    zone_id: ZoneId
+    center: GeoPoint
+    mean_bps: float
+    rel_std: float
+    n_samples: int
+
+
+def zone_throughput_map(
+    records: Iterable[TraceRecord],
+    grid: ZoneGrid,
+    network: NetworkId,
+    kind: MeasurementType = MeasurementType.TCP_DOWNLOAD,
+    min_samples: int = 20,
+) -> List[ZoneMapEntry]:
+    """Per-zone mean throughput and variability (the Fig 1 snapshot)."""
+    by_zone: Dict[ZoneId, List[float]] = {}
+    for rec in records:
+        if rec.kind is not kind or rec.network is not network:
+            continue
+        if math.isnan(rec.value):
+            continue
+        by_zone.setdefault(grid.zone_id_for(rec.point), []).append(rec.value)
+    out = []
+    for zone_id, vals in sorted(by_zone.items()):
+        if len(vals) < min_samples:
+            continue
+        arr = np.asarray(vals)
+        out.append(
+            ZoneMapEntry(
+                zone_id=zone_id,
+                center=grid.zone(zone_id).center,
+                mean_bps=float(arr.mean()),
+                rel_std=float(arr.std() / arr.mean()) if arr.mean() else 0.0,
+                n_samples=int(arr.size),
+            )
+        )
+    return out
+
+
+# -- Fig 2: speed vs latency ---------------------------------------------------
+
+
+@dataclass
+class SpeedLatencyAnalysis:
+    """The data behind Fig 2a (scatter) and Fig 2b (correlation CDF)."""
+
+    scatter: List[Tuple[float, float]] = field(default_factory=list)
+    per_zone_correlation: Dict[ZoneId, float] = field(default_factory=dict)
+
+    def correlations(self) -> List[float]:
+        return list(self.per_zone_correlation.values())
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of zones with |correlation| below ``threshold``."""
+        corrs = self.correlations()
+        if not corrs:
+            return 0.0
+        return sum(1 for c in corrs if abs(c) < threshold) / len(corrs)
+
+
+def speed_latency_analysis(
+    records: Iterable[TraceRecord],
+    grid: ZoneGrid,
+    network: Optional[NetworkId] = None,
+    min_samples_per_zone: int = 20,
+) -> SpeedLatencyAnalysis:
+    """Per-zone correlation between vehicle speed and ping latency."""
+    by_zone: Dict[ZoneId, List[Tuple[float, float]]] = {}
+    analysis = SpeedLatencyAnalysis()
+    for rec in records:
+        if rec.kind is not MeasurementType.PING or math.isnan(rec.value):
+            continue
+        if network is not None and rec.network is not network:
+            continue
+        pair = (rec.speed_ms * 3.6, rec.value * 1000.0)  # km/h, msec
+        analysis.scatter.append(pair)
+        by_zone.setdefault(grid.zone_id_for(rec.point), []).append(pair)
+    for zone_id, pairs in by_zone.items():
+        if len(pairs) < min_samples_per_zone:
+            continue
+        speeds = [p[0] for p in pairs]
+        lats = [p[1] for p in pairs]
+        analysis.per_zone_correlation[zone_id] = pearson_correlation(
+            speeds, lats
+        )
+    return analysis
+
+
+# -- Fig 4: relative std-dev vs zone radius ------------------------------------
+
+
+def relstd_cdf_by_radius(
+    records: Sequence[TraceRecord],
+    origin: GeoPoint,
+    radii_m: Sequence[float],
+    network: NetworkId,
+    kind: MeasurementType = MeasurementType.TCP_DOWNLOAD,
+    min_samples: int = 100,
+    window_s: float = 2.0 * 3600.0,
+    min_cells: int = 8,
+    subcell_radius_m: float = 50.0,
+) -> Dict[float, List[float]]:
+    """Per-zone relative std of throughput for each candidate radius.
+
+    Returns {radius: sorted list of per-zone relative stds} — the
+    curves of Fig 4 (one CDF per radius).
+
+    The zone statistic is a noise-corrected between-cell relative
+    standard deviation: samples are grouped into (sub-location, time
+    window) cells — sub-locations on a fine ``subcell_radius_m`` grid,
+    windows of ``window_s`` — and the variance of cell means is
+    corrected for within-cell sampling noise (ANOVA decomposition:
+    Var_between = Var(means) - mean(s^2/n)).  Cells separate both space
+    and time, so a larger zone exposes its spatial spread instead of
+    averaging it away, while the correction prevents sparsely sampled
+    small zones from reading as variable purely through estimation
+    noise.
+    """
+    fine = ZoneGrid(origin, radius_m=subcell_radius_m)
+    values: List[Tuple[ZoneId, GeoPoint, float, float]] = [
+        (fine.zone_id_for(rec.point), rec.point, rec.time_s, rec.value)
+        for rec in records
+        if rec.kind is kind
+        and rec.network is network
+        and not math.isnan(rec.value)
+    ]
+    out: Dict[float, List[float]] = {}
+    for radius in radii_m:
+        grid = ZoneGrid(origin, radius_m=radius)
+        by_zone: Dict[ZoneId, Dict[Tuple[ZoneId, int], List[float]]] = {}
+        counts: Dict[ZoneId, int] = {}
+        for subcell, point, t, value in values:
+            zone = grid.zone_id_for(point)
+            cell = (subcell, int(t // window_s))
+            by_zone.setdefault(zone, {}).setdefault(cell, []).append(value)
+            counts[zone] = counts.get(zone, 0) + 1
+        rel: List[float] = []
+        for zone, cells in by_zone.items():
+            if counts[zone] < min_samples:
+                continue
+            means = []
+            noise_terms = []
+            for vals in cells.values():
+                if len(vals) < 2:
+                    continue
+                arr = np.asarray(vals, dtype=float)
+                means.append(float(arr.mean()))
+                # Unbiased within-cell variance of the mean.
+                noise_terms.append(float(arr.var(ddof=1)) / arr.size)
+            if len(means) < min_cells:
+                continue
+            grand = float(np.mean(means))
+            if grand == 0:
+                continue
+            between = float(np.var(means)) - float(np.mean(noise_terms))
+            rel.append(math.sqrt(max(0.0, between)) / grand)
+        out[float(radius)] = sorted(rel)
+    return out
+
+
+# -- Fig 8: WiScape estimation error -------------------------------------------
+
+
+def wiscape_error_cdf(
+    records: Sequence[TraceRecord],
+    grid: ZoneGrid,
+    kind: MeasurementType = MeasurementType.TCP_DOWNLOAD,
+    client_fraction: float = 0.3,
+    sample_budget: int = 100,
+    min_truth_samples: int = 100,
+    seed: int = 0,
+) -> List[float]:
+    """Relative errors of budget-limited client estimates vs ground truth.
+
+    The paper's validation: split the dataset, estimate each zone from a
+    budget-sized prefix of the client share, compare to the truth share.
+    Returns the sorted error list (the Fig 8 CDF).
+    """
+    tcp_records = [r for r in records if r.kind is kind]
+    client, truth = split_records(tcp_records, client_fraction, seed=seed)
+    client_est = estimate_zones(
+        client, grid, min_samples=10, max_samples=sample_budget
+    )
+    truth_est = estimate_zones(truth, grid, min_samples=min_truth_samples)
+    errors = estimation_errors(client_est, truth_est)
+    return sorted(errors.values())

@@ -1,0 +1,86 @@
+"""Text rendering of zone maps (a terminal Fig 1).
+
+Renders per-zone scalar values over the zone lattice as a character
+raster: darker glyphs for higher values, '.' for zones without data.
+Good enough to see coverage structure in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+ZoneId = Tuple[int, int]
+
+#: Light -> dark ramp.
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def render_zone_map(
+    values: Dict[ZoneId, float],
+    ramp: str = DEFAULT_RAMP,
+    empty: str = " ",
+    legend: bool = True,
+) -> str:
+    """Render zone values as an ASCII raster.
+
+    Rows are latitude (north on top), columns longitude.  Values are
+    linearly binned into the ramp between the observed min and max.
+    """
+    if not values:
+        return "(no zones)"
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least two glyphs")
+    cols = [z[0] for z in values]
+    rows = [z[1] for z in values]
+    lo, hi = min(values.values()), max(values.values())
+    span = hi - lo or 1.0
+
+    lines = []
+    for row in range(max(rows), min(rows) - 1, -1):
+        chars = []
+        for col in range(min(cols), max(cols) + 1):
+            v = values.get((col, row))
+            if v is None:
+                chars.append(empty)
+            else:
+                idx = int((v - lo) / span * (len(ramp) - 1))
+                chars.append(ramp[idx])
+        lines.append("".join(chars).rstrip() or empty)
+    out = "\n".join(lines)
+    if legend:
+        out += (
+            f"\n[{ramp[0]}={lo:.3g} .. {ramp[-1]}={hi:.3g}; "
+            f"blank = no data]"
+        )
+    return out
+
+
+def render_dominance_map(
+    winners: Dict[ZoneId, Optional[object]],
+    glyphs: Optional[Dict[object, str]] = None,
+) -> str:
+    """Render a per-zone winner map (the Fig 12 road strip, 2-D).
+
+    ``winners`` maps zone id to a carrier (or None).  Carriers are drawn
+    with the last character of their name unless ``glyphs`` overrides.
+    """
+    if not winners:
+        return "(no zones)"
+    cols = [z[0] for z in winners]
+    rows = [z[1] for z in winners]
+    lines = []
+    for row in range(max(rows), min(rows) - 1, -1):
+        chars = []
+        for col in range(min(cols), max(cols) + 1):
+            if (col, row) not in winners:
+                chars.append(" ")
+                continue
+            winner = winners[(col, row)]
+            if winner is None:
+                chars.append(".")
+            elif glyphs and winner in glyphs:
+                chars.append(glyphs[winner])
+            else:
+                chars.append(str(getattr(winner, "value", winner))[-1])
+        lines.append("".join(chars).rstrip() or " ")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Representative spot selection.
+
+The paper does not measure at arbitrary points: "we selected
+representative zones with overall performance variability for NetB that
+was between 2% and 8%" (section 3.1).  This helper reproduces that
+selection: scan candidate points near a region anchor and pick the one
+whose local field is flattest — i.e. where measurements collected while
+driving a small loop (the Proximate pattern) best match the static
+center, across all monitored carriers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.geo.coords import GeoPoint, destination_point
+from repro.radio.network import Landscape
+from repro.radio.technology import NetworkId
+
+
+def spot_flatness(
+    landscape: Landscape,
+    point: GeoPoint,
+    networks: Sequence[NetworkId],
+    loop_radius_m: float = 200.0,
+    n_loop_points: int = 8,
+    at_s: float = 0.0,
+) -> float:
+    """Worst-carrier relative mismatch between a loop's mean and the center.
+
+    0 means measurements around the loop average exactly to the center
+    value for every carrier; larger values mean a sloped field.
+    """
+    worst = 0.0
+    for net in networks:
+        center = landscape.link_state(net, point, at_s).downlink_bps
+        if center <= 0:
+            return float("inf")
+        loop = [
+            landscape.link_state(
+                net,
+                destination_point(point, 360.0 * k / n_loop_points, loop_radius_m),
+                at_s,
+            ).downlink_bps
+            for k in range(n_loop_points)
+        ]
+        mismatch = abs(sum(loop) / len(loop) - center) / center
+        worst = max(worst, mismatch)
+    return worst
+
+
+def select_representative_spot(
+    landscape: Landscape,
+    anchor: GeoPoint,
+    networks: Sequence[NetworkId],
+    search_radius_m: float = 2500.0,
+    grid_step_m: float = 500.0,
+    loop_radius_m: float = 200.0,
+) -> GeoPoint:
+    """The flattest candidate point near ``anchor`` (paper's zone pick).
+
+    Scans a square grid of candidates and returns the one minimizing
+    :func:`spot_flatness`.  Deterministic; also avoids failure patches
+    (a representative zone is a healthy one).
+    """
+    steps = int(search_radius_m // grid_step_m)
+    best: Optional[GeoPoint] = None
+    best_score = float("inf")
+    for i in range(-steps, steps + 1):
+        for j in range(-steps, steps + 1):
+            candidate = anchor.offset(i * grid_step_m, j * grid_step_m)
+            if any(
+                landscape.network(net)._patch_at(candidate) is not None
+                for net in networks
+            ):
+                continue
+            score = spot_flatness(
+                landscape, candidate, networks, loop_radius_m=loop_radius_m
+            )
+            if score < best_score:
+                best_score = score
+                best = candidate
+    return best if best is not None else anchor

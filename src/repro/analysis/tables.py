@@ -1,0 +1,56 @@
+"""Aligned text tables for bench/example output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+class TextTable:
+    """A minimal fixed-width table renderer.
+
+    Cells are stringified with an optional per-column format; columns
+    are padded to their widest cell.  Good enough to echo the paper's
+    tables on a terminal.
+    """
+
+    def __init__(self, headers: Sequence[str], formats: Optional[Sequence[str]] = None):
+        if not headers:
+            raise ValueError("need at least one column")
+        if formats is not None and len(formats) != len(headers):
+            raise ValueError("formats must match headers")
+        self.headers = list(headers)
+        self.formats = list(formats) if formats else [""] * len(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        rendered = []
+        for cell, fmt in zip(cells, self.formats):
+            if fmt and isinstance(cell, (int, float)):
+                rendered.append(format(cell, fmt))
+            else:
+                rendered.append(str(cell))
+        self.rows.append(rendered)
+
+    def render(self, indent: str = "") -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            indent
+            + "  ".join(h.ljust(w) for h, w in zip(self.headers, widths)),
+            indent + "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append(
+                indent
+                + "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

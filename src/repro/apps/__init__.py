@@ -1,0 +1,49 @@
+"""Applications of WiScape (paper section 4).
+
+* :mod:`repro.apps.webworkload` — SURGE-like page pools and the named
+  web-site bundles used for the latency experiments (Fig 14);
+* :mod:`repro.apps.multisim` — a multi-SIM phone selecting its carrier
+  per zone from WiScape data (Table 6, Fig 14a);
+* :mod:`repro.apps.mar` — a MAR-style multi-network vehicle gateway
+  striping requests across carriers (Table 6, Fig 14b);
+* :mod:`repro.apps.operator_tools` — operator-side analyses: variable-
+  performance zone detection via ping failures (Fig 9) and latency-surge
+  alerting (Fig 10).
+"""
+
+from repro.apps.webworkload import (
+    WebPage,
+    surge_page_pool,
+    website_bundle,
+    WELL_KNOWN_SITES,
+)
+from repro.apps.multisim import (
+    BestZoneSelector,
+    FixedSelector,
+    MultiSimClient,
+    RoundRobinSelector,
+    ZonePerformanceMap,
+)
+from repro.apps.mar import MarGateway, MarRunResult
+from repro.apps.operator_tools import (
+    SurgeAlert,
+    detect_latency_surges,
+    variable_zone_report,
+)
+
+__all__ = [
+    "WebPage",
+    "surge_page_pool",
+    "website_bundle",
+    "WELL_KNOWN_SITES",
+    "BestZoneSelector",
+    "FixedSelector",
+    "MultiSimClient",
+    "RoundRobinSelector",
+    "ZonePerformanceMap",
+    "MarGateway",
+    "MarRunResult",
+    "SurgeAlert",
+    "detect_latency_surges",
+    "variable_zone_report",
+]

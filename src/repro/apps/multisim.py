@@ -1,0 +1,260 @@
+"""Multi-SIM network selection (paper section 4.2.2, Table 6 / Fig 14a).
+
+A multi-SIM phone can attach to any one carrier at a time.  Without
+knowledge it picks randomly or stays on one network; with WiScape's
+coarse per-zone estimates it switches to the locally best carrier.  The
+paper measures ~30% lower HTTP latency for the WiScape-informed client
+over the best fixed carrier on the short-segment drive.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.webworkload import WebPage
+from repro.clients.protocol import MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.mobility.models import MovementModel
+from repro.network.channel import MeasurementChannel
+from repro.radio.network import Landscape
+from repro.radio.technology import NetworkId
+
+
+class ZonePerformanceMap:
+    """Per-zone expected throughput per carrier — WiScape's product.
+
+    Built either from a coordinator's published estimates or offline
+    from trace records; applications query it to pick carriers.
+    """
+
+    def __init__(self, grid: ZoneGrid):
+        self.grid = grid
+        self._rates: Dict[ZoneId, Dict[NetworkId, float]] = {}
+
+    def set_rate(self, zone_id: ZoneId, network: NetworkId, rate_bps: float) -> None:
+        self._rates.setdefault(zone_id, {})[network] = rate_bps
+
+    def rate(self, zone_id: ZoneId, network: NetworkId) -> Optional[float]:
+        return self._rates.get(zone_id, {}).get(network)
+
+    def best_network(
+        self, zone_id: ZoneId, networks: Sequence[NetworkId]
+    ) -> Optional[NetworkId]:
+        """Highest expected throughput carrier in a zone, if known."""
+        known = [
+            (self.rate(zone_id, net), net)
+            for net in networks
+            if self.rate(zone_id, net) is not None
+        ]
+        if not known:
+            return None
+        return max(known, key=lambda pair: pair[0])[1]
+
+    def zones(self) -> List[ZoneId]:
+        return list(self._rates.keys())
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        grid: ZoneGrid,
+        kind: MeasurementType = MeasurementType.TCP_DOWNLOAD,
+        min_samples: int = 3,
+    ) -> "ZonePerformanceMap":
+        """Aggregate trace records into per-zone mean rates."""
+        sums: Dict[ZoneId, Dict[NetworkId, List[float]]] = {}
+        for rec in records:
+            if rec.kind is not kind or math.isnan(rec.value):
+                continue
+            zone = grid.zone_id_for(rec.point)
+            sums.setdefault(zone, {}).setdefault(rec.network, []).append(rec.value)
+        pmap = cls(grid)
+        for zone, per_net in sums.items():
+            for net, vals in per_net.items():
+                if len(vals) >= min_samples:
+                    pmap.set_rate(zone, net, sum(vals) / len(vals))
+        return pmap
+
+
+# -- carrier selection strategies -------------------------------------------
+
+
+class FixedSelector:
+    """Always the same carrier (the baseline single-SIM user)."""
+
+    def __init__(self, network: NetworkId):
+        self.network = network
+
+    def select(self, zone_id: ZoneId, request_index: int) -> NetworkId:
+        return self.network
+
+
+class RoundRobinSelector:
+    """Cycle through carriers regardless of location."""
+
+    def __init__(self, networks: Sequence[NetworkId]):
+        if not networks:
+            raise ValueError("need at least one network")
+        self.networks = list(networks)
+
+    def select(self, zone_id: ZoneId, request_index: int) -> NetworkId:
+        return self.networks[request_index % len(self.networks)]
+
+
+class BestZoneSelector:
+    """WiScape-informed: the best known carrier for the current zone.
+
+    Falls back to ``fallback`` (default: first carrier) in zones WiScape
+    has no data for.
+    """
+
+    def __init__(
+        self,
+        perf_map: ZonePerformanceMap,
+        networks: Sequence[NetworkId],
+        fallback: Optional[NetworkId] = None,
+    ):
+        if not networks:
+            raise ValueError("need at least one network")
+        self.perf_map = perf_map
+        self.networks = list(networks)
+        self.fallback = fallback or self.networks[0]
+        self.unknown_zone_hits = 0
+
+    def select(self, zone_id: ZoneId, request_index: int) -> NetworkId:
+        best = self.perf_map.best_network(zone_id, self.networks)
+        if best is None:
+            self.unknown_zone_hits += 1
+            return self.fallback
+        return best
+
+
+class HysteresisSelector:
+    """WiScape-informed selection with a switching threshold.
+
+    The paper notes it did not account for "time to switch between
+    links" (section 4.2.2); with a real switch cost, chasing every small
+    per-zone advantage backfires.  This selector only leaves the current
+    carrier when the candidate's expected rate beats it by at least
+    ``gain_threshold`` (e.g. 0.2 = 20%), trading a little peak rate for
+    far fewer switches.
+    """
+
+    def __init__(
+        self,
+        perf_map: ZonePerformanceMap,
+        networks: Sequence[NetworkId],
+        gain_threshold: float = 0.2,
+        fallback: Optional[NetworkId] = None,
+    ):
+        if not networks:
+            raise ValueError("need at least one network")
+        if gain_threshold < 0:
+            raise ValueError("gain_threshold must be non-negative")
+        self.perf_map = perf_map
+        self.networks = list(networks)
+        self.gain_threshold = gain_threshold
+        self.current: Optional[NetworkId] = fallback or self.networks[0]
+
+    def select(self, zone_id: ZoneId, request_index: int) -> NetworkId:
+        best = self.perf_map.best_network(zone_id, self.networks)
+        if best is None or best == self.current:
+            return self.current
+        best_rate = self.perf_map.rate(zone_id, best)
+        current_rate = self.perf_map.rate(zone_id, self.current)
+        # Switch only on evidence of a big gain; an unknown current rate
+        # is not evidence (unknown != bad, and switching costs).
+        if (
+            best_rate is not None
+            and current_rate is not None
+            and best_rate > current_rate * (1.0 + self.gain_threshold)
+        ):
+            self.current = best
+        return self.current
+
+
+# -- the multi-SIM client -----------------------------------------------------
+
+
+@dataclass
+class FetchResult:
+    """Outcome of fetching a page list while driving."""
+
+    total_duration_s: float
+    per_page_s: List[float] = field(default_factory=list)
+    bytes_fetched: int = 0
+    switches: int = 0
+
+    @property
+    def mean_page_s(self) -> float:
+        return (
+            sum(self.per_page_s) / len(self.per_page_s)
+            if self.per_page_s
+            else 0.0
+        )
+
+
+class MultiSimClient:
+    """A phone with SIMs for several carriers, fetching pages in order."""
+
+    def __init__(
+        self,
+        landscape: Landscape,
+        movement: MovementModel,
+        grid: ZoneGrid,
+        networks: Sequence[NetworkId],
+        seed: int = 0,
+        switch_delay_s: float = 0.0,
+    ):
+        if not networks:
+            raise ValueError("need at least one network")
+        self.landscape = landscape
+        self.movement = movement
+        self.grid = grid
+        self.networks = list(networks)
+        self.switch_delay_s = switch_delay_s
+        rng_root = np.random.default_rng(seed)
+        self._channels: Dict[NetworkId, MeasurementChannel] = {
+            net: MeasurementChannel(
+                landscape, net, np.random.default_rng(rng_root.integers(2**31))
+            )
+            for net in self.networks
+        }
+
+    def fetch(
+        self,
+        pages: Sequence[WebPage],
+        selector,
+        start_t: float,
+    ) -> FetchResult:
+        """Fetch ``pages`` back-to-back starting at ``start_t``.
+
+        The client moves while downloading; each page is fetched over
+        the carrier the selector picks for the zone the client is in
+        when the request is issued.
+        """
+        t = start_t
+        result = FetchResult(total_duration_s=0.0)
+        current: Optional[NetworkId] = None
+        for i, page in enumerate(pages):
+            pos = self.movement.position(t)
+            zone_id = self.grid.zone_id_for(pos)
+            net = selector.select(zone_id, i)
+            if current is not None and net != current:
+                result.switches += 1
+                t += self.switch_delay_s
+            current = net
+            download = self._channels[net].tcp_download(
+                pos, t, size_bytes=page.size_bytes
+            )
+            result.per_page_s.append(download.duration_s)
+            result.bytes_fetched += page.size_bytes
+            t += download.duration_s
+        result.total_duration_s = t - start_t
+        return result

@@ -1,0 +1,199 @@
+"""Operator-side analyses (paper section 4.1).
+
+Two operator use cases the paper demonstrates:
+
+* **Variable-performance zones** — zones with persistent daily ping
+  failures have wildly variable TCP throughput (Fig 9); flagging them
+  from cheap infrequent pings saves drive-by surveys.
+* **Latency surges** — a sustained multi-hour latency rise near the
+  stadium on game day (Fig 10) is detectable from WiScape's epoch
+  estimates alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.clients.protocol import MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.network.metrics import relative_std
+from repro.radio.technology import NetworkId
+from repro.sim.clock import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ZoneVariabilityReport:
+    """Fig 9's comparison: variability of failing vs healthy zones."""
+
+    all_zone_rel_std: Dict[ZoneId, float]
+    failing_zone_ids: List[ZoneId]
+
+    @property
+    def failing_rel_stds(self) -> List[float]:
+        return [
+            self.all_zone_rel_std[z]
+            for z in self.failing_zone_ids
+            if z in self.all_zone_rel_std
+        ]
+
+    @property
+    def healthy_rel_stds(self) -> List[float]:
+        failing = set(self.failing_zone_ids)
+        return [
+            v for z, v in self.all_zone_rel_std.items() if z not in failing
+        ]
+
+
+def zones_with_persistent_ping_failures(
+    records: Iterable[TraceRecord],
+    grid: ZoneGrid,
+    min_days: int = 5,
+    network: Optional[NetworkId] = None,
+) -> List[ZoneId]:
+    """Zones with >= 1 failed ping on each of ``min_days`` distinct days.
+
+    The paper used 20+ consecutive days over months of data; scaled-down
+    traces use a proportionally smaller ``min_days``.
+    """
+    fail_days: Dict[ZoneId, set] = {}
+    for rec in records:
+        if rec.kind is not MeasurementType.PING:
+            continue
+        if network is not None and rec.network is not network:
+            continue
+        if rec.failures <= 0:
+            continue
+        zone = grid.zone_id_for(rec.point)
+        fail_days.setdefault(zone, set()).add(int(rec.time_s // SECONDS_PER_DAY))
+    return [z for z, days in fail_days.items() if len(days) >= min_days]
+
+
+def variable_zone_report(
+    records: Sequence[TraceRecord],
+    grid: ZoneGrid,
+    min_samples: int = 50,
+    min_fail_days: int = 5,
+    network: Optional[NetworkId] = None,
+) -> ZoneVariabilityReport:
+    """Relative std of TCP throughput per zone, split by ping health.
+
+    Returns the data behind Fig 9: the rel-std of every qualifying zone
+    plus the subset flagged by persistent ping failures.
+    """
+    by_zone: Dict[ZoneId, List[float]] = {}
+    for rec in records:
+        if rec.kind is not MeasurementType.TCP_DOWNLOAD or math.isnan(rec.value):
+            continue
+        if network is not None and rec.network is not network:
+            continue
+        by_zone.setdefault(grid.zone_id_for(rec.point), []).append(rec.value)
+    rel = {
+        zone: relative_std(vals)
+        for zone, vals in by_zone.items()
+        if len(vals) >= min_samples
+    }
+    failing = zones_with_persistent_ping_failures(
+        records, grid, min_days=min_fail_days, network=network
+    )
+    return ZoneVariabilityReport(
+        all_zone_rel_std=rel,
+        failing_zone_ids=[z for z in failing if z in rel],
+    )
+
+
+@dataclass(frozen=True)
+class SurgeAlert:
+    """A sustained latency surge in one zone (the Fig 10 event)."""
+
+    zone_id: ZoneId
+    network: NetworkId
+    start_s: float
+    end_s: float
+    baseline_s: float
+    peak_s: float
+
+    @property
+    def magnitude(self) -> float:
+        """Peak latency as a multiple of the baseline."""
+        if self.baseline_s == 0:
+            return float("inf")
+        return self.peak_s / self.baseline_s
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def detect_latency_surges(
+    series: Sequence[Tuple[float, float]],
+    zone_id: ZoneId,
+    network: NetworkId,
+    bin_s: float = 600.0,
+    threshold: float = 2.0,
+    min_duration_s: float = 1800.0,
+) -> List[SurgeAlert]:
+    """Find sustained latency surges in a (time, rtt) series.
+
+    Bins the series, takes the series median as the baseline, and
+    reports maximal runs of bins exceeding ``threshold * baseline`` that
+    last at least ``min_duration_s`` — WiScape's "somewhat persistent
+    change" alarm (transients shorter than an epoch are ignored by
+    design).
+    """
+    if not series:
+        return []
+    t0 = min(t for t, _ in series)
+    bins: Dict[int, List[float]] = {}
+    for t, v in series:
+        bins.setdefault(int((t - t0) // bin_s), []).append(v)
+    binned = sorted(
+        (idx, sum(vals) / len(vals)) for idx, vals in bins.items()
+    )
+    values = sorted(v for _, v in binned)
+    baseline = values[len(values) // 2]
+    if baseline <= 0:
+        return []
+
+    alerts: List[SurgeAlert] = []
+    run_start: Optional[int] = None
+    run_peak = 0.0
+    prev_idx: Optional[int] = None
+
+    def flush(last_idx: int) -> None:
+        nonlocal run_start, run_peak
+        if run_start is None:
+            return
+        start_s = t0 + run_start * bin_s
+        end_s = t0 + (last_idx + 1) * bin_s
+        if end_s - start_s >= min_duration_s:
+            alerts.append(
+                SurgeAlert(
+                    zone_id=zone_id,
+                    network=network,
+                    start_s=start_s,
+                    end_s=end_s,
+                    baseline_s=baseline,
+                    peak_s=run_peak,
+                )
+            )
+        run_start = None
+        run_peak = 0.0
+
+    for idx, mean_v in binned:
+        surging = mean_v > threshold * baseline
+        contiguous = prev_idx is not None and idx == prev_idx + 1
+        if surging:
+            if run_start is not None and not contiguous:
+                flush(prev_idx)  # type: ignore[arg-type]
+            if run_start is None:
+                run_start = idx
+            run_peak = max(run_peak, mean_v)
+        elif run_start is not None:
+            flush(prev_idx)  # type: ignore[arg-type]
+        prev_idx = idx
+    if run_start is not None and prev_idx is not None:
+        flush(prev_idx)
+    return alerts

@@ -1,0 +1,86 @@
+"""Web workloads for the application experiments.
+
+The paper's clients request pages "from a webserver hosting a pool of
+1000 web pages with sizes between 2.8 KBytes and 3.2 MBytes, generated
+using SURGE" plus depth-1 crawls of well-known sites.  SURGE models page
+sizes as a hybrid lognormal body + Pareto tail; we reproduce that and
+clamp to the paper's size range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+MIN_PAGE_BYTES = 2_800
+MAX_PAGE_BYTES = 3_200_000
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One HTTP object to fetch."""
+
+    page_id: str
+    size_bytes: int
+
+
+def surge_page_pool(
+    count: int = 1000,
+    seed: int = 0,
+    body_median_bytes: float = 18_000.0,
+    body_sigma: float = 1.1,
+    tail_fraction: float = 0.12,
+    tail_alpha: float = 1.2,
+) -> List[WebPage]:
+    """A SURGE-style page pool: lognormal body, Pareto tail.
+
+    Sizes are clamped to the paper's [2.8 KB, 3.2 MB] range.  The
+    defaults give a median around 18 KB with a heavy tail — the usual
+    2000s-web shape SURGE was fitted to.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = np.random.default_rng(seed)
+    pages: List[WebPage] = []
+    for i in range(count):
+        if rng.uniform() < tail_fraction:
+            size = MIN_PAGE_BYTES * 40 * float(rng.pareto(tail_alpha) + 1.0)
+        else:
+            size = float(
+                body_median_bytes * np.exp(rng.normal(0.0, body_sigma))
+            )
+        size = min(MAX_PAGE_BYTES, max(MIN_PAGE_BYTES, size))
+        pages.append(WebPage(page_id=f"surge-{i}", size_bytes=int(size)))
+    return pages
+
+
+#: Depth-1 page bundles for the well-known sites of Fig 14: the main
+#: page plus embedded objects.  Sizes are representative of the sites'
+#: 2011-era footprints (media-heavy youtube/cnn, lean microsoft).
+WELL_KNOWN_SITES: Dict[str, List[int]] = {
+    "cnn": [120_000] + [45_000] * 8 + [240_000] * 3 + [850_000],
+    "microsoft": [60_000] + [25_000] * 6 + [110_000] * 2,
+    "youtube": [150_000] + [70_000] * 6 + [1_600_000] * 2,
+    "amazon": [190_000] + [55_000] * 10 + [320_000] * 4,
+}
+
+
+def website_bundle(site: str) -> List[WebPage]:
+    """The depth-1 object list for one well-known site."""
+    try:
+        sizes = WELL_KNOWN_SITES[site]
+    except KeyError:
+        raise KeyError(
+            f"unknown site {site!r}; options: {sorted(WELL_KNOWN_SITES)}"
+        ) from None
+    return [
+        WebPage(page_id=f"{site}-{i}", size_bytes=s)
+        for i, s in enumerate(sizes)
+    ]
+
+
+def total_bytes(pages: List[WebPage]) -> int:
+    """Total payload of a page list."""
+    return sum(p.size_bytes for p in pages)

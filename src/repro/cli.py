@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational entry points for exploring the reproduction without
+writing code:
+
+* ``world-info``   — describe the synthetic landscape (carriers, regions,
+  stations, failure patches);
+* ``catalog``      — print the dataset catalog (paper Table 2);
+* ``generate``     — generate one of the paper's datasets to JSONL/CSV;
+* ``map``          — generate a quick trace and render the city
+  throughput map as ASCII (a terminal Fig 1);
+* ``monitor``      — run the coordinator over a bus fleet for N sim
+  hours and print what WiScape learned.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.radio.network import build_landscape
+from repro.radio.technology import NetworkId
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+
+
+def cmd_world_info(args: argparse.Namespace) -> int:
+    landscape = build_landscape(seed=args.seed)
+    area = landscape.study_area
+    print(f"seed {args.seed}: {len(landscape.networks)} carriers over "
+          f"{area.area_km2:.0f} km^2 ({area.name})")
+    if landscape.road is not None:
+        print(f"road corridor: {landscape.road.name}, {landscape.road.length_km:.0f} km")
+    for net in landscape.network_ids():
+        network = landscape.network(net)
+        stations = sum(len(b.spatial.stations) for b in network.bindings)
+        regions = ", ".join(sorted({b.name for b in network.bindings}))
+        print(
+            f"  {net.value}: {network.params.technology.name}, "
+            f"base {network.params.base_downlink_bps / 1e6:.2f} Mbps down, "
+            f"{stations} sites, regions [{regions}], "
+            f"{len(network.failure_patches)} failure patches"
+        )
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.datasets.catalog import catalog_table
+
+    print(catalog_table())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets.catalog import DATASET_CATALOG
+    from repro.datasets.generator import DatasetGenerator
+    from repro.datasets.io import write_csv, write_jsonl
+    from repro.geo.regions import NEW_BRUNSWICK, madison_spot_locations
+
+    if args.dataset not in DATASET_CATALOG:
+        print(f"unknown dataset {args.dataset!r}; options: "
+              f"{', '.join(sorted(DATASET_CATALOG))}", file=sys.stderr)
+        return 2
+    landscape = build_landscape(seed=args.seed)
+    generator = DatasetGenerator(landscape, seed=args.gen_seed)
+
+    wi = madison_spot_locations(1)[0]
+    builders = {
+        "standalone": lambda: generator.standalone(days=args.days),
+        "wirover": lambda: generator.wirover(days=args.days),
+        "short-segment": lambda: generator.short_segment(days=args.days),
+        "static-wi": lambda: generator.static_spot(wi, "wi", days=args.days),
+        "static-nj": lambda: generator.static_spot(
+            NEW_BRUNSWICK, "nj",
+            networks=[NetworkId.NET_B, NetworkId.NET_C], days=args.days,
+        ),
+        "proximate-wi": lambda: generator.proximate(wi, "wi", days=args.days),
+        "proximate-nj": lambda: generator.proximate(
+            NEW_BRUNSWICK, "nj",
+            networks=[NetworkId.NET_B, NetworkId.NET_C], days=args.days,
+        ),
+    }
+    print(f"generating {args.dataset} ({args.days} days)...")
+    records = builders[args.dataset]()
+    out = Path(args.out or f"{args.dataset}.jsonl")
+    if out.suffix == ".csv":
+        write_csv(records, out)
+    else:
+        write_jsonl(records, out)
+    print(f"wrote {len(records)} records to {out}")
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import zone_throughput_map
+    from repro.analysis.maps import render_zone_map
+    from repro.datasets.generator import DatasetGenerator
+    from repro.geo.zones import ZoneGrid
+
+    landscape = build_landscape(seed=args.seed, include_road=False, include_nj=False)
+    generator = DatasetGenerator(landscape, seed=args.gen_seed)
+    print(f"surveying the city ({args.days} days of bus data)...")
+    trace = generator.standalone(days=args.days, interval_s=180.0, ping_count=2)
+    grid = ZoneGrid(landscape.study_area.anchor, radius_m=args.radius)
+    entries = zone_throughput_map(trace, grid, NetworkId.NET_B, min_samples=10)
+    values = {e.zone_id: e.mean_bps for e in entries}
+    print(f"\nNetB mean TCP throughput, {len(values)} zones, "
+          f"{args.radius:.0f} m radius:")
+    print(render_zone_map(values))
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.clients.agent import ClientAgent
+    from repro.clients.device import Device, DeviceCategory
+    from repro.core.controller import MeasurementCoordinator
+    from repro.geo.zones import ZoneGrid
+    from repro.mobility.routes import city_bus_routes
+    from repro.mobility.vehicles import TransitBus
+    from repro.sim.engine import EventEngine
+
+    landscape = build_landscape(seed=args.seed, include_road=False, include_nj=False)
+    grid = ZoneGrid(landscape.study_area.anchor, radius_m=args.radius)
+    coordinator = MeasurementCoordinator(grid, seed=args.gen_seed)
+    routes = city_bus_routes(landscape.study_area, count=8)
+    nets = [NetworkId.NET_B, NetworkId.NET_C]
+    for b in range(args.buses):
+        bus = TransitBus(bus_id=b, routes=routes, seed=b)
+        device = Device(f"bus-{b}", DeviceCategory.SBC_PCMCIA, nets, seed=b)
+        coordinator.register_client(ClientAgent(f"bus-{b}", device, bus, landscape, seed=b))
+
+    start = 6.0 * 3600.0
+    engine = EventEngine()
+    engine.clock.reset(start)
+    until = start + args.hours * 3600.0
+    print(f"monitoring with {args.buses} buses for {args.hours} sim hours...")
+    coordinator.attach(engine, until=until)
+    engine.run(until=until)
+
+    s = coordinator.stats
+    streams = len(coordinator.store)
+    published = sum(1 for r in coordinator.store.records() if r.published)
+    print(
+        f"ticks={s.ticks} tasks={s.tasks_issued} reports={s.reports_ingested} "
+        f"epochs={s.epochs_closed} alerts={len(coordinator.alerts)}"
+    )
+    print(f"{streams} (zone,carrier,kind) streams; {published} published estimates")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiScape (IMC 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("world-info", help="describe the synthetic landscape")
+    _add_common(p)
+    p.set_defaults(func=cmd_world_info)
+
+    p = sub.add_parser("catalog", help="print the dataset catalog (Table 2)")
+    p.set_defaults(func=cmd_catalog)
+
+    p = sub.add_parser("generate", help="generate one of the paper's datasets")
+    _add_common(p)
+    p.add_argument("dataset", help="dataset name (see 'catalog')")
+    p.add_argument("--days", type=int, default=2)
+    p.add_argument("--gen-seed", type=int, default=3)
+    p.add_argument("--out", help="output path (.jsonl or .csv)")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("map", help="ASCII city throughput map (Fig 1)")
+    _add_common(p)
+    p.add_argument("--days", type=int, default=2)
+    p.add_argument("--radius", type=float, default=250.0)
+    p.add_argument("--gen-seed", type=int, default=3)
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("monitor", help="run the coordinator over a bus fleet")
+    _add_common(p)
+    p.add_argument("--buses", type=int, default=5)
+    p.add_argument("--hours", type=float, default=4.0)
+    p.add_argument("--radius", type=float, default=250.0)
+    p.add_argument("--gen-seed", type=int, default=1)
+    p.set_defaults(func=cmd_monitor)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

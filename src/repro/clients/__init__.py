@@ -1,0 +1,37 @@
+"""Client side of WiScape: devices, the task/report protocol, the agent.
+
+A client is a device (laptop / single-board computer / phone class, each
+with its own radio front-end bias) riding a movement model.  It
+periodically tells the coordinator which coarse zone it is in, receives
+measurement tasks, runs them over its cellular interfaces, and reports
+results tagged with a GPS fix — exactly the user-agent the paper
+envisions bundled with NIC drivers (section 3.4).
+"""
+
+from repro.clients.device import (
+    Device,
+    DeviceCategory,
+    default_profile,
+)
+from repro.clients.protocol import (
+    MeasurementReport,
+    MeasurementTask,
+    MeasurementType,
+)
+from repro.clients.agent import ClientAgent
+from repro.clients.energy import EnergyMeter, RadioEnergyModel
+from repro.clients.normalize import CategoryNormalizer, CategoryObservation
+
+__all__ = [
+    "Device",
+    "DeviceCategory",
+    "default_profile",
+    "MeasurementReport",
+    "MeasurementTask",
+    "MeasurementType",
+    "ClientAgent",
+    "EnergyMeter",
+    "RadioEnergyModel",
+    "CategoryNormalizer",
+    "CategoryObservation",
+]

@@ -1,0 +1,66 @@
+"""Client energy accounting.
+
+The paper motivates WiScape's minimal sampling with "quicker depletion
+of the limited battery power" and notes (section 4.2.2) that its
+application study did not account for energy.  This module closes that
+gap with a simple but standard cellular radio energy model: a promotion
+cost for waking the radio, active power while transferring, and a tail
+time of elevated power after a transfer (the well-known 3G tail-energy
+effect) — enough to compare measurement schedules by Joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RadioEnergyModel:
+    """Per-transfer energy parameters (defaults ~3G-era handset).
+
+    ``promotion_j``: energy to move IDLE -> DCH before data flows;
+    ``active_w``: power while actively transferring;
+    ``tail_w`` / ``tail_s``: elevated power after the transfer while the
+    radio lingers in DCH/FACH.
+    """
+
+    promotion_j: float = 0.6
+    active_w: float = 1.2
+    tail_w: float = 0.6
+    tail_s: float = 8.0
+
+    def transfer_energy_j(self, duration_s: float) -> float:
+        """Energy of one transfer of ``duration_s`` active seconds."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        return (
+            self.promotion_j
+            + self.active_w * duration_s
+            + self.tail_w * self.tail_s
+        )
+
+
+class EnergyMeter:
+    """Accumulates a client's measurement energy."""
+
+    def __init__(self, model: RadioEnergyModel = RadioEnergyModel()):
+        self.model = model
+        self.total_j = 0.0
+        self.transfers = 0
+
+    def record_transfer(self, duration_s: float) -> float:
+        """Account one measurement transfer; returns its energy."""
+        energy = self.model.transfer_energy_j(duration_s)
+        self.total_j += energy
+        self.transfers += 1
+        return energy
+
+    @property
+    def mean_j_per_transfer(self) -> float:
+        return self.total_j / self.transfers if self.transfers else 0.0
+
+    def as_battery_fraction(self, battery_j: float = 18_500.0) -> float:
+        """Fraction of a battery consumed (default ~5 Wh 2011 handset)."""
+        if battery_j <= 0:
+            raise ValueError("battery_j must be positive")
+        return self.total_j / battery_j

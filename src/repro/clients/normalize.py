@@ -1,0 +1,124 @@
+"""Cross-category normalization of client measurements.
+
+The paper keeps device categories separate because "a mobile phone ...
+has a more constrained radio front-end and antenna system than a USB
+modem" and leaves normalization across categories as future work
+(section 3.3).  This module implements that extension: learn a stable
+per-category scaling factor from co-located measurements (zones where
+both categories reported), then map one category's throughput samples
+into another's frame so their pools become composable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.clients.device import DeviceCategory
+from repro.clients.protocol import MeasurementType
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.radio.technology import NetworkId
+
+
+@dataclass(frozen=True)
+class CategoryObservation:
+    """One aggregated observation: a category's zone-mean throughput."""
+
+    category: DeviceCategory
+    zone_id: ZoneId
+    network: NetworkId
+    mean_bps: float
+    n_samples: int
+
+
+class CategoryNormalizer:
+    """Learns scale factors between device categories.
+
+    The factor for (src -> ref) is the median over shared (zone,
+    network) cells of mean_src / mean_ref.  Median, not mean: a few
+    zones with odd coverage must not skew the hardware ratio.
+    """
+
+    def __init__(self, reference: DeviceCategory = DeviceCategory.LAPTOP_USB):
+        self.reference = reference
+        self._factors: Dict[DeviceCategory, float] = {reference: 1.0}
+        self._support: Dict[DeviceCategory, int] = {}
+
+    @staticmethod
+    def aggregate(
+        reports: Iterable[Tuple[DeviceCategory, ZoneId, NetworkId, float]],
+        min_samples: int = 5,
+    ) -> List[CategoryObservation]:
+        """Aggregate raw (category, zone, network, value) tuples."""
+        sums: Dict[Tuple[DeviceCategory, ZoneId, NetworkId], List[float]] = {}
+        for category, zone, net, value in reports:
+            if math.isnan(value):
+                continue
+            sums.setdefault((category, zone, net), []).append(value)
+        out = []
+        for (category, zone, net), values in sums.items():
+            if len(values) < min_samples:
+                continue
+            out.append(
+                CategoryObservation(
+                    category=category, zone_id=zone, network=net,
+                    mean_bps=float(np.mean(values)), n_samples=len(values),
+                )
+            )
+        return out
+
+    def fit(self, observations: Iterable[CategoryObservation], min_shared_cells: int = 3) -> None:
+        """Learn factors from co-located observations.
+
+        Categories sharing fewer than ``min_shared_cells`` (zone,
+        network) cells with the reference stay unknown (factor lookup
+        raises for them).
+        """
+        by_cell: Dict[Tuple[ZoneId, NetworkId], Dict[DeviceCategory, float]] = {}
+        for obs in observations:
+            by_cell.setdefault((obs.zone_id, obs.network), {})[obs.category] = obs.mean_bps
+
+        ratios: Dict[DeviceCategory, List[float]] = {}
+        for cell_values in by_cell.values():
+            ref_value = cell_values.get(self.reference)
+            if not ref_value:
+                continue
+            for category, value in cell_values.items():
+                if category is self.reference:
+                    continue
+                ratios.setdefault(category, []).append(value / ref_value)
+
+        for category, rs in ratios.items():
+            if len(rs) >= min_shared_cells:
+                self._factors[category] = float(np.median(rs))
+                self._support[category] = len(rs)
+
+    def factor(self, category: DeviceCategory) -> float:
+        """Learned mean-throughput ratio category/reference."""
+        try:
+            return self._factors[category]
+        except KeyError:
+            raise KeyError(
+                f"no normalization factor learned for {category.value}"
+            ) from None
+
+    def support(self, category: DeviceCategory) -> int:
+        """Number of shared cells the factor was learned from."""
+        return self._support.get(category, 0)
+
+    def known_categories(self) -> List[DeviceCategory]:
+        return list(self._factors)
+
+    def normalize(self, category: DeviceCategory, value_bps: float) -> float:
+        """Map a throughput value into the reference category's frame."""
+        return value_bps / self.factor(category)
+
+    def normalize_samples(
+        self, category: DeviceCategory, samples: Iterable[float]
+    ) -> List[float]:
+        """Normalize a sample list (for pooled NKLD analysis)."""
+        f = self.factor(category)
+        return [s / f for s in samples]

@@ -1,0 +1,83 @@
+"""The coordinator <-> client protocol: tasks and reports.
+
+Kept deliberately small and serializable (plain dataclasses of scalars)
+— over a real deployment these would be JSON bodies on a control
+channel, and the dataset writers serialize reports in exactly that
+spirit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geo.coords import GeoPoint
+from repro.radio.technology import NetworkId
+
+ZoneId = Tuple[int, int]
+
+
+class MeasurementType(str, enum.Enum):
+    """The measurement primitives the paper's clients run (Table 1)."""
+
+    TCP_DOWNLOAD = "tcp"
+    UDP_TRAIN = "udp"
+    PING = "ping"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """An instruction from the coordinator to one client.
+
+    ``params`` carries type-specific knobs (download size, packet count,
+    ping count/interval); unset keys fall back to the agent's defaults.
+    """
+
+    task_id: int
+    network: NetworkId
+    kind: MeasurementType
+    zone_id: Optional[ZoneId] = None
+    issued_at_s: float = 0.0
+    deadline_s: Optional[float] = None
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def expired(self, now_s: float) -> bool:
+        """True once the task's deadline has passed."""
+        return self.deadline_s is not None and now_s > self.deadline_s
+
+
+@dataclass(frozen=True)
+class MeasurementReport:
+    """A completed measurement, tagged with position and time.
+
+    ``value`` is the primary metric in SI units (bps for throughput
+    tasks, seconds of mean RTT for pings); ``samples`` optionally carries
+    per-packet or per-probe values for distribution-level analysis;
+    ``extras`` carries secondary metrics (jitter, loss, failures).
+    """
+
+    task_id: int
+    client_id: str
+    network: NetworkId
+    kind: MeasurementType
+    start_s: float
+    end_s: float
+    point: GeoPoint
+    speed_ms: float
+    value: float
+    samples: List[float] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def is_failure(self) -> bool:
+        """True for reports that carry no usable primary value."""
+        return self.value != self.value or (
+            self.kind is MeasurementType.PING and self.extras.get("failures", 0) > 0 and not self.samples
+        )

@@ -1,0 +1,78 @@
+"""WiScape configuration.
+
+One dataclass holding every knob the paper's design sections justify,
+with the paper's chosen values as defaults: 250 m zones, ~100-sample
+budgets bounded by NKLD convergence, epochs from Allan deviation
+(default 30 minutes until enough history accumulates), and 2-sigma
+change detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.clients.protocol import MeasurementType
+
+
+@dataclass(frozen=True)
+class WiScapeConfig:
+    """Framework parameters (paper section 3 defaults)."""
+
+    # -- space (section 3.1) -------------------------------------------
+    zone_radius_m: float = 250.0
+
+    # -- time (section 3.2) --------------------------------------------
+    #: Epoch used for a zone until enough history exists to run the
+    #: Allan-deviation selection.
+    default_epoch_s: float = 30.0 * 60.0
+    #: Bounds on what the Allan search may choose.
+    min_epoch_s: float = 5.0 * 60.0
+    max_epoch_s: float = 4.0 * 3600.0
+    #: Re-run the epoch selection after this many closed epochs.
+    epochs_between_recalibration: int = 12
+
+    # -- sampling (section 3.3) ------------------------------------------
+    #: Target measurement samples per (zone, epoch) before history
+    #: allows an NKLD-tuned budget.  The paper's "around 100".
+    default_sample_budget: int = 100
+    #: Bounds on the NKLD-derived budget.
+    min_sample_budget: int = 30
+    max_sample_budget: int = 200
+    #: Distributions closer than this NKLD are "similar" (paper: 0.1).
+    nkld_threshold: float = 0.1
+
+    # -- scheduling (section 3.4) ----------------------------------------
+    #: Coordinator tick interval: how often task probabilities refresh.
+    tick_interval_s: float = 60.0
+    #: Measurement kinds the coordinator requests from clients.
+    task_kinds: Tuple[MeasurementType, ...] = (
+        MeasurementType.UDP_TRAIN,
+        MeasurementType.PING,
+    )
+    #: Per-task parameter defaults keyed by kind value.
+    udp_packets_per_task: int = 50
+    ping_count_per_task: int = 10
+
+    # -- change detection (section 3.4) ----------------------------------
+    #: Alert when a new epoch estimate deviates from the previous one by
+    #: more than this many previous-epoch standard deviations.
+    change_sigma: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.zone_radius_m <= 0:
+            raise ValueError("zone_radius_m must be positive")
+        if not self.min_epoch_s <= self.default_epoch_s <= self.max_epoch_s:
+            raise ValueError("default_epoch_s outside [min, max] bounds")
+        if not (
+            0 < self.min_sample_budget
+            <= self.default_sample_budget
+            <= self.max_sample_budget
+        ):
+            raise ValueError("sample budgets must satisfy 0 < min <= default <= max")
+        if self.nkld_threshold <= 0:
+            raise ValueError("nkld_threshold must be positive")
+        if self.tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        if self.change_sigma <= 0:
+            raise ValueError("change_sigma must be positive")

@@ -1,0 +1,336 @@
+"""The measurement coordinator (paper section 3.4).
+
+The centralized controller of the WiScape framework.  Each tick it:
+
+1. asks every registered client for its coarse zone (the paper notes
+   cellular systems already track this for routing);
+2. closes any (zone, carrier, kind) epochs whose window elapsed,
+   running >2-sigma change detection against the previous epoch;
+3. issues measurement tasks to clients with the scheduler's probability
+   so each open epoch converges on its sample budget;
+4. ingests the resulting reports into the zone records;
+5. periodically recalibrates each zone's epoch duration (Allan
+   deviation) and sample budget (NKLD convergence).
+
+The coordinator is synchronous within a tick (a task round-trip is much
+shorter than a tick) and integrates with the discrete-event engine via
+:meth:`attach`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clients.agent import ClientAgent
+from repro.clients.protocol import (
+    MeasurementReport,
+    MeasurementTask,
+    MeasurementType,
+)
+from repro.core.config import WiScapeConfig
+from repro.core.epochs import EpochEstimator
+from repro.core.records import (
+    ChangeAlert,
+    EpochEstimate,
+    MetricKey,
+    ZoneRecord,
+    ZoneRecordStore,
+)
+from repro.core.sampling import SampleBudgetPlanner
+from repro.core.scheduler import MeasurementScheduler
+from repro.core.validation import ReportValidator
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.radio.technology import NetworkId
+from repro.sim.engine import EventEngine
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters the overhead analysis reads."""
+
+    ticks: int = 0
+    tasks_issued: int = 0
+    tasks_refused: int = 0
+    reports_ingested: int = 0
+    reports_rejected: int = 0
+    epochs_closed: int = 0
+    recalibrations: int = 0
+
+
+class MeasurementCoordinator:
+    """Central controller orchestrating client-assisted measurement."""
+
+    def __init__(
+        self,
+        grid: ZoneGrid,
+        config: Optional[WiScapeConfig] = None,
+        seed: int = 0,
+    ):
+        self.grid = grid
+        self.config = config or WiScapeConfig()
+        self.store = ZoneRecordStore(
+            default_epoch_s=self.config.default_epoch_s,
+            default_budget=self.config.default_sample_budget,
+        )
+        streams = RngStreams(seed)
+        self.scheduler = MeasurementScheduler(
+            tick_interval_s=self.config.tick_interval_s,
+            samples_per_task={
+                MeasurementType.UDP_TRAIN: self.config.udp_packets_per_task,
+                MeasurementType.PING: self.config.ping_count_per_task,
+                MeasurementType.TCP_DOWNLOAD: 1,
+            },
+            rng=streams.get("scheduler"),
+        )
+        self.epoch_estimator = EpochEstimator(
+            min_epoch_s=self.config.min_epoch_s,
+            max_epoch_s=self.config.max_epoch_s,
+        )
+        self.budget_planner = SampleBudgetPlanner(
+            default_budget=self.config.default_sample_budget,
+            min_budget=self.config.min_sample_budget,
+            max_budget=self.config.max_sample_budget,
+            nkld_threshold=self.config.nkld_threshold,
+            seed=streams.get("planner").integers(0, 2**31),
+        )
+        self.clients: Dict[str, ClientAgent] = {}
+        self.validator = ReportValidator()
+        self.alerts: List[ChangeAlert] = []
+        self.stats = CoordinatorStats()
+        self._task_ids = itertools.count(1)
+
+    # -- registration ---------------------------------------------------
+
+    def register_client(self, agent: ClientAgent) -> None:
+        """Add a client to the measurement pool."""
+        self.clients[agent.client_id] = agent
+
+    def unregister_client(self, client_id: str) -> None:
+        """Remove a client (device decommissioned / opted out)."""
+        self.clients.pop(client_id, None)
+
+    # -- the tick ---------------------------------------------------------
+
+    def _active_clients_by_zone(
+        self, now_s: float
+    ) -> Dict[ZoneId, List[ClientAgent]]:
+        """Coarse zone presence as clients would report it."""
+        out: Dict[ZoneId, List[ClientAgent]] = {}
+        for agent in self.clients.values():
+            if not agent.is_active(now_s):
+                continue
+            zone_id = self.grid.zone_id_for(agent.position(now_s))
+            out.setdefault(zone_id, []).append(agent)
+        return out
+
+    def tick(self, now_s: float) -> List[MeasurementReport]:
+        """One coordinator round; returns the reports it ingested."""
+        self.stats.ticks += 1
+        reports: List[MeasurementReport] = []
+        by_zone = self._active_clients_by_zone(now_s)
+        for zone_id, agents in by_zone.items():
+            for network in self._networks_present(agents):
+                eligible = [
+                    a for a in agents if a.device.supports(network)
+                ]
+                for kind in self.config.task_kinds:
+                    key: MetricKey = (zone_id, network, kind)
+                    record = self.store.get(key, now_s)
+                    self._close_and_alert(record, now_s)
+                    decisions = self.scheduler.decide(
+                        record, kind, [a.client_id for a in eligible], now_s
+                    )
+                    for decision in decisions:
+                        if not decision.issue:
+                            continue
+                        report = self._issue_task(
+                            self.clients[decision.client_id],
+                            network,
+                            kind,
+                            zone_id,
+                            now_s,
+                        )
+                        if report is not None:
+                            self.ingest(report)
+                            reports.append(report)
+        # Epochs in zones with no clients this tick still need closing.
+        for record in self.store.records():
+            self._close_and_alert(record, now_s)
+        return reports
+
+    @staticmethod
+    def _networks_present(agents: Sequence[ClientAgent]) -> List[NetworkId]:
+        nets = {net for a in agents for net in a.device.networks}
+        return sorted(nets, key=lambda n: n.value)
+
+    def _issue_task(
+        self,
+        agent: ClientAgent,
+        network: NetworkId,
+        kind: MeasurementType,
+        zone_id: ZoneId,
+        now_s: float,
+    ) -> Optional[MeasurementReport]:
+        params: Dict[str, float] = {}
+        if kind is MeasurementType.UDP_TRAIN:
+            params["n_packets"] = self.config.udp_packets_per_task
+        elif kind is MeasurementType.PING:
+            params["count"] = self.config.ping_count_per_task
+            params["interval_s"] = 1.0
+        task = MeasurementTask(
+            task_id=next(self._task_ids),
+            network=network,
+            kind=kind,
+            zone_id=zone_id,
+            issued_at_s=now_s,
+            deadline_s=now_s + self.config.tick_interval_s,
+            params=params,
+        )
+        self.stats.tasks_issued += 1
+        report = agent.execute(task, now_s)
+        if report is None:
+            self.stats.tasks_refused += 1
+        return report
+
+    # -- ingest -----------------------------------------------------------
+
+    def ingest(self, report: MeasurementReport, now_s: Optional[float] = None) -> bool:
+        """Fold one client report into the zone records.
+
+        The report first passes the plausibility validator; rejected
+        reports are counted (per reason, see ``validator.rejections``)
+        and never touch the records.  Returns True when ingested.
+        """
+        if not self.validator.validate(
+            report, report.start_s if now_s is None else now_s
+        ).ok:
+            self.stats.reports_rejected += 1
+            return False
+        zone_id = self.grid.zone_id_for(report.point)
+        key: MetricKey = (zone_id, report.network, report.kind)
+        record = self.store.get(key, report.start_s)
+        samples = report.samples if report.samples else [report.value]
+        record.add_samples(list(samples), report.start_s)
+        record.note_measurement(report.value, report.start_s)
+        self.stats.reports_ingested += 1
+        return True
+
+    # -- epoch close / change detection ------------------------------------
+
+    def _close_and_alert(self, record: ZoneRecord, now_s: float) -> None:
+        estimate = record.maybe_close_epoch(now_s)
+        if estimate is None:
+            return
+        self.stats.epochs_closed += 1
+        record.epochs_since_calibration += 1
+        previous = record.published
+        if previous is None:
+            record.published = estimate
+        else:
+            moved = abs(estimate.mean - previous.mean)
+            threshold = self.config.change_sigma * previous.std
+            if previous.std > 0 and moved > threshold:
+                self.alerts.append(
+                    ChangeAlert(
+                        key=record.key,
+                        at_s=now_s,
+                        previous=previous,
+                        current=estimate,
+                    )
+                )
+                record.published = estimate
+            elif previous.std == 0:
+                record.published = estimate
+        if (
+            record.epochs_since_calibration
+            >= self.config.epochs_between_recalibration
+        ):
+            self._recalibrate(record)
+
+    def _recalibrate(self, record: ZoneRecord) -> None:
+        """Refresh the zone's epoch duration and sample budget."""
+        record.epochs_since_calibration = 0
+        self.stats.recalibrations += 1
+        new_epoch = self.epoch_estimator.estimate(
+            record.series_times, record.series_values, fallback_s=record.epoch_s
+        )
+        record.set_epoch_duration(new_epoch)
+        record.set_sample_budget(self.budget_planner.plan(record.sample_pool))
+
+    # -- queries ------------------------------------------------------------
+
+    def published_estimate(
+        self, zone_id: ZoneId, network: NetworkId, kind: MeasurementType
+    ) -> Optional[EpochEstimate]:
+        """What WiScape currently publishes for a stream (None if unknown)."""
+        record = self.store.peek((zone_id, network, kind))
+        return record.published if record else None
+
+    def best_network(
+        self,
+        zone_id: ZoneId,
+        kind: MeasurementType,
+        networks: Sequence[NetworkId],
+        higher_is_better: bool = True,
+    ) -> Optional[NetworkId]:
+        """The carrier WiScape's data says performs best in a zone.
+
+        This is the lookup the multi-sim and MAR applications use.
+        Returns None when no carrier has a published estimate.
+        """
+        best: Optional[Tuple[float, NetworkId]] = None
+        for net in networks:
+            est = self.published_estimate(zone_id, net, kind)
+            if est is None:
+                continue
+            score = est.mean if higher_is_better else -est.mean
+            if best is None or score > best[0]:
+                best = (score, net)
+        return best[1] if best else None
+
+    def dominant_network(
+        self,
+        zone_id: ZoneId,
+        kind: MeasurementType,
+        networks: Sequence[NetworkId],
+        higher_is_better: bool = True,
+        min_samples: int = 20,
+    ) -> Optional[NetworkId]:
+        """Live persistent-dominance query from published estimates.
+
+        Applies the paper's 5/95-percentile rule (section 4.2.1) to the
+        carriers' current published epochs: a carrier dominates when its
+        pessimistic percentile beats every rival's optimistic one.
+        """
+        published = {}
+        for net in networks:
+            est = self.published_estimate(zone_id, net, kind)
+            if est is not None and est.n_samples >= min_samples:
+                published[net] = est
+        if len(published) < 2:
+            return None
+        for net, est in published.items():
+            others = [e for n, e in published.items() if n != net]
+            if higher_is_better:
+                if all(est.p5 > o.p95 for o in others):
+                    return net
+            else:
+                if all(est.p95 < o.p5 for o in others):
+                    return net
+        return None
+
+    # -- event-engine integration --------------------------------------------
+
+    def attach(self, engine: EventEngine, until: Optional[float] = None) -> None:
+        """Schedule the periodic tick on a discrete-event engine."""
+        engine.schedule_every(
+            self.config.tick_interval_s,
+            lambda: self.tick(engine.now),
+            name="coordinator-tick",
+            until=until,
+        )

@@ -1,0 +1,116 @@
+"""Coverage and freshness accounting.
+
+Operators need to know not just what WiScape estimates, but *where it is
+blind*: zones never measured, and zones whose published estimate has
+gone stale (no epoch closed for several epoch-lengths — the clients
+stopped passing through).  This module summarizes the record store into
+a coverage report, the complement of the Fig 1 map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.clients.protocol import MeasurementType
+from repro.core.records import ZoneRecordStore
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.radio.technology import NetworkId
+
+
+@dataclass(frozen=True)
+class ZoneCoverage:
+    """Freshness of one (zone, carrier, kind) stream at a point in time."""
+
+    zone_id: ZoneId
+    network: NetworkId
+    kind: MeasurementType
+    age_s: Optional[float]  # None = never published
+    epoch_s: float
+
+    @property
+    def fresh(self) -> bool:
+        """Published within the last two epoch lengths."""
+        return self.age_s is not None and self.age_s <= 2.0 * self.epoch_s
+
+    @property
+    def stale(self) -> bool:
+        return self.age_s is not None and not self.fresh
+
+    @property
+    def blind(self) -> bool:
+        return self.age_s is None
+
+
+@dataclass
+class CoverageReport:
+    """Store-wide coverage summary."""
+
+    now_s: float
+    entries: List[ZoneCoverage] = field(default_factory=list)
+
+    @property
+    def fresh(self) -> List[ZoneCoverage]:
+        return [e for e in self.entries if e.fresh]
+
+    @property
+    def stale(self) -> List[ZoneCoverage]:
+        return [e for e in self.entries if e.stale]
+
+    @property
+    def blind(self) -> List[ZoneCoverage]:
+        return [e for e in self.entries if e.blind]
+
+    @property
+    def fresh_fraction(self) -> float:
+        return len(self.fresh) / len(self.entries) if self.entries else 0.0
+
+    def zones(self, predicate: str = "stale") -> Set[ZoneId]:
+        """Distinct zone ids in one of the states (fresh/stale/blind)."""
+        return {e.zone_id for e in getattr(self, predicate)}
+
+
+def coverage_report(
+    store: ZoneRecordStore,
+    now_s: float,
+    kind: Optional[MeasurementType] = None,
+) -> CoverageReport:
+    """Summarize the freshness of every stream in the store."""
+    report = CoverageReport(now_s=now_s)
+    for record in store.records():
+        zone_id, network, record_kind = record.key
+        if kind is not None and record_kind is not kind:
+            continue
+        if record.published is None:
+            age: Optional[float] = None
+        else:
+            age = max(0.0, now_s - record.published.end_s)
+        report.entries.append(
+            ZoneCoverage(
+                zone_id=zone_id,
+                network=network,
+                kind=record_kind,
+                age_s=age,
+                epoch_s=record.epoch_s,
+            )
+        )
+    return report
+
+
+def blind_neighbor_zones(
+    grid: ZoneGrid,
+    covered: Sequence[ZoneId],
+    ring: int = 1,
+) -> Set[ZoneId]:
+    """Zones adjacent to coverage but never measured themselves.
+
+    These are the cheapest coverage wins: clients already pass nearby,
+    so a small scheduling nudge (or one targeted drive) fills them.
+    """
+    covered_set = set(covered)
+    out: Set[ZoneId] = set()
+    for zone_id in covered_set:
+        for neighbor in grid.neighbors(zone_id, ring=ring):
+            if neighbor.zone_id not in covered_set:
+                out.add(neighbor.zone_id)
+    return out

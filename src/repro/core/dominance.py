@@ -1,0 +1,128 @@
+"""Persistent network dominance (paper section 4.2.1).
+
+"When the lower 5 percentile of the best network's metric is better
+than the upper 95 percentile of other networks in a given zone, we say
+the zone is persistently dominated by the best network."  Persistence is
+what makes infrequent WiScape sampling sufficient for the multi-network
+applications: a dominant carrier today is still dominant tomorrow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.clients.protocol import MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.radio.technology import NetworkId
+from repro.stats.distributions import EmpiricalCDF
+
+
+def dominant_network(
+    samples_by_network: Dict[NetworkId, Sequence[float]],
+    higher_is_better: bool = True,
+    low_pct: float = 5.0,
+    high_pct: float = 95.0,
+    min_samples: int = 10,
+) -> Optional[NetworkId]:
+    """The persistently dominant carrier for one zone, if any.
+
+    For "higher is better" metrics (throughput), a carrier dominates
+    when its ``low_pct`` percentile exceeds every rival's ``high_pct``
+    percentile; for "lower is better" (latency), when its ``high_pct``
+    percentile is below every rival's ``low_pct``.  Returns None when no
+    carrier dominates or fewer than two carriers have enough samples.
+    """
+    cdfs = {
+        net: EmpiricalCDF(vals)
+        for net, vals in samples_by_network.items()
+        if len(vals) >= min_samples
+    }
+    if len(cdfs) < 2:
+        return None
+    for net, cdf in cdfs.items():
+        others = [c for n, c in cdfs.items() if n != net]
+        if higher_is_better:
+            pessimistic = cdf.percentile(low_pct)
+            if all(pessimistic > o.percentile(high_pct) for o in others):
+                return net
+        else:
+            pessimistic = cdf.percentile(high_pct)
+            if all(pessimistic < o.percentile(low_pct) for o in others):
+                return net
+    return None
+
+
+@dataclass
+class DominanceResult:
+    """Zone-by-zone dominance over a region."""
+
+    kind: MeasurementType
+    higher_is_better: bool
+    by_zone: Dict[ZoneId, Optional[NetworkId]] = field(default_factory=dict)
+
+    @property
+    def n_zones(self) -> int:
+        return len(self.by_zone)
+
+    @property
+    def n_dominated(self) -> int:
+        return sum(1 for v in self.by_zone.values() if v is not None)
+
+    @property
+    def dominance_ratio(self) -> float:
+        """Fraction of zones with a persistently dominant carrier."""
+        return self.n_dominated / self.n_zones if self.by_zone else 0.0
+
+    def share(self, network: NetworkId) -> float:
+        """Fraction of zones dominated by ``network``."""
+        if not self.by_zone:
+            return 0.0
+        return (
+            sum(1 for v in self.by_zone.values() if v == network)
+            / self.n_zones
+        )
+
+    def counts(self) -> Dict[Optional[NetworkId], int]:
+        """Zone counts per dominant carrier (None = no dominance)."""
+        out: Dict[Optional[NetworkId], int] = {}
+        for v in self.by_zone.values():
+            out[v] = out.get(v, 0) + 1
+        return out
+
+
+def zone_dominance(
+    records: Iterable[TraceRecord],
+    grid: ZoneGrid,
+    kind: MeasurementType,
+    higher_is_better: bool = True,
+    min_samples: int = 10,
+    min_networks: int = 2,
+) -> DominanceResult:
+    """Dominance analysis over a trace (Figs 11-12).
+
+    Only zones where at least ``min_networks`` carriers each have
+    ``min_samples`` valid records are judged.
+    """
+    by_zone: Dict[ZoneId, Dict[NetworkId, List[float]]] = {}
+    for rec in records:
+        if rec.kind is not kind or math.isnan(rec.value):
+            continue
+        zone = grid.zone_id_for(rec.point)
+        by_zone.setdefault(zone, {}).setdefault(rec.network, []).append(rec.value)
+
+    result = DominanceResult(kind=kind, higher_is_better=higher_is_better)
+    for zone, per_net in by_zone.items():
+        qualified = {
+            net: vals for net, vals in per_net.items() if len(vals) >= min_samples
+        }
+        if len(qualified) < min_networks:
+            continue
+        result.by_zone[zone] = dominant_network(
+            qualified,
+            higher_is_better=higher_is_better,
+            min_samples=min_samples,
+        )
+    return result

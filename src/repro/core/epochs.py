@@ -1,0 +1,114 @@
+"""Epoch duration selection (paper section 3.2.2).
+
+A zone's epoch is the averaging interval at which its metric is most
+stable — the minimum of the Allan deviation over the zone's measurement
+series.  :class:`EpochEstimator` wraps the search with WiScape's
+operational concerns: irregular sample times (the series is re-gridded),
+bounds on the allowed epoch, and a minimum history requirement before
+trusting the estimate over the configured default.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.allan import allan_deviation_profile, select_epoch_from_profile
+
+
+class EpochEstimator:
+    """Selects per-zone epoch durations from measurement history."""
+
+    def __init__(
+        self,
+        min_epoch_s: float = 300.0,
+        max_epoch_s: float = 4.0 * 3600.0,
+        grid_s: float = 60.0,
+        min_history_points: int = 60,
+        candidate_count: int = 20,
+        tolerance: float = 0.10,
+    ):
+        if min_epoch_s <= 0 or max_epoch_s <= min_epoch_s:
+            raise ValueError("need 0 < min_epoch_s < max_epoch_s")
+        self.min_epoch_s = min_epoch_s
+        self.max_epoch_s = max_epoch_s
+        self.grid_s = grid_s
+        self.min_history_points = min_history_points
+        self.candidate_count = candidate_count
+        self.tolerance = tolerance
+
+    def regrid(
+        self, times_s: Sequence[float], values: Sequence[float]
+    ) -> List[float]:
+        """Average irregular samples onto a regular ``grid_s`` grid.
+
+        Grid cells with no samples inherit the previous cell's value
+        (zero-order hold), which keeps the Allan statistics defined
+        without inventing variance.
+        """
+        if len(times_s) != len(values):
+            raise ValueError("times and values must align")
+        if not times_s:
+            return []
+        t0 = min(times_s)
+        t1 = max(times_s)
+        n_cells = int((t1 - t0) // self.grid_s) + 1
+        sums = [0.0] * n_cells
+        counts = [0] * n_cells
+        for t, v in zip(times_s, values):
+            i = int((t - t0) // self.grid_s)
+            sums[i] += v
+            counts[i] += 1
+        out: List[float] = []
+        last: Optional[float] = None
+        for s, c in zip(sums, counts):
+            if c > 0:
+                last = s / c
+            if last is not None:
+                out.append(last)
+        return out
+
+    def candidate_taus(self, span_s: float) -> List[float]:
+        """Log-spaced candidate epochs within bounds and the data span."""
+        hi = min(self.max_epoch_s, span_s / 4.0)
+        lo = max(self.min_epoch_s, self.grid_s)
+        if hi <= lo:
+            return [lo]
+        return [float(x) for x in np.geomspace(lo, hi, num=self.candidate_count)]
+
+    def profile(
+        self, times_s: Sequence[float], values: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """(tau, Allan deviation) pairs over the candidate epochs."""
+        series = self.regrid(times_s, values)
+        if len(series) < 4:
+            return []
+        span = len(series) * self.grid_s
+        return allan_deviation_profile(
+            series, self.grid_s, self.candidate_taus(span), normalize=True
+        )
+
+    def estimate(
+        self,
+        times_s: Sequence[float],
+        values: Sequence[float],
+        fallback_s: float,
+    ) -> float:
+        """The zone's epoch: argmin Allan deviation, or the fallback.
+
+        Falls back when history is too short for a trustworthy profile.
+        The result is clamped to [min_epoch_s, max_epoch_s].
+        """
+        series = self.regrid(times_s, values)
+        if len(series) < self.min_history_points:
+            return float(min(max(fallback_s, self.min_epoch_s), self.max_epoch_s))
+        span = len(series) * self.grid_s
+        profile = allan_deviation_profile(
+            series, self.grid_s, self.candidate_taus(span), normalize=True
+        )
+        if not profile:
+            return float(min(max(fallback_s, self.min_epoch_s), self.max_epoch_s))
+        best_tau = select_epoch_from_profile(profile, tolerance=self.tolerance)
+        return float(min(max(best_tau, self.min_epoch_s), self.max_epoch_s))

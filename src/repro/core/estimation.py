@@ -1,0 +1,119 @@
+"""Offline, trace-driven zone estimation.
+
+The validation path of the paper's Fig 8: split a dataset into a
+"client-sourced" part and a "ground truth" part, estimate each zone from
+the client part with WiScape's budgets, and compare against the truth
+part's full distribution.  These helpers also back the map figures
+(Fig 1) and any analysis that aggregates records into zones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clients.protocol import MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.zones import ZoneGrid, ZoneId
+from repro.radio.technology import NetworkId
+
+StreamKey = Tuple[ZoneId, NetworkId, MeasurementType]
+
+
+@dataclass(frozen=True)
+class ZoneEstimate:
+    """Aggregate of one (zone, carrier, kind) stream from a trace."""
+
+    zone_id: ZoneId
+    network: NetworkId
+    kind: MeasurementType
+    mean: float
+    std: float
+    n_samples: int
+
+    @property
+    def relative_std(self) -> float:
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+
+def group_by_zone(
+    records: Iterable[TraceRecord], grid: ZoneGrid
+) -> Dict[StreamKey, List[TraceRecord]]:
+    """Bucket records into (zone, carrier, kind) streams."""
+    out: Dict[StreamKey, List[TraceRecord]] = {}
+    for rec in records:
+        key = (grid.zone_id_for(rec.point), rec.network, rec.kind)
+        out.setdefault(key, []).append(rec)
+    return out
+
+
+def estimate_zones(
+    records: Iterable[TraceRecord],
+    grid: ZoneGrid,
+    min_samples: int = 1,
+    max_samples: Optional[int] = None,
+) -> Dict[StreamKey, ZoneEstimate]:
+    """Per-stream mean/std estimates from a trace.
+
+    ``max_samples`` caps how many records per stream are used (WiScape's
+    low-overhead estimation uses a budget-sized prefix); NaN-valued
+    (failed) records never contribute to the value statistics.
+    """
+    out: Dict[StreamKey, ZoneEstimate] = {}
+    for key, recs in group_by_zone(records, grid).items():
+        values = [r.value for r in recs if not math.isnan(r.value)]
+        if len(values) < min_samples:
+            continue
+        if max_samples is not None:
+            values = values[:max_samples]
+        arr = np.asarray(values, dtype=float)
+        zone_id, network, kind = key
+        out[key] = ZoneEstimate(
+            zone_id=zone_id,
+            network=network,
+            kind=kind,
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            n_samples=int(arr.size),
+        )
+    return out
+
+
+def split_records(
+    records: Sequence[TraceRecord],
+    client_fraction: float = 0.3,
+    seed: int = 0,
+) -> Tuple[List[TraceRecord], List[TraceRecord]]:
+    """Random split into (client-sourced, ground-truth) subsets.
+
+    Mirrors the paper's validation: the small subset plays the role of
+    WiScape's sparse client samples, the large one the exhaustive truth.
+    """
+    if not 0.0 < client_fraction < 1.0:
+        raise ValueError("client_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(records))
+    cut = int(len(records) * client_fraction)
+    client_idx = set(int(i) for i in indices[:cut])
+    client = [r for i, r in enumerate(records) if i in client_idx]
+    truth = [r for i, r in enumerate(records) if i not in client_idx]
+    return client, truth
+
+
+def estimation_errors(
+    client_estimates: Dict[StreamKey, ZoneEstimate],
+    truth_estimates: Dict[StreamKey, ZoneEstimate],
+) -> Dict[StreamKey, float]:
+    """Relative error of client estimates vs truth, per shared stream."""
+    out: Dict[StreamKey, float] = {}
+    for key, client in client_estimates.items():
+        truth = truth_estimates.get(key)
+        if truth is None or truth.mean == 0:
+            continue
+        out[key] = abs(client.mean - truth.mean) / abs(truth.mean)
+    return out

@@ -1,0 +1,108 @@
+"""Exporting and importing WiScape's published knowledge.
+
+The coordinator's product — the per-(zone, carrier, kind) published
+estimates — is what applications consume.  This module serializes that
+product to a JSON document so it can be shipped to clients (the paper's
+"simply make it available to potential clients, at a low overhead"),
+archived, or diffed between days; and loads it back into a
+:class:`~repro.apps.multisim.ZonePerformanceMap`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.clients.protocol import MeasurementType
+from repro.core.controller import MeasurementCoordinator
+from repro.core.records import EpochEstimate, MetricKey
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+PathLike = Union[str, Path]
+
+SCHEMA_VERSION = 1
+
+
+def export_published(coordinator: MeasurementCoordinator) -> Dict:
+    """The coordinator's published estimates as a JSON-ready document."""
+    entries: List[Dict] = []
+    for record in coordinator.store.records():
+        est = record.published
+        if est is None:
+            continue
+        zone_id, network, kind = record.key
+        entries.append({
+            "zone": list(zone_id),
+            "network": network.value,
+            "kind": kind.value,
+            "epoch_s": record.epoch_s,
+            "sample_budget": record.sample_budget,
+            "mean": est.mean,
+            "std": est.std,
+            "p5": est.p5,
+            "p95": est.p95,
+            "n_samples": est.n_samples,
+            "epoch_start_s": est.start_s,
+            "epoch_end_s": est.end_s,
+        })
+    return {
+        "schema": SCHEMA_VERSION,
+        "zone_radius_m": coordinator.grid.radius_m,
+        "origin": {
+            "lat": coordinator.grid.origin.lat,
+            "lon": coordinator.grid.origin.lon,
+        },
+        "entries": entries,
+    }
+
+
+def save_published(coordinator: MeasurementCoordinator, path: PathLike) -> int:
+    """Write the published-estimate document; returns the entry count."""
+    doc = export_published(coordinator)
+    Path(path).write_text(json.dumps(doc, indent=1))
+    return len(doc["entries"])
+
+
+def load_document(path: PathLike) -> Dict:
+    """Load and schema-check an exported document."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {doc.get('schema')!r} (want {SCHEMA_VERSION})"
+        )
+    return doc
+
+
+def performance_map_from_document(doc: Dict, grid: Optional[ZoneGrid] = None):
+    """Build a :class:`ZonePerformanceMap` from an exported document.
+
+    Throughput kinds (TCP/UDP) populate the map; ping entries are
+    skipped (the map holds rates).  If ``grid`` is omitted one matching
+    the document's origin/radius is constructed.
+    """
+    from repro.apps.multisim import ZonePerformanceMap
+    from repro.geo.coords import GeoPoint
+
+    if grid is None:
+        grid = ZoneGrid(
+            GeoPoint(doc["origin"]["lat"], doc["origin"]["lon"]),
+            radius_m=doc["zone_radius_m"],
+        )
+    pmap = ZonePerformanceMap(grid)
+    for entry in doc["entries"]:
+        kind = MeasurementType(entry["kind"])
+        if kind is MeasurementType.PING:
+            continue
+        pmap.set_rate(
+            tuple(entry["zone"]),
+            NetworkId(entry["network"]),
+            float(entry["mean"]),
+        )
+    return pmap
+
+
+def load_performance_map(path: PathLike, grid: Optional[ZoneGrid] = None):
+    """Convenience: :func:`load_document` + map construction."""
+    return performance_map_from_document(load_document(path), grid=grid)

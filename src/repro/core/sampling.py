@@ -1,0 +1,82 @@
+"""Sample-budget planning (paper section 3.3).
+
+How many samples does an epoch need before its distribution resembles
+the zone's long-term truth?  The paper answers with NKLD: accumulate
+until the divergence between the collected samples' distribution and the
+long-term distribution drops under 0.1.  The planner replays that
+convergence test against the zone's retained sample pool and returns a
+clamped budget; with too little history it returns the configured
+default (the paper's ~100).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.stats.nkld import nkld_from_samples
+
+
+class SampleBudgetPlanner:
+    """Derives per-zone sample budgets from NKLD convergence."""
+
+    def __init__(
+        self,
+        default_budget: int = 100,
+        min_budget: int = 30,
+        max_budget: int = 200,
+        nkld_threshold: float = 0.1,
+        min_pool: int = 400,
+        iterations: int = 30,
+        step: int = 10,
+        seed: int = 0,
+    ):
+        if not 0 < min_budget <= default_budget <= max_budget:
+            raise ValueError("budgets must satisfy 0 < min <= default <= max")
+        self.default_budget = default_budget
+        self.min_budget = min_budget
+        self.max_budget = max_budget
+        self.nkld_threshold = nkld_threshold
+        self.min_pool = min_pool
+        self.iterations = iterations
+        self.step = step
+        self._rng = np.random.default_rng(seed)
+
+    def convergence_curve(
+        self, pool: Sequence[float], counts: Optional[Sequence[int]] = None
+    ) -> List[tuple]:
+        """Mean NKLD between random subsets of size n and the full pool.
+
+        Mirrors the paper's Fig 7 procedure: draw a random contiguous
+        client trace of n samples, compare to the long-term
+        distribution, average over iterations.
+        """
+        arr = np.asarray(pool, dtype=float)
+        if counts is None:
+            counts = list(range(self.step, self.max_budget + 1, self.step))
+        curve = []
+        for n in counts:
+            if n >= arr.size:
+                break
+            divs = []
+            for _ in range(self.iterations):
+                start = int(self._rng.integers(0, arr.size - n + 1))
+                subset = arr[start : start + n]
+                divs.append(nkld_from_samples(subset, arr))
+            curve.append((int(n), float(np.mean(divs))))
+        return curve
+
+    def plan(self, pool: Sequence[float]) -> int:
+        """The zone's sample budget given its retained sample pool.
+
+        Returns the smallest subset size whose average NKLD against the
+        pool beats the threshold, clamped to [min, max]; the default
+        when history is insufficient or convergence never happens.
+        """
+        if len(pool) < self.min_pool:
+            return self.default_budget
+        for n, div in self.convergence_curve(pool):
+            if div < self.nkld_threshold:
+                return int(min(max(n, self.min_budget), self.max_budget))
+        return self.max_budget

@@ -1,0 +1,96 @@
+"""Probabilistic measurement scheduling (paper section 3.4).
+
+"Once in every coherence time-period, the measurement coordinator will
+provide a measurement task to each active mobile client with a
+probability, chosen such that the number of measurement samples
+collected over each iteration is sufficient."
+
+Each coordinator tick, for each (zone, carrier, kind) stream that still
+needs samples this epoch, the scheduler computes a per-client task
+probability by spreading the remaining need over the ticks remaining in
+the epoch and the clients currently present — so the load on any single
+client stays low even when a zone is popular, and a lone client in an
+empty zone is tasked every tick.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.clients.protocol import MeasurementTask, MeasurementType
+from repro.core.records import ZoneRecord
+from repro.radio.technology import NetworkId
+
+
+@dataclass(frozen=True)
+class TaskDecision:
+    """The scheduler's verdict for one candidate (client, stream) pair."""
+
+    client_id: str
+    issue: bool
+    probability: float
+
+
+class MeasurementScheduler:
+    """Computes per-client task probabilities and draws decisions."""
+
+    def __init__(
+        self,
+        tick_interval_s: float,
+        samples_per_task: Dict[MeasurementType, int],
+        rng: np.random.Generator,
+        max_probability: float = 1.0,
+    ):
+        if tick_interval_s <= 0:
+            raise ValueError("tick_interval_s must be positive")
+        for kind, n in samples_per_task.items():
+            if n < 1:
+                raise ValueError(f"samples_per_task[{kind}] must be >= 1")
+        self.tick_interval_s = tick_interval_s
+        self.samples_per_task = dict(samples_per_task)
+        self.rng = rng
+        self.max_probability = max_probability
+
+    def task_probability(
+        self,
+        record: ZoneRecord,
+        kind: MeasurementType,
+        n_active_clients: int,
+        now_s: float,
+    ) -> float:
+        """P(issue a task to one given active client this tick).
+
+        remaining_tasks = ceil(missing samples / samples per task);
+        ticks_left = epoch time remaining / tick interval;
+        p = remaining_tasks / (ticks_left * clients), capped at 1.
+        """
+        if n_active_clients < 1:
+            return 0.0
+        missing = record.samples_needed()
+        if missing <= 0:
+            return 0.0
+        per_task = self.samples_per_task.get(kind, 1)
+        remaining_tasks = math.ceil(missing / per_task)
+        epoch_end = record.epoch_start_s + record.epoch_s
+        ticks_left = max(1.0, (epoch_end - now_s) / self.tick_interval_s)
+        p = remaining_tasks / (ticks_left * n_active_clients)
+        return min(self.max_probability, p)
+
+    def decide(
+        self,
+        record: ZoneRecord,
+        kind: MeasurementType,
+        client_ids: Sequence[str],
+        now_s: float,
+    ) -> List[TaskDecision]:
+        """Bernoulli draws for every active client in the zone."""
+        p = self.task_probability(record, kind, len(client_ids), now_s)
+        decisions = []
+        for cid in client_ids:
+            issue = p > 0 and float(self.rng.uniform()) < p
+            decisions.append(TaskDecision(client_id=cid, issue=issue, probability=p))
+        return decisions

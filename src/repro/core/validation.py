@@ -1,0 +1,99 @@
+"""Report validation: defending the coordinator against bad clients.
+
+A crowd-sourced system ingests whatever clients send.  Before a report
+touches the zone records it must pass basic sanity checks: a plausible
+position (inside some monitored region), plausible metric values for
+its measurement kind (a 100 Gbit/s EV-DO reading is a bug or a liar),
+timestamps that are not from the future, and sane sample lists.  The
+paper does not discuss malicious clients, but any deployment of its
+design needs this layer; rejected reports are counted per reason so
+operators can spot misbehaving devices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.clients.protocol import MeasurementReport, MeasurementType
+
+
+@dataclass(frozen=True)
+class ValidationLimits:
+    """Plausibility envelope for incoming reports."""
+
+    #: No cellular deployment in the study delivers more than this.
+    max_throughput_bps: float = 50e6
+    #: RTTs above this are timeouts, not measurements.
+    max_rtt_s: float = 10.0
+    #: Maximum tolerated clock skew into the future.
+    max_future_skew_s: float = 60.0
+    #: Reports older than this are stale (device queued them offline).
+    max_age_s: float = 24.0 * 3600.0
+    #: Per-packet sample lists beyond this are malformed.
+    max_samples: int = 10_000
+    #: Highest plausible ground speed (m/s) — ~430 km/h.
+    max_speed_ms: float = 120.0
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one report."""
+
+    ok: bool
+    reason: Optional[str] = None
+
+
+class ReportValidator:
+    """Stateless checks plus per-reason rejection counters."""
+
+    def __init__(self, limits: Optional[ValidationLimits] = None):
+        self.limits = limits or ValidationLimits()
+        self.rejections: Dict[str, int] = {}
+        self.accepted = 0
+
+    def validate(self, report: MeasurementReport, now_s: float) -> ValidationResult:
+        """Check one report against the envelope; count the outcome."""
+        result = self._check(report, now_s)
+        if result.ok:
+            self.accepted += 1
+        else:
+            self.rejections[result.reason] = (
+                self.rejections.get(result.reason, 0) + 1
+            )
+        return result
+
+    def _check(self, report: MeasurementReport, now_s: float) -> ValidationResult:
+        limits = self.limits
+        if report.start_s > now_s + limits.max_future_skew_s:
+            return ValidationResult(False, "future-timestamp")
+        if report.start_s < now_s - limits.max_age_s:
+            return ValidationResult(False, "stale")
+        if report.end_s < report.start_s:
+            return ValidationResult(False, "negative-duration")
+        if report.speed_ms < 0 or report.speed_ms > limits.max_speed_ms:
+            return ValidationResult(False, "implausible-speed")
+        if len(report.samples) > limits.max_samples:
+            return ValidationResult(False, "oversized-samples")
+
+        value = report.value
+        if report.kind is MeasurementType.PING:
+            if not math.isnan(value) and not 0.0 < value <= limits.max_rtt_s:
+                return ValidationResult(False, "implausible-rtt")
+            if any(not 0.0 < s <= limits.max_rtt_s for s in report.samples):
+                return ValidationResult(False, "implausible-rtt-sample")
+        else:
+            if math.isnan(value):
+                return ValidationResult(False, "nan-throughput")
+            if not 0.0 < value <= limits.max_throughput_bps:
+                return ValidationResult(False, "implausible-throughput")
+            if any(
+                not 0.0 < s <= limits.max_throughput_bps for s in report.samples
+            ):
+                return ValidationResult(False, "implausible-sample")
+        return ValidationResult(True)
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejections.values())

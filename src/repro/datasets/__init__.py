@@ -1,0 +1,31 @@
+"""Trace datasets: schema, I/O, and generators for the paper's Table 2.
+
+The paper's ground truth is seven trace collections (Static-WI/NJ,
+Proximate-WI/NJ, Short segment, WiRover, Standalone).  Since the real
+CRAWDAD traces are unavailable, :class:`DatasetGenerator` synthesizes
+each against the ground-truth landscape using the same collection
+pattern (vehicles, intervals, metrics) the paper describes; records
+round-trip through CSV/JSONL so every analysis downstream is genuinely
+trace-driven.
+"""
+
+from repro.datasets.records import TraceRecord
+from repro.datasets.io import (
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.datasets.generator import DatasetGenerator
+from repro.datasets.catalog import DATASET_CATALOG, DatasetSpec
+
+__all__ = [
+    "TraceRecord",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+    "DatasetGenerator",
+    "DATASET_CATALOG",
+    "DatasetSpec",
+]

@@ -1,0 +1,343 @@
+"""Synthetic dataset generation (paper Table 2).
+
+Each ``DatasetGenerator`` method reproduces one of the paper's trace
+collections by driving the corresponding client platform over the
+ground-truth landscape and logging the same measurements the paper's
+nodes ran.  All generation is deterministic in (landscape seed,
+generator seed); volumes are scaled down from the paper's year to keep
+benches fast, with the collection *pattern* preserved.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.clients.agent import ClientAgent
+from repro.clients.device import Device, DeviceCategory
+from repro.clients.protocol import MeasurementTask, MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import madison_spot_locations, new_jersey_spots
+from repro.mobility.models import ProximateLoop, StaticPosition
+from repro.mobility.routes import Route, city_bus_routes
+from repro.mobility.vehicles import Car, IntercityBus, TransitBus
+from repro.radio.network import Landscape
+from repro.radio.technology import NetworkId
+from repro.sim.clock import SECONDS_PER_DAY
+from repro.sim.rng import derive_seed
+
+ALL_NETWORKS = (NetworkId.NET_A, NetworkId.NET_B, NetworkId.NET_C)
+BC_NETWORKS = (NetworkId.NET_B, NetworkId.NET_C)
+
+
+class DatasetGenerator:
+    """Generates the paper's seven datasets against one landscape."""
+
+    def __init__(self, landscape: Landscape, seed: int = 0):
+        self.landscape = landscape
+        self.seed = int(seed)
+        self._task_ids = itertools.count(1)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _agent(
+        self,
+        client_id: str,
+        movement,
+        networks: Sequence[NetworkId],
+        category: DeviceCategory = DeviceCategory.LAPTOP_USB,
+    ) -> ClientAgent:
+        device = Device(
+            device_id=client_id,
+            category=category,
+            networks=networks,
+            seed=derive_seed(self.seed, f"dev:{client_id}"),
+        )
+        return ClientAgent(
+            client_id=client_id,
+            device=device,
+            movement=movement,
+            landscape=self.landscape,
+            seed=derive_seed(self.seed, f"agent:{client_id}"),
+        )
+
+    def _task(
+        self,
+        network: NetworkId,
+        kind: MeasurementType,
+        t: float,
+        **params: float,
+    ) -> MeasurementTask:
+        return MeasurementTask(
+            task_id=next(self._task_ids),
+            network=network,
+            kind=kind,
+            issued_at_s=t,
+            params=dict(params),
+        )
+
+    def _measure(
+        self,
+        dataset: str,
+        agent: ClientAgent,
+        network: NetworkId,
+        kind: MeasurementType,
+        t: float,
+        **params: float,
+    ) -> Optional[TraceRecord]:
+        report = agent.execute(self._task(network, kind, t, **params), t)
+        if report is None:
+            return None
+        return TraceRecord.from_report(dataset, report)
+
+    @staticmethod
+    def _day_times(
+        days: int, interval_s: float, start_h: float, end_h: float
+    ) -> Iterator[float]:
+        """Sample times over ``days`` service days, every ``interval_s``."""
+        per_day = int((end_h - start_h) * 3600.0 // interval_s)
+        for day in range(days):
+            base = day * SECONDS_PER_DAY + start_h * 3600.0
+            for k in range(per_day):
+                yield base + k * interval_s
+
+    # -- Wide-area ----------------------------------------------------------
+
+    def standalone(
+        self,
+        days: int = 12,
+        n_buses: int = 8,
+        n_routes: int = 10,
+        interval_s: float = 120.0,
+        tcp_size_bytes: int = 1_000_000,
+        ping_count: int = 5,
+    ) -> List[TraceRecord]:
+        """Standalone: transit buses, NetB only, TCP 1 MB + ICMP pings.
+
+        The paper's largest (11-month) dataset; this scaled-down version
+        preserves the pattern: each bus randomly re-assigned to a route
+        daily, measuring on a fixed cadence through an 18-hour service
+        day.
+        """
+        routes = city_bus_routes(self.landscape.study_area, count=n_routes)
+        records: List[TraceRecord] = []
+        for b in range(n_buses):
+            bus = TransitBus(
+                bus_id=b, routes=routes, seed=derive_seed(self.seed, f"sa:{b}")
+            )
+            agent = self._agent(
+                f"standalone-bus-{b}", bus, [NetworkId.NET_B],
+                category=DeviceCategory.SBC_PCMCIA,
+            )
+            for t in self._day_times(days, interval_s, 6.0, 24.0):
+                rec = self._measure(
+                    "standalone", agent, NetworkId.NET_B,
+                    MeasurementType.TCP_DOWNLOAD, t, size_bytes=tcp_size_bytes,
+                )
+                if rec:
+                    records.append(rec)
+                rec = self._measure(
+                    "standalone", agent, NetworkId.NET_B,
+                    MeasurementType.PING, t + interval_s / 2.0,
+                    count=ping_count, interval_s=1.0,
+                )
+                if rec:
+                    records.append(rec)
+        return records
+
+    def wirover(
+        self,
+        days: int = 7,
+        n_city_buses: int = 5,
+        n_intercity: int = 2,
+        series_interval_s: float = 60.0,
+        pings_per_series: int = 12,
+    ) -> List[TraceRecord]:
+        """WiRover: city + intercity buses, NetB and NetC, UDP pings only.
+
+        The paper collected ~12 pings a minute and no throughput (to
+        avoid competing with passenger traffic).  One record per
+        per-minute series carries the mean RTT, individual samples, and
+        the vehicle speed at series start.
+        """
+        routes = city_bus_routes(self.landscape.study_area, count=8)
+        vehicles = [
+            (
+                f"wirover-bus-{b}",
+                TransitBus(
+                    bus_id=100 + b,
+                    routes=routes,
+                    seed=derive_seed(self.seed, f"wr:{b}"),
+                ),
+            )
+            for b in range(n_city_buses)
+        ]
+        if self.landscape.road is not None:
+            road_route = Route(
+                name="madison-chicago", waypoints=self.landscape.road.waypoints
+            )
+            for i in range(n_intercity):
+                vehicles.append(
+                    (
+                        f"wirover-coach-{i}",
+                        IntercityBus(
+                            bus_id=i,
+                            road=road_route,
+                            depart_hour=7.5 + 2.0 * i,
+                            seed=derive_seed(self.seed, f"ic:{i}"),
+                        ),
+                    )
+                )
+        records: List[TraceRecord] = []
+        for client_id, vehicle in vehicles:
+            agent = self._agent(
+                client_id, vehicle, list(BC_NETWORKS),
+                category=DeviceCategory.SBC_PCMCIA,
+            )
+            for t in self._day_times(days, series_interval_s, 6.0, 24.0):
+                for net in BC_NETWORKS:
+                    rec = self._measure(
+                        "wirover", agent, net, MeasurementType.PING, t,
+                        count=pings_per_series,
+                        interval_s=series_interval_s / pings_per_series / 2.0,
+                    )
+                    if rec:
+                        records.append(rec)
+        return records
+
+    # -- Spot -----------------------------------------------------------------
+
+    def static_spot(
+        self,
+        location: GeoPoint,
+        label: str,
+        networks: Sequence[NetworkId] = ALL_NETWORKS,
+        days: int = 2,
+        interval_s: float = 10.0,
+        udp_packets: int = 50,
+        tcp_size_bytes: int = 250_000,
+    ) -> List[TraceRecord]:
+        """Static: a fixed indoor node sampling continuously (10 s bins).
+
+        Produces alternating UDP-train and TCP-download records per
+        interval per network — the fine-timescale series behind the
+        paper's Table 4 and the Allan-deviation epochs of Fig 6.
+        """
+        agent = self._agent(f"static-{label}", StaticPosition(location), networks)
+        records: List[TraceRecord] = []
+        for t in self._day_times(days, interval_s, 0.0, 24.0):
+            slot = int(t // interval_s)
+            for net in networks:
+                if slot % 2 == 0:
+                    rec = self._measure(
+                        f"static-{label}", agent, net,
+                        MeasurementType.UDP_TRAIN, t,
+                        n_packets=udp_packets,
+                    )
+                else:
+                    rec = self._measure(
+                        f"static-{label}", agent, net,
+                        MeasurementType.TCP_DOWNLOAD, t,
+                        size_bytes=tcp_size_bytes,
+                    )
+                if rec:
+                    records.append(rec)
+        return records
+
+    def proximate(
+        self,
+        center: GeoPoint,
+        label: str,
+        networks: Sequence[NetworkId] = ALL_NETWORKS,
+        days: int = 3,
+        interval_s: float = 45.0,
+        udp_packets: int = 100,
+    ) -> List[TraceRecord]:
+        """Proximate: a car circling within 250 m of a static location.
+
+        UDP trains with per-packet samples — the data behind the NKLD
+        composability analysis (Fig 7) and packet-count search (Table 5).
+        """
+        loop = ProximateLoop(
+            center, radius_m=200.0, seed=derive_seed(self.seed, f"prox:{label}")
+        )
+        agent = self._agent(f"proximate-{label}", loop, networks)
+        records: List[TraceRecord] = []
+        for t in self._day_times(days, interval_s, 0.0, 24.0):
+            for net in networks:
+                rec = self._measure(
+                    f"proximate-{label}", agent, net,
+                    MeasurementType.UDP_TRAIN, t,
+                    n_packets=udp_packets,
+                )
+                if rec:
+                    records.append(rec)
+        return records
+
+    # -- Region -----------------------------------------------------------------
+
+    def short_segment(
+        self,
+        networks: Sequence[NetworkId] = ALL_NETWORKS,
+        days: int = 10,
+        interval_s: float = 30.0,
+        tcp_size_bytes: int = 500_000,
+    ) -> List[TraceRecord]:
+        """Short segment: a car repeatedly driving the 20 km road stretch.
+
+        TCP downloads on all three carriers every ``interval_s`` while
+        driving — the data behind the road dominance map (Figs 12-13).
+        """
+        from repro.geo.regions import short_segment_road
+
+        road = short_segment_road()
+        route = Route(name=road.name, waypoints=road.waypoints)
+        car = Car(
+            car_id=1,
+            route=route,
+            mean_speed_kmh=55.0,
+            seed=derive_seed(self.seed, "shortseg"),
+        )
+        agent = self._agent("shortseg-car", car, networks)
+        records: List[TraceRecord] = []
+        for t in self._day_times(days, interval_s, 9.0, 18.0):
+            for net in networks:
+                rec = self._measure(
+                    "short-segment", agent, net,
+                    MeasurementType.TCP_DOWNLOAD, t,
+                    size_bytes=tcp_size_bytes,
+                )
+                if rec:
+                    records.append(rec)
+        return records
+
+    # -- Bundles -----------------------------------------------------------------
+
+    def spot_bundle(
+        self, days: int = 2, interval_s: float = 10.0
+    ) -> dict:
+        """Static datasets for the paper's representative WI and NJ spots."""
+        wi = madison_spot_locations(count=1)[0]
+        nj = new_jersey_spots()[0].anchor
+        return {
+            "static-wi": self.static_spot(
+                wi, "wi", networks=ALL_NETWORKS, days=days, interval_s=interval_s
+            ),
+            "static-nj": self.static_spot(
+                nj, "nj", networks=BC_NETWORKS, days=days, interval_s=interval_s
+            ),
+        }
+
+    def proximate_bundle(self, days: int = 3) -> dict:
+        """Proximate datasets around the same representative spots."""
+        wi = madison_spot_locations(count=1)[0]
+        nj = new_jersey_spots()[0].anchor
+        return {
+            "proximate-wi": self.proximate(
+                wi, "wi", networks=ALL_NETWORKS, days=days
+            ),
+            "proximate-nj": self.proximate(
+                nj, "nj", networks=BC_NETWORKS, days=days
+            ),
+        }

@@ -1,0 +1,91 @@
+"""Dataset file I/O: JSONL (lossless) and CSV (samples dropped).
+
+JSONL is the archival format (keeps per-packet sample lists); CSV is the
+interchange format for spreadsheet-style analysis.  Readers are
+generators-friendly: they stream records rather than loading whole
+files, since a month of Standalone data runs to hundreds of thousands
+of records.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.datasets.records import TraceRecord
+
+PathLike = Union[str, Path]
+
+_CSV_FIELDS = [
+    "dataset",
+    "time_s",
+    "client_id",
+    "network",
+    "kind",
+    "lat",
+    "lon",
+    "speed_ms",
+    "value",
+    "jitter_s",
+    "loss_rate",
+    "failures",
+]
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: PathLike) -> int:
+    """Write records as one JSON object per line.  Returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for rec in records:
+            d = rec.to_dict(include_samples=True)
+            if math.isnan(d["value"]):
+                d["value"] = None  # JSON has no NaN; None round-trips to NaN
+            f.write(json.dumps(d) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records from a JSONL file."""
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            if d.get("value") is None:
+                d["value"] = float("nan")
+            yield TraceRecord.from_dict(d)
+
+
+def write_csv(records: Iterable[TraceRecord], path: PathLike) -> int:
+    """Write records as CSV (per-packet sample lists are dropped)."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for rec in records:
+            d = rec.to_dict(include_samples=False)
+            writer.writerow(d)
+            count += 1
+    return count
+
+
+def read_csv(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream records from a CSV file."""
+    with open(path, "r", encoding="utf-8", newline="") as f:
+        for row in csv.DictReader(f):
+            yield TraceRecord.from_dict(row)
+
+
+def load_all(path: PathLike) -> List[TraceRecord]:
+    """Load a whole file (JSONL or CSV by extension) into memory."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return list(read_jsonl(path))
+    if path.suffix == ".csv":
+        return list(read_csv(path))
+    raise ValueError(f"unknown dataset extension: {path.suffix}")

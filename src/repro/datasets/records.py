@@ -1,0 +1,111 @@
+"""The trace record schema.
+
+One :class:`TraceRecord` is one completed measurement: what, where,
+when, by whom, over which carrier, and the resulting metric values.
+This is the flattened form of a
+:class:`~repro.clients.protocol.MeasurementReport` and the unit all
+dataset files contain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clients.protocol import MeasurementReport, MeasurementType
+from repro.geo.coords import GeoPoint
+from repro.radio.technology import NetworkId
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One measurement in a dataset.
+
+    ``value`` is the primary metric in SI units: bits/second for TCP and
+    UDP throughput records, seconds (mean RTT) for ping records.  NaN
+    marks failed measurements (e.g. a ping series with no responses).
+    """
+
+    dataset: str
+    time_s: float
+    client_id: str
+    network: NetworkId
+    kind: MeasurementType
+    lat: float
+    lon: float
+    speed_ms: float
+    value: float
+    jitter_s: float = 0.0
+    loss_rate: float = 0.0
+    failures: int = 0
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(self.lat, self.lon)
+
+    @property
+    def failed(self) -> bool:
+        """True for measurements that produced no usable value."""
+        return math.isnan(self.value)
+
+    @staticmethod
+    def from_report(
+        dataset: str, report: MeasurementReport
+    ) -> "TraceRecord":
+        """Flatten a client report into a trace record."""
+        return TraceRecord(
+            dataset=dataset,
+            time_s=report.start_s,
+            client_id=report.client_id,
+            network=report.network,
+            kind=report.kind,
+            lat=report.point.lat,
+            lon=report.point.lon,
+            speed_ms=report.speed_ms,
+            value=report.value,
+            jitter_s=report.extras.get("jitter_s", 0.0),
+            loss_rate=report.extras.get("loss_rate", 0.0),
+            failures=int(report.extras.get("failures", 0)),
+            samples=list(report.samples),
+        )
+
+    def to_dict(self, include_samples: bool = True) -> Dict:
+        """Plain-dict form for serialization."""
+        d = {
+            "dataset": self.dataset,
+            "time_s": self.time_s,
+            "client_id": self.client_id,
+            "network": self.network.value,
+            "kind": self.kind.value,
+            "lat": self.lat,
+            "lon": self.lon,
+            "speed_ms": self.speed_ms,
+            "value": self.value,
+            "jitter_s": self.jitter_s,
+            "loss_rate": self.loss_rate,
+            "failures": self.failures,
+        }
+        if include_samples:
+            d["samples"] = list(self.samples)
+        return d
+
+    @staticmethod
+    def from_dict(d: Dict) -> "TraceRecord":
+        """Inverse of :meth:`to_dict`."""
+        return TraceRecord(
+            dataset=str(d["dataset"]),
+            time_s=float(d["time_s"]),
+            client_id=str(d["client_id"]),
+            network=NetworkId(d["network"]),
+            kind=MeasurementType(d["kind"]),
+            lat=float(d["lat"]),
+            lon=float(d["lon"]),
+            speed_ms=float(d["speed_ms"]),
+            value=float(d["value"]),
+            jitter_s=float(d.get("jitter_s", 0.0)),
+            loss_rate=float(d.get("loss_rate", 0.0)),
+            failures=int(d.get("failures", 0)),
+            samples=[float(s) for s in d.get("samples", [])],
+        )

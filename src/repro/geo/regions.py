@@ -1,0 +1,166 @@
+"""Synthetic study regions standing in for the paper's geography.
+
+The paper measures (i) ~155 km^2 in and around Madison WI, (ii) a 240 km
+road stretch from Madison to Chicago, (iii) spot locations in New
+Brunswick and Princeton NJ, and (iv) a 20 km "short segment" road in
+Madison.  We reproduce each as simple geometric constructions anchored at
+the real cities' coordinates; only the *shape* of the geometry matters to
+the framework (zone counts, route coverage), not street-level fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.geo.coords import (
+    GeoPoint,
+    destination_point,
+    path_length_m,
+    resample_path,
+)
+
+MADISON_CENTER = GeoPoint(43.0731, -89.4012)
+CHICAGO_CENTER = GeoPoint(41.8781, -87.6298)
+NEW_BRUNSWICK = GeoPoint(40.4862, -74.4518)
+PRINCETON = GeoPoint(40.3573, -74.6672)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named geographic region with a representative anchor point."""
+
+    name: str
+    anchor: GeoPoint
+
+
+@dataclass(frozen=True)
+class StudyArea(Region):
+    """A roughly circular city-scale study area.
+
+    ``radius_m`` is chosen so the area matches the paper's coverage
+    (155 km^2 -> radius ~7 km for Madison).
+    """
+
+    radius_m: float = 7000.0
+
+    @property
+    def area_km2(self) -> float:
+        return math.pi * (self.radius_m / 1000.0) ** 2
+
+    def contains(self, point: GeoPoint) -> bool:
+        return self.anchor.distance_to(point) <= self.radius_m
+
+    def grid_points(self, spacing_m: float) -> List[GeoPoint]:
+        """Points on a square grid covering the area (for field sampling)."""
+        out: List[GeoPoint] = []
+        steps = int(self.radius_m // spacing_m)
+        for i in range(-steps, steps + 1):
+            for j in range(-steps, steps + 1):
+                p = self.anchor.offset(i * spacing_m, j * spacing_m)
+                if self.contains(p):
+                    out.append(p)
+        return out
+
+
+@dataclass(frozen=True)
+class RoadStretch(Region):
+    """A road represented as a polyline with waypoints every ~500 m."""
+
+    waypoints: List[GeoPoint] = field(default_factory=list)
+
+    @property
+    def length_km(self) -> float:
+        return path_length_m(self.waypoints) / 1000.0
+
+    def sample_every(self, spacing_m: float) -> List[GeoPoint]:
+        """Uniformly spaced points along the road."""
+        return resample_path(self.waypoints, spacing_m)
+
+
+def _wiggly_road(
+    start: GeoPoint,
+    end: GeoPoint,
+    n_legs: int,
+    wiggle_m: float,
+) -> List[GeoPoint]:
+    """Build a road polyline from start to end with lateral wiggle.
+
+    Deterministic (no RNG): lateral displacement follows a sum of two
+    sinusoids so that repeated construction yields the same road, as a
+    real highway would.
+    """
+    from repro.geo.coords import initial_bearing_deg, interpolate
+
+    bearing = initial_bearing_deg(start, end)
+    points: List[GeoPoint] = []
+    for i in range(n_legs + 1):
+        f = i / n_legs
+        base = interpolate(start, end, f)
+        lateral = wiggle_m * (
+            math.sin(2.0 * math.pi * 3.0 * f) * 0.6
+            + math.sin(2.0 * math.pi * 7.0 * f + 1.3) * 0.4
+        )
+        points.append(destination_point(base, bearing + 90.0, lateral))
+    return points
+
+
+def madison_study_area() -> StudyArea:
+    """The ~155 km^2 Madison-like study area (Standalone/WiRover datasets)."""
+    return StudyArea(name="madison", anchor=MADISON_CENTER, radius_m=7000.0)
+
+
+#: Intermediate anchors approximating the I-90 corridor.
+JANESVILLE = GeoPoint(42.6828, -89.0187)
+ROCKFORD = GeoPoint(42.2711, -89.0940)
+
+
+def madison_chicago_road() -> RoadStretch:
+    """The ~240 km Madison-to-Chicago intercity road (WiRover dataset).
+
+    Routed through Janesville and Rockford like the real I-90 drive, so
+    the total length lands near the paper's "more than 240 km".
+    """
+    legs = [
+        (MADISON_CENTER, JANESVILLE, 120),
+        (JANESVILLE, ROCKFORD, 100),
+        (ROCKFORD, CHICAGO_CENTER, 260),
+    ]
+    waypoints: List[GeoPoint] = []
+    for start, end, n in legs:
+        seg = _wiggly_road(start, end, n_legs=n, wiggle_m=2300.0)
+        if waypoints:
+            seg = seg[1:]
+        waypoints.extend(seg)
+    return RoadStretch(name="madison-chicago", anchor=MADISON_CENTER, waypoints=waypoints)
+
+
+def short_segment_road() -> RoadStretch:
+    """The ~20 km short-segment road in Madison (Short segment dataset)."""
+    start = MADISON_CENTER.offset(-9000.0, -3000.0)
+    end = MADISON_CENTER.offset(9000.0, 3500.0)
+    waypoints = _wiggly_road(start, end, n_legs=60, wiggle_m=600.0)
+    return RoadStretch(name="short-segment", anchor=MADISON_CENTER, waypoints=waypoints)
+
+
+def new_jersey_spots() -> List[Region]:
+    """The New Brunswick and Princeton NJ spot regions (Static-NJ)."""
+    return [
+        Region(name="new-brunswick", anchor=NEW_BRUNSWICK),
+        Region(name="princeton", anchor=PRINCETON),
+    ]
+
+
+def madison_spot_locations(count: int = 5) -> List[GeoPoint]:
+    """The five static spot locations in Madison (Static-WI).
+
+    Spread deterministically around the city center at distinct bearings
+    and radii, mimicking the paper's choice of representative zones.
+    """
+    spots: List[GeoPoint] = []
+    for i in range(count):
+        bearing = (360.0 / max(count, 1)) * i + 17.0
+        radius = 1500.0 + 900.0 * i
+        spots.append(destination_point(MADISON_CENTER, bearing, radius))
+    return spots

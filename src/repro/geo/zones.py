@@ -1,0 +1,157 @@
+"""Zone lattice and binning.
+
+WiScape aggregates measurements into *zones*: contiguous areas small
+enough that user experience inside them is similar (the paper settles on
+circles of 250 m radius, about 0.2 km^2).  We realize zones as the cells
+of a square lattice whose pitch equals the zone diameter; each GPS fix is
+binned to the nearest lattice center, which matches the paper's "each dot
+corresponds to a circular area" rendering while keeping binning O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.geo.coords import GeoPoint, LocalProjection
+
+ZoneId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A single zone: a lattice cell identified by integer (col, row).
+
+    ``center`` is the geographic center; ``radius_m`` the nominal circular
+    radius used when reporting zone size (half the lattice pitch).
+    """
+
+    zone_id: ZoneId
+    center: GeoPoint
+    radius_m: float
+
+    @property
+    def area_km2(self) -> float:
+        """Nominal circular area of the zone in square kilometers."""
+        import math
+
+        return math.pi * (self.radius_m / 1000.0) ** 2
+
+    def contains(self, point: GeoPoint) -> bool:
+        """True if ``point`` lies within the zone's nominal circle."""
+        return self.center.distance_to(point) <= self.radius_m
+
+
+class ZoneGrid:
+    """Square lattice of zones over a local projection.
+
+    Parameters
+    ----------
+    origin:
+        Reference point of the local projection (any fixed point near the
+        study area; zone ids are relative to it).
+    radius_m:
+        Nominal zone radius.  The lattice pitch is ``2 * radius_m`` so
+        that nominal circles tile the area with the same density the
+        paper's circular zones do.
+    """
+
+    def __init__(self, origin: GeoPoint, radius_m: float = 250.0):
+        if radius_m <= 0:
+            raise ValueError("radius_m must be positive")
+        self.origin = origin
+        self.radius_m = float(radius_m)
+        self.pitch_m = 2.0 * self.radius_m
+        self._proj = LocalProjection(origin)
+        self._zones: Dict[ZoneId, Zone] = {}
+
+    @property
+    def projection(self) -> LocalProjection:
+        return self._proj
+
+    def zone_id_for(self, point: GeoPoint) -> ZoneId:
+        """Return the lattice cell id containing ``point``."""
+        x, y = self._proj.to_xy(point)
+        return (int(round(x / self.pitch_m)), int(round(y / self.pitch_m)))
+
+    def zone_for(self, point: GeoPoint) -> Zone:
+        """Return (creating if needed) the zone containing ``point``."""
+        return self.zone(self.zone_id_for(point))
+
+    def zone(self, zone_id: ZoneId) -> Zone:
+        """Return (creating if needed) the zone with lattice id ``zone_id``."""
+        zone = self._zones.get(zone_id)
+        if zone is None:
+            col, row = zone_id
+            center = self._proj.to_geo(col * self.pitch_m, row * self.pitch_m)
+            zone = Zone(zone_id=zone_id, center=center, radius_m=self.radius_m)
+            self._zones[zone_id] = zone
+        return zone
+
+    def known_zones(self) -> List[Zone]:
+        """All zones that have been materialized so far."""
+        return list(self._zones.values())
+
+    def neighbors(self, zone_id: ZoneId, ring: int = 1) -> List[Zone]:
+        """Zones within ``ring`` lattice steps of ``zone_id`` (excluding it)."""
+        col, row = zone_id
+        out: List[Zone] = []
+        for dc in range(-ring, ring + 1):
+            for dr in range(-ring, ring + 1):
+                if dc == 0 and dr == 0:
+                    continue
+                out.append(self.zone((col + dc, row + dr)))
+        return out
+
+    def bin_points(
+        self, points: Iterable[GeoPoint]
+    ) -> Dict[ZoneId, List[GeoPoint]]:
+        """Group points by containing zone id."""
+        out: Dict[ZoneId, List[GeoPoint]] = {}
+        for p in points:
+            out.setdefault(self.zone_id_for(p), []).append(p)
+        return out
+
+    def __iter__(self) -> Iterator[Zone]:
+        return iter(self._zones.values())
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+
+@dataclass
+class ZoneSampleIndex:
+    """Index of per-zone sample values for quick aggregate queries.
+
+    A lightweight container used by analysis code: maps zone id to a list
+    of scalar samples (e.g. throughputs) and exposes the aggregates the
+    paper reports (mean, standard deviation, relative standard deviation).
+    """
+
+    samples: Dict[ZoneId, List[float]] = field(default_factory=dict)
+
+    def add(self, zone_id: ZoneId, value: float) -> None:
+        self.samples.setdefault(zone_id, []).append(value)
+
+    def zones_with_at_least(self, n: int) -> List[ZoneId]:
+        """Zone ids having at least ``n`` samples (paper uses n=200)."""
+        return [z for z, vals in self.samples.items() if len(vals) >= n]
+
+    def mean(self, zone_id: ZoneId) -> float:
+        vals = self.samples[zone_id]
+        return sum(vals) / len(vals)
+
+    def std(self, zone_id: ZoneId) -> float:
+        vals = self.samples[zone_id]
+        mu = self.mean(zone_id)
+        return (sum((v - mu) ** 2 for v in vals) / len(vals)) ** 0.5
+
+    def relative_std(self, zone_id: ZoneId) -> float:
+        """Relative standard deviation (std / mean), the paper's Fig 4 metric."""
+        mu = self.mean(zone_id)
+        if mu == 0:
+            return 0.0
+        return self.std(zone_id) / mu
+
+    def count(self, zone_id: ZoneId) -> int:
+        return len(self.samples.get(zone_id, []))

@@ -1,0 +1,39 @@
+"""Client mobility: routes, movement models, vehicles, GPS.
+
+The paper's measurement nodes rode Madison transit buses (randomly
+re-assigned to routes each day, 6am-midnight), two intercity buses on the
+Madison-Chicago stretch, personal cars driven over fixed loops near the
+static spots, and fixed indoor locations.  This package reproduces those
+sampling patterns: where a client is at time t, how fast it is moving,
+and what its GPS reports.
+"""
+
+from repro.mobility.models import (
+    MovementModel,
+    ProximateLoop,
+    RouteFollower,
+    StaticPosition,
+)
+from repro.mobility.routes import Route, city_bus_routes
+from repro.mobility.vehicles import (
+    Car,
+    IntercityBus,
+    TransitBus,
+    VehicleBase,
+)
+from repro.mobility.gps import GpsFix, GpsReader
+
+__all__ = [
+    "MovementModel",
+    "ProximateLoop",
+    "RouteFollower",
+    "StaticPosition",
+    "Route",
+    "city_bus_routes",
+    "Car",
+    "IntercityBus",
+    "TransitBus",
+    "VehicleBase",
+    "GpsFix",
+    "GpsReader",
+]

@@ -1,0 +1,246 @@
+"""Movement models: position and speed as functions of simulation time.
+
+All models are *deterministic functions of (seed, t)* — no internal
+mutable state — so a client's position can be queried at random access
+by the trace generators and the event-driven agent alike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol, Tuple
+
+from repro.geo.coords import GeoPoint
+from repro.mobility.routes import Route
+from repro.radio.field import value_noise
+from repro.sim.clock import SECONDS_PER_DAY
+
+KMH_TO_MS = 1000.0 / 3600.0
+
+
+class MovementModel(Protocol):
+    """Anything that can say where a client is and how fast it moves."""
+
+    def position(self, t: float) -> GeoPoint:
+        """Ground-truth position at simulation time ``t``."""
+        ...
+
+    def speed_ms(self, t: float) -> float:
+        """Ground speed in m/s at time ``t``."""
+        ...
+
+    def is_active(self, t: float) -> bool:
+        """Whether the client is powered and in service at ``t``."""
+        ...
+
+
+class StaticPosition:
+    """A fixed indoor measurement node (Spot datasets)."""
+
+    def __init__(self, location: GeoPoint):
+        self.location = location
+
+    def position(self, t: float) -> GeoPoint:
+        return self.location
+
+    def speed_ms(self, t: float) -> float:
+        return 0.0
+
+    def is_active(self, t: float) -> bool:
+        return True
+
+
+class RouteFollower:
+    """Drives back and forth along a route with a noisy speed profile.
+
+    Speed varies per minute around ``mean_speed_kmh`` (hashed noise, so
+    deterministic), with full stops (traffic lights / bus stops) occurring
+    in a ``stop_fraction`` of minutes.  Outside the daily operating
+    window the vehicle is parked at the route start and inactive.
+
+    Position is computed by integrating the per-minute speed profile
+    from the window start; the integral is cached per day.
+    """
+
+    _BIN_S = 60.0
+
+    def __init__(
+        self,
+        route: Route,
+        mean_speed_kmh: float = 40.0,
+        speed_spread: float = 0.5,
+        stop_fraction: float = 0.12,
+        day_start_h: float = 6.0,
+        day_end_h: float = 24.0,
+        seed: int = 0,
+        loop: bool = True,
+    ):
+        if mean_speed_kmh <= 0:
+            raise ValueError("mean_speed_kmh must be positive")
+        if not 0.0 <= stop_fraction < 1.0:
+            raise ValueError("stop_fraction must be in [0, 1)")
+        self.route = route
+        self.mean_speed_ms = mean_speed_kmh * KMH_TO_MS
+        self.speed_spread = speed_spread
+        self.stop_fraction = stop_fraction
+        self.day_start_s = day_start_h * 3600.0
+        self.day_end_s = day_end_h * 3600.0
+        self.seed = int(seed)
+        self.loop = loop
+        self._cache_day: Optional[int] = None
+        self._cache_cum: Optional[list] = None
+
+    # -- speed profile -------------------------------------------------
+
+    def _minute_speed(self, minute_index: int) -> float:
+        """Deterministic speed for one absolute minute of sim time."""
+        u = (value_noise(self.seed, minute_index, 17, 1.0) + 1.0) / 2.0
+        if u < self.stop_fraction:
+            return 0.0
+        # Remap the remaining mass to a symmetric spread around the mean.
+        v = (u - self.stop_fraction) / (1.0 - self.stop_fraction)
+        factor = 1.0 + self.speed_spread * (2.0 * v - 1.0)
+        return self.mean_speed_ms * factor
+
+    def speed_ms(self, t: float) -> float:
+        if not self.is_active(t):
+            return 0.0
+        return self._minute_speed(int(t // self._BIN_S))
+
+    def is_active(self, t: float) -> bool:
+        tod = t % SECONDS_PER_DAY
+        return self.day_start_s <= tod < self.day_end_s
+
+    # -- position ------------------------------------------------------
+
+    def _day_cumulative(self, day: int) -> list:
+        """Cumulative distance at each minute boundary of a service day."""
+        if self._cache_day == day and self._cache_cum is not None:
+            return self._cache_cum
+        start_minute = int((day * SECONDS_PER_DAY + self.day_start_s) // self._BIN_S)
+        n_minutes = int((self.day_end_s - self.day_start_s) // self._BIN_S) + 1
+        cum = [0.0]
+        for k in range(n_minutes):
+            cum.append(cum[-1] + self._minute_speed(start_minute + k) * self._BIN_S)
+        self._cache_day = day
+        self._cache_cum = cum
+        return cum
+
+    def distance_travelled(self, t: float) -> float:
+        """Distance along the day's run at time ``t`` (0 when inactive)."""
+        if not self.is_active(t):
+            return 0.0
+        day = int(t // SECONDS_PER_DAY)
+        day_t = (t % SECONDS_PER_DAY) - self.day_start_s
+        cum = self._day_cumulative(day)
+        idx = int(day_t // self._BIN_S)
+        idx = min(idx, len(cum) - 2)
+        frac_s = day_t - idx * self._BIN_S
+        start_minute = int((day * SECONDS_PER_DAY + self.day_start_s) // self._BIN_S)
+        return cum[idx] + self._minute_speed(start_minute + idx) * frac_s
+
+    def position(self, t: float) -> GeoPoint:
+        d = self.distance_travelled(t)
+        length = self.route.length_m
+        if length == 0:
+            return self.route.waypoints[0]
+        if self.loop:
+            # Out-and-back: 0..L..0..L.. (triangle wave over 2L).
+            phase = d % (2.0 * length)
+            arc = phase if phase <= length else 2.0 * length - phase
+        else:
+            arc = min(d, length)
+        return self.route.point_at(arc)
+
+
+class ProximateLoop(RouteFollower):
+    """Slow circling within a zone (the Proximate data collection).
+
+    A convenience subclass: a loop route around ``center`` driven at
+    residential speeds all day.
+    """
+
+    def __init__(
+        self,
+        center: GeoPoint,
+        radius_m: float = 200.0,
+        seed: int = 0,
+        day_start_h: float = 0.0,
+        day_end_h: float = 24.0,
+    ):
+        from repro.mobility.routes import loop_route
+
+        super().__init__(
+            route=loop_route(center, radius_m, name="proximate"),
+            mean_speed_kmh=25.0,
+            speed_spread=0.4,
+            stop_fraction=0.15,
+            day_start_h=day_start_h,
+            day_end_h=day_end_h,
+            seed=seed,
+            loop=True,
+        )
+        self.center = center
+        self.radius_m = radius_m
+
+
+class ScheduledTrip:
+    """One-shot trip along a route starting at a fixed time.
+
+    Used for intercity bus departures: the vehicle is inactive before
+    departure and after arrival (it stays parked at the far end).
+    """
+
+    def __init__(
+        self,
+        route: Route,
+        depart_t: float,
+        mean_speed_kmh: float = 90.0,
+        speed_spread: float = 0.25,
+        seed: int = 0,
+        reverse: bool = False,
+    ):
+        self.route = route
+        self.depart_t = depart_t
+        self.mean_speed_ms = mean_speed_kmh * KMH_TO_MS
+        self.speed_spread = speed_spread
+        self.seed = int(seed)
+        self.reverse = reverse
+
+    def _minute_speed(self, minute_index: int) -> float:
+        noise = value_noise(self.seed, minute_index, 29, 1.0)
+        return max(0.0, self.mean_speed_ms * (1.0 + self.speed_spread * noise))
+
+    @property
+    def duration_s(self) -> float:
+        """Approximate trip duration at the mean speed."""
+        return self.route.length_m / self.mean_speed_ms
+
+    def distance_travelled(self, t: float) -> float:
+        if t <= self.depart_t:
+            return 0.0
+        dt = t - self.depart_t
+        whole_minutes = int(dt // 60.0)
+        base_minute = int(self.depart_t // 60.0)
+        d = sum(
+            self._minute_speed(base_minute + k) * 60.0
+            for k in range(whole_minutes)
+        )
+        d += self._minute_speed(base_minute + whole_minutes) * (dt - whole_minutes * 60.0)
+        return min(d, self.route.length_m)
+
+    def in_transit(self, t: float) -> bool:
+        return (
+            t >= self.depart_t
+            and self.distance_travelled(t) < self.route.length_m
+        )
+
+    def position(self, t: float) -> GeoPoint:
+        d = self.distance_travelled(t)
+        arc = self.route.length_m - d if self.reverse else d
+        return self.route.point_at(arc)
+
+    def speed_ms(self, t: float) -> float:
+        if not self.in_transit(t):
+            return 0.0
+        return self._minute_speed(int(t // 60.0))

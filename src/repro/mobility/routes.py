@@ -1,0 +1,108 @@
+"""Route library.
+
+A :class:`Route` is a named polyline with a precomputed arclength index
+so position-at-distance lookups are O(log n).  City bus routes are
+generated as radial out-and-back lines plus cross-town chords over the
+study area — enough variety that a handful of buses covers most zones
+within a month, as the paper observes of Madison Metro.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.geo.coords import (
+    GeoPoint,
+    destination_point,
+    haversine_m,
+    interpolate,
+    resample_path,
+)
+from repro.geo.regions import StudyArea
+
+
+@dataclass
+class Route:
+    """A drivable polyline with arclength indexing."""
+
+    name: str
+    waypoints: List[GeoPoint]
+    _cum_m: List[float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("a route needs at least two waypoints")
+        cum = [0.0]
+        for a, b in zip(self.waypoints, self.waypoints[1:]):
+            cum.append(cum[-1] + haversine_m(a, b))
+        self._cum_m = cum
+
+    @property
+    def length_m(self) -> float:
+        return self._cum_m[-1]
+
+    def point_at(self, distance_m: float) -> GeoPoint:
+        """Point at arclength ``distance_m`` (clamped to [0, length])."""
+        d = min(max(distance_m, 0.0), self.length_m)
+        i = bisect.bisect_right(self._cum_m, d) - 1
+        if i >= len(self.waypoints) - 1:
+            return self.waypoints[-1]
+        seg_len = self._cum_m[i + 1] - self._cum_m[i]
+        frac = 0.0 if seg_len == 0 else (d - self._cum_m[i]) / seg_len
+        return interpolate(self.waypoints[i], self.waypoints[i + 1], frac)
+
+    def sample_every(self, spacing_m: float) -> List[GeoPoint]:
+        """Uniformly spaced points along the route."""
+        return resample_path(self.waypoints, spacing_m)
+
+
+def city_bus_routes(
+    area: StudyArea, count: int = 8, waypoint_spacing_m: float = 150.0
+) -> List[Route]:
+    """Generate ``count`` deterministic bus routes over a study area.
+
+    Odd-indexed routes are radial spokes through the center; even-indexed
+    ones are chords offset from the center — together they pass through
+    both core and peripheral zones.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    routes: List[Route] = []
+    for i in range(count):
+        bearing = (180.0 / count) * i
+        if i % 2 == 0:
+            # Radial spoke: edge-to-edge through the center.
+            a = destination_point(area.anchor, bearing, area.radius_m * 0.92)
+            b = destination_point(area.anchor, bearing + 180.0, area.radius_m * 0.92)
+            mid = area.anchor
+        else:
+            # Chord displaced sideways from the center.
+            offset = destination_point(
+                area.anchor, bearing + 90.0, area.radius_m * 0.45
+            )
+            a = destination_point(offset, bearing, area.radius_m * 0.75)
+            b = destination_point(offset, bearing + 180.0, area.radius_m * 0.75)
+            mid = offset
+        # Two-leg polyline through the midpoint with a slight dogleg so
+        # routes are not perfectly straight lines.
+        dog = destination_point(mid, bearing + 35.0, area.radius_m * 0.08)
+        raw = [a, dog, b]
+        routes.append(
+            Route(name=f"route-{i}", waypoints=resample_path(raw, waypoint_spacing_m))
+        )
+    return routes
+
+
+def loop_route(center: GeoPoint, radius_m: float, name: str = "loop", points: int = 24) -> Route:
+    """A closed circular loop (the Proximate datasets' driving pattern)."""
+    if radius_m <= 0:
+        raise ValueError("radius_m must be positive")
+    pts = [
+        destination_point(center, 360.0 * k / points, radius_m)
+        for k in range(points)
+    ]
+    pts.append(pts[0])
+    return Route(name=name, waypoints=pts)

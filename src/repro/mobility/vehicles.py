@@ -1,0 +1,180 @@
+"""Vehicle platforms carrying measurement nodes.
+
+Mirrors the paper's fleet: Madison Metro transit buses (random route per
+day, 6am-midnight), two intercity buses on the Madison-Chicago stretch,
+and personal cars driven over fixed loops/segments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.mobility.models import RouteFollower, ScheduledTrip
+from repro.mobility.routes import Route
+from repro.sim.clock import SECONDS_PER_DAY
+from repro.sim.rng import derive_seed
+
+
+class VehicleBase:
+    """Common interface: position/speed/is_active at a sim time."""
+
+    def position(self, t: float) -> GeoPoint:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def speed_ms(self, t: float) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def is_active(self, t: float) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class TransitBus(VehicleBase):
+    """A city bus randomly re-assigned to a route each service day.
+
+    The paper: "each particular bus gets randomly assigned to different
+    routes each day", so even a small fleet covers most of the city in a
+    month.  Route choice is a deterministic hash of (seed, day), making
+    any day's assignment reproducible without simulating prior days.
+    """
+
+    def __init__(
+        self,
+        bus_id: int,
+        routes: Sequence[Route],
+        seed: int = 0,
+        mean_speed_kmh: float = 32.0,
+    ):
+        if not routes:
+            raise ValueError("TransitBus needs at least one route")
+        self.bus_id = bus_id
+        self.routes = list(routes)
+        self.seed = derive_seed(seed, f"bus:{bus_id}")
+        self.mean_speed_kmh = mean_speed_kmh
+        self._followers = {}
+
+    def route_for_day(self, day: int) -> Route:
+        """The route this bus serves on ``day`` (deterministic)."""
+        rng = np.random.default_rng(derive_seed(self.seed, f"day:{day}"))
+        return self.routes[int(rng.integers(0, len(self.routes)))]
+
+    def _follower_for_day(self, day: int) -> RouteFollower:
+        f = self._followers.get(day)
+        if f is None:
+            f = RouteFollower(
+                route=self.route_for_day(day),
+                mean_speed_kmh=self.mean_speed_kmh,
+                speed_spread=0.6,
+                stop_fraction=0.18,
+                day_start_h=6.0,
+                day_end_h=24.0,
+                seed=derive_seed(self.seed, f"speed:{day}"),
+            )
+            if len(self._followers) > 8:
+                self._followers.clear()
+            self._followers[day] = f
+        return f
+
+    def position(self, t: float) -> GeoPoint:
+        return self._follower_for_day(int(t // SECONDS_PER_DAY)).position(t)
+
+    def speed_ms(self, t: float) -> float:
+        return self._follower_for_day(int(t // SECONDS_PER_DAY)).speed_ms(t)
+
+    def is_active(self, t: float) -> bool:
+        return self._follower_for_day(int(t // SECONDS_PER_DAY)).is_active(t)
+
+
+class IntercityBus(VehicleBase):
+    """A Madison-Chicago coach: one out-and-back round trip daily.
+
+    Departs eastbound at ``depart_hour`` and returns from the far end
+    ``layover_h`` hours after arrival.  Inactive while parked.
+    """
+
+    def __init__(
+        self,
+        bus_id: int,
+        road: Route,
+        depart_hour: float = 8.0,
+        layover_h: float = 2.0,
+        mean_speed_kmh: float = 90.0,
+        seed: int = 0,
+    ):
+        self.bus_id = bus_id
+        self.road = road
+        self.depart_hour = depart_hour
+        self.layover_h = layover_h
+        self.mean_speed_kmh = mean_speed_kmh
+        self.seed = derive_seed(seed, f"intercity:{bus_id}")
+
+    def _trips_for_day(self, day: int):
+        depart = day * SECONDS_PER_DAY + self.depart_hour * 3600.0
+        out = ScheduledTrip(
+            self.road,
+            depart_t=depart,
+            mean_speed_kmh=self.mean_speed_kmh,
+            seed=derive_seed(self.seed, f"out:{day}"),
+        )
+        back_depart = depart + out.duration_s + self.layover_h * 3600.0
+        back = ScheduledTrip(
+            self.road,
+            depart_t=back_depart,
+            mean_speed_kmh=self.mean_speed_kmh,
+            seed=derive_seed(self.seed, f"back:{day}"),
+            reverse=True,
+        )
+        return out, back
+
+    def position(self, t: float) -> GeoPoint:
+        out, back = self._trips_for_day(int(t // SECONDS_PER_DAY))
+        if back.in_transit(t) or t >= back.depart_t:
+            return back.position(t)
+        return out.position(t)
+
+    def speed_ms(self, t: float) -> float:
+        out, back = self._trips_for_day(int(t // SECONDS_PER_DAY))
+        if out.in_transit(t):
+            return out.speed_ms(t)
+        if back.in_transit(t):
+            return back.speed_ms(t)
+        return 0.0
+
+    def is_active(self, t: float) -> bool:
+        out, back = self._trips_for_day(int(t // SECONDS_PER_DAY))
+        return out.in_transit(t) or back.in_transit(t)
+
+
+class Car(VehicleBase):
+    """A personal car driving a fixed route during daytime hours."""
+
+    def __init__(
+        self,
+        car_id: int,
+        route: Route,
+        mean_speed_kmh: float = 55.0,
+        day_start_h: float = 9.0,
+        day_end_h: float = 18.0,
+        seed: int = 0,
+    ):
+        self.car_id = car_id
+        self._follower = RouteFollower(
+            route=route,
+            mean_speed_kmh=mean_speed_kmh,
+            speed_spread=0.4,
+            stop_fraction=0.08,
+            day_start_h=day_start_h,
+            day_end_h=day_end_h,
+            seed=derive_seed(seed, f"car:{car_id}"),
+        )
+
+    def position(self, t: float) -> GeoPoint:
+        return self._follower.position(t)
+
+    def speed_ms(self, t: float) -> float:
+        return self._follower.speed_ms(t)
+
+    def is_active(self, t: float) -> bool:
+        return self._follower.is_active(t)

@@ -1,0 +1,343 @@
+"""Measurement channel: simulated transfers over a ground-truth link.
+
+A :class:`MeasurementChannel` binds a carrier within a
+:class:`~repro.radio.network.Landscape` to a client RNG and produces the
+three measurement primitives the paper uses:
+
+* ``udp_train`` — ``n`` packets sent at a fixed inter-packet delay
+  through a bottleneck-queue model; per-packet receive timestamps carry
+  the link's jitter, so goodput/loss/IPDV estimators see realistic
+  variance (this is what makes "how many packets for 97% accuracy",
+  paper Table 5, a non-trivial question);
+* ``tcp_download`` — slow-start plus capacity-limited bulk transfer,
+  optionally packetized into records;
+* ``ping_series`` — periodic small probes yielding RTT samples and
+  failures (blackout patches make every probe fail).
+
+Per-client heterogeneity enters through ``rate_bias`` (modem/device
+differences) and the client RNG (independent sampling noise), which is
+what the composability analysis (paper section 3.3) exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.network.metrics import goodput_bps, ipdv_jitter_s, loss_rate
+from repro.network.packet import PacketRecord
+from repro.radio.network import Landscape, LinkState
+from repro.radio.technology import NetworkId
+
+#: TCP's long-run efficiency relative to UDP saturation on a clean link.
+TCP_EFFICIENCY = 0.96
+#: Slot-scheduler bimodality for *queued* packets: cellular MACs
+#: (EV-DO/HSPA) time-multiplex users, so two back-to-back packets either
+#: drain within one scheduling grant (a short gap at the slot's peak
+#: rate) or straddle grants (a long gap).  The mix keeps the long-run
+#: mean equal to the fluid service time — sustained throughput is
+#: unchanged — but breaks the packet-pair assumption that one gap equals
+#: one transmission time, which is exactly why Pathload/WBest mislead on
+#: cellular links (paper section 3.3.1).
+SLOT_FAST_PROB = 0.45
+SLOT_FAST_FACTOR = 0.15
+#: Correlation time of per-packet delay jitter.  Path delay noise is
+#: strongly correlated at millisecond separations (the queue state
+#: barely changes between two back-to-back packets) and decorrelates
+#: over tens of milliseconds — which is why packet-pair gaps expose the
+#: slot bimodality cleanly instead of drowning it in jitter.
+JITTER_CORR_TIME_S = 0.020
+#: Initial congestion window (segments), 2011-era default.
+TCP_INIT_CWND = 3
+TCP_MSS_BYTES = 1460
+
+
+@dataclass(frozen=True)
+class UdpTrainResult:
+    """Outcome of a UDP packet-train measurement.
+
+    ``rate_samples_bps`` holds one instantaneous-rate estimate per
+    delivered packet (the linearized reciprocal of the jittered packet
+    gap — first-order, so unbiased around the true rate).  These are the
+    "client collected packets" whose averages the paper's Table 5
+    sample-count search evaluates.
+    """
+
+    records: List[PacketRecord]
+    throughput_bps: float
+    loss_rate: float
+    jitter_s: float
+    rate_samples_bps: List[float]
+    link: LinkState
+
+
+@dataclass(frozen=True)
+class TcpDownloadResult:
+    """Outcome of a TCP bulk download."""
+
+    size_bytes: int
+    duration_s: float
+    throughput_bps: float
+    records: List[PacketRecord]
+    link: LinkState
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """Outcome of a ping series: successful RTTs plus failure count."""
+
+    rtts_s: List[float]
+    failures: int
+    link: LinkState
+
+    @property
+    def mean_rtt_s(self) -> float:
+        return sum(self.rtts_s) / len(self.rtts_s) if self.rtts_s else float("nan")
+
+    @property
+    def failure_rate(self) -> float:
+        total = len(self.rtts_s) + self.failures
+        return self.failures / total if total else 0.0
+
+
+class MeasurementChannel:
+    """Simulated measurement path for one client on one carrier."""
+
+    def __init__(
+        self,
+        landscape: Landscape,
+        network: NetworkId,
+        rng: np.random.Generator,
+        rate_bias: float = 1.0,
+    ):
+        if rate_bias <= 0:
+            raise ValueError("rate_bias must be positive")
+        self.landscape = landscape
+        self.network = network
+        self.rng = rng
+        self.rate_bias = float(rate_bias)
+
+    def link_at(self, point: GeoPoint, t: float) -> LinkState:
+        """Ground-truth link state seen by this client (bias applied)."""
+        raw = self.landscape.link_state(self.network, point, t)
+        if self.rate_bias == 1.0:
+            return raw
+        return LinkState(
+            network=raw.network,
+            downlink_bps=raw.downlink_bps * self.rate_bias,
+            uplink_bps=raw.uplink_bps * self.rate_bias,
+            rtt_s=raw.rtt_s,
+            jitter_std_s=raw.jitter_std_s,
+            loss_rate=raw.loss_rate,
+            available=raw.available,
+        )
+
+    # -- UDP ---------------------------------------------------------------
+
+    def udp_train(
+        self,
+        point: GeoPoint,
+        t: float,
+        n_packets: int = 100,
+        packet_size_bytes: int = 1200,
+        inter_packet_delay_s: float = 0.001,
+        direction: str = "down",
+    ) -> UdpTrainResult:
+        """Send a UDP train and return per-packet records plus summaries.
+
+        Packets pass a single bottleneck queue at the link's sustained
+        rate; receive times add half the RTT and an iid jitter draw.  A
+        blacked-out link loses (almost) everything.  ``direction`` picks
+        the downlink (default) or uplink rate; the paper collected both
+        directions but analyzes the downlink.
+        """
+        if n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
+        if direction not in ("down", "up"):
+            raise ValueError("direction must be 'down' or 'up'")
+        link = self.link_at(point, t)
+        rate_bps = link.downlink_bps if direction == "down" else link.uplink_bps
+        service_s = packet_size_bytes * 8.0 / max(rate_bps, 1e3)
+        p_loss = 0.9 if not link.available else link.loss_rate
+
+        # Per-packet instantaneous rate noise: delay jitter mapped into
+        # the rate domain to first order (avoids the 1/gap Jensen bias a
+        # naive reciprocal would introduce).  Noisier links (large
+        # jitter relative to service time) give noisier per-packet rate
+        # estimates, which is what drives up the packet counts needed
+        # for accurate estimation on the more variable networks.
+        rate_noise_rel = min(
+            0.40, 0.30 * (link.jitter_std_s / service_s) ** 0.15
+        )
+        nominal_rate = packet_size_bytes * 8.0 / service_s
+
+        slot_slow_factor = (1.0 - SLOT_FAST_PROB * SLOT_FAST_FACTOR) / (
+            1.0 - SLOT_FAST_PROB
+        )
+
+        records: List[PacketRecord] = []
+        rate_samples: List[float] = []
+        queue_free_at = t
+        jitter = 0.0
+        prev_depart = t
+        for seq in range(n_packets):
+            send = t + seq * inter_packet_delay_s
+            if send < queue_free_at:
+                # Queued behind the previous packet: the gap to the next
+                # grant is bimodal (see SLOT_FAST_PROB above).
+                if self.rng.uniform() < SLOT_FAST_PROB:
+                    this_service = service_s * SLOT_FAST_FACTOR
+                else:
+                    this_service = service_s * slot_slow_factor
+            else:
+                this_service = service_s
+            depart = max(send, queue_free_at) + this_service
+            queue_free_at = depart
+            if self.rng.uniform() < p_loss:
+                records.append(PacketRecord(seq, send, None, packet_size_bytes))
+                continue
+            # AR(1) jitter: correlation decays with the packet spacing.
+            rho = math.exp(-max(depart - prev_depart, 0.0) / JITTER_CORR_TIME_S)
+            jitter = rho * jitter + math.sqrt(
+                max(0.0, 1.0 - rho * rho)
+            ) * float(self.rng.normal(0.0, link.jitter_std_s))
+            prev_depart = depart
+            recv = depart + link.rtt_s / 2.0 + max(jitter, -0.8 * service_s)
+            records.append(PacketRecord(seq, send, recv, packet_size_bytes))
+            rate_samples.append(
+                max(
+                    nominal_rate * 0.05,
+                    nominal_rate
+                    * (1.0 + float(self.rng.normal(0.0, rate_noise_rel))),
+                )
+            )
+
+        return UdpTrainResult(
+            records=records,
+            throughput_bps=goodput_bps(records),
+            loss_rate=loss_rate(records),
+            jitter_s=ipdv_jitter_s(records),
+            rate_samples_bps=rate_samples,
+            link=link,
+        )
+
+    # -- TCP ---------------------------------------------------------------
+
+    def tcp_download(
+        self,
+        point: GeoPoint,
+        t: float,
+        size_bytes: int = 1_000_000,
+        packetize: bool = False,
+        max_records: int = 2000,
+    ) -> TcpDownloadResult:
+        """Download ``size_bytes`` over TCP and return duration/throughput.
+
+        Model: slow start from :data:`TCP_INIT_CWND` doubling each RTT
+        until the window rate reaches the link's TCP share
+        (:data:`TCP_EFFICIENCY` of sustained capacity), then a
+        capacity-limited bulk phase.  Loss events cut the effective bulk
+        rate mildly (cellular links mask most loss at the RLC layer, and
+        the paper observes ~0 loss).  ``packetize=True`` additionally
+        emits up to ``max_records`` per-packet records for estimators
+        that want packet granularity (paper Table 5's TCP columns).
+        """
+        if size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+        link = self.link_at(point, t)
+        if not link.available:
+            # A blacked-out link stalls; model as an aborted, very slow
+            # transfer dominated by timeouts.
+            duration = max(30.0, size_bytes * 8.0 / 1e4)
+            return TcpDownloadResult(size_bytes, duration, size_bytes * 8.0 / duration, [], link)
+
+        # A bulk download lasting several seconds averages over the fast
+        # fading; sample the link across the transfer window.
+        later = [self.link_at(point, t + dt) for dt in (2.5, 5.0)]
+        mean_capacity = (
+            link.downlink_bps + sum(ls.downlink_bps for ls in later)
+        ) / (1 + len(later))
+        link = LinkState(
+            network=link.network,
+            downlink_bps=mean_capacity,
+            uplink_bps=link.uplink_bps,
+            rtt_s=link.rtt_s,
+            jitter_std_s=link.jitter_std_s,
+            loss_rate=link.loss_rate,
+            available=link.available,
+        )
+
+        bulk_rate = link.downlink_bps * TCP_EFFICIENCY
+        bulk_rate *= max(0.3, 1.0 - 15.0 * link.loss_rate)
+        rtt = link.rtt_s
+
+        remaining = float(size_bytes)
+        duration = rtt  # connection setup: one round trip (SYN/SYN-ACK)
+        cwnd = TCP_INIT_CWND
+        while remaining > 0:
+            window_bytes = cwnd * TCP_MSS_BYTES
+            round_rate_bps = window_bytes * 8.0 / rtt
+            if round_rate_bps >= bulk_rate:
+                break
+            sent = min(window_bytes, remaining)
+            remaining -= sent
+            duration += rtt
+            cwnd *= 2
+        if remaining > 0:
+            duration += remaining * 8.0 / bulk_rate
+
+        # Per-download sampling noise: short flows on real links vary a
+        # few percent run to run even under identical conditions.
+        duration *= max(0.5, 1.0 + float(self.rng.normal(0.0, 0.02)))
+        throughput = size_bytes * 8.0 / duration
+
+        records: List[PacketRecord] = []
+        if packetize:
+            n = min(max_records, max(1, int(math.ceil(size_bytes / TCP_MSS_BYTES))))
+            spacing = duration / n
+            for seq in range(n):
+                send = t + seq * spacing
+                jitter = float(self.rng.normal(0.0, link.jitter_std_s))
+                recv = send + rtt / 2.0 + max(jitter, -0.4 * spacing)
+                records.append(PacketRecord(seq, send, recv, TCP_MSS_BYTES))
+
+        return TcpDownloadResult(
+            size_bytes=size_bytes,
+            duration_s=duration,
+            throughput_bps=throughput,
+            records=records,
+            link=link,
+        )
+
+    # -- Ping --------------------------------------------------------------
+
+    def ping_series(
+        self,
+        point: GeoPoint,
+        t: float,
+        count: int = 12,
+        interval_s: float = 5.0,
+        timeout_s: float = 2.0,
+    ) -> PingResult:
+        """Send ``count`` pings; return successful RTTs and failure count."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        rtts: List[float] = []
+        failures = 0
+        link = self.link_at(point, t)
+        for i in range(count):
+            now = t + i * interval_s
+            link = self.link_at(point, now)
+            if not link.available or self.rng.uniform() < link.loss_rate:
+                failures += 1
+                continue
+            rtt = link.rtt_s + abs(float(self.rng.normal(0.0, link.jitter_std_s)))
+            if rtt > timeout_s:
+                failures += 1
+                continue
+            rtts.append(rtt)
+        return PingResult(rtts_s=rtts, failures=failures, link=link)

@@ -1,0 +1,119 @@
+"""Network-layer metrics over packet records.
+
+Implements the estimators WiScape reports per (zone, epoch): goodput,
+loss rate, application-level jitter as RFC 3393 Instantaneous Packet
+Delay Variation (IPDV), and RTT summaries.  All functions take plain
+sequences of :class:`~repro.network.packet.PacketRecord` (or floats for
+RTTs) so they apply equally to simulated and real traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.network.packet import PacketRecord
+
+
+def goodput_bps(records: Sequence[PacketRecord]) -> float:
+    """Received payload bits divided by the receive-window duration.
+
+    Uses first-send to last-receive as the window, the way a download
+    timer would.  Returns 0.0 if fewer than one packet arrived or the
+    window is degenerate.
+    """
+    delivered = [r for r in records if not r.lost]
+    if not delivered:
+        return 0.0
+    start = min(r.send_time_s for r in records)
+    end = max(r.recv_time_s for r in delivered)  # type: ignore[type-var]
+    duration = end - start
+    if duration <= 0:
+        return 0.0
+    bits = sum(r.size_bytes for r in delivered) * 8.0
+    return bits / duration
+
+
+def loss_rate(records: Sequence[PacketRecord]) -> float:
+    """Fraction of packets lost, in [0, 1].  Empty input -> 0."""
+    if not records:
+        return 0.0
+    lost = sum(1 for r in records if r.lost)
+    return lost / len(records)
+
+
+def ipdv_jitter_s(records: Sequence[PacketRecord]) -> float:
+    """RFC 3393 jitter: mean |IPDV| over consecutive delivered packets.
+
+    IPDV(i, i+1) = (R_{i+1} - R_i) - (S_{i+1} - S_i); lost packets break
+    consecutiveness (pairs spanning a loss are skipped, per the RFC's
+    selection-function guidance).
+    """
+    delivered = [r for r in records if not r.lost]
+    if len(delivered) < 2:
+        return 0.0
+    diffs: List[float] = []
+    for a, b in zip(delivered, delivered[1:]):
+        if b.seq != a.seq + 1:
+            continue
+        ipdv = (b.recv_time_s - a.recv_time_s) - (b.send_time_s - a.send_time_s)  # type: ignore[operator]
+        diffs.append(abs(ipdv))
+    if not diffs:
+        return 0.0
+    return sum(diffs) / len(diffs)
+
+
+@dataclass(frozen=True)
+class RttSummary:
+    """Summary statistics of an RTT sample set (seconds)."""
+
+    count: int
+    failures: int
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def failure_rate(self) -> float:
+        total = self.count + self.failures
+        return self.failures / total if total else 0.0
+
+
+def summarize_rtts(rtts: Sequence[float], failures: int = 0) -> RttSummary:
+    """Summarize successful RTT samples plus a count of failed probes."""
+    if not rtts:
+        return RttSummary(0, failures, 0.0, 0.0, 0.0, 0.0)
+    n = len(rtts)
+    mean = sum(rtts) / n
+    var = sum((r - mean) ** 2 for r in rtts) / n
+    return RttSummary(
+        count=n,
+        failures=failures,
+        mean_s=mean,
+        std_s=math.sqrt(var),
+        min_s=min(rtts),
+        max_s=max(rtts),
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for empty input (callers guard emptiness)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for n < 2."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def relative_std(values: Sequence[float]) -> float:
+    """std / mean — the paper's variability metric.  0 if mean is 0."""
+    mu = mean(values)
+    if mu == 0:
+        return 0.0
+    return std(values) / mu

@@ -1,0 +1,38 @@
+"""Per-packet trace records.
+
+The paper logs "packet sequence number, receive timestamp, GPS
+coordinates" (Table 1).  :class:`PacketRecord` is that log line; every
+metric in :mod:`repro.network.metrics` consumes sequences of these, so
+the same functions would work on a real packet capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One packet of a measurement transfer.
+
+    ``recv_time_s`` is ``None`` for lost packets.  Times are simulation
+    seconds; ``size_bytes`` is the application payload size.
+    """
+
+    seq: int
+    send_time_s: float
+    recv_time_s: Optional[float]
+    size_bytes: int
+
+    @property
+    def lost(self) -> bool:
+        """True if the packet never arrived."""
+        return self.recv_time_s is None
+
+    @property
+    def delay_s(self) -> Optional[float]:
+        """One-way delay, or ``None`` for lost packets."""
+        if self.recv_time_s is None:
+            return None
+        return self.recv_time_s - self.send_time_s

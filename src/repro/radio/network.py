@@ -1,0 +1,505 @@
+"""Per-carrier ground-truth models and the combined landscape.
+
+:class:`CellularNetwork` answers the single question every other layer
+asks: *what does carrier X's link look like at point p at time t?* — as a
+:class:`LinkState` (sustained capacity, RTT, jitter, loss, availability).
+:class:`Landscape` bundles the three carriers plus shared geography
+(study area, roads, stadium, failure patches) into one queryable world.
+
+Parameter values are tuned to the paper's published statistics: sustained
+rates and jitter per network/region from Tables 3-4, base RTT ~113 ms
+(Fig 10), near-zero loss, and NJ roughly 1.8-2.2x faster than Madison for
+NetB/NetC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import (
+    RoadStretch,
+    StudyArea,
+    madison_chicago_road,
+    madison_study_area,
+    new_jersey_spots,
+)
+from repro.radio.basestation import (
+    BaseStation,
+    place_along_road,
+    place_base_stations,
+)
+from repro.radio.events import LoadEvent
+from repro.radio.field import SpatialField, value_noise
+from repro.radio.technology import (
+    EVDO_REV_A,
+    HSPA,
+    NetworkId,
+    RadioTechnology,
+)
+from repro.radio.temporal import TemporalParams, TemporalProcess
+from repro.sim.rng import RngStreams, derive_seed
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """Ground-truth link characteristics for one carrier at one (p, t).
+
+    ``downlink_bps``/``uplink_bps`` are sustainable UDP saturation rates;
+    TCP achieves slightly less (the transport model accounts for that).
+    ``available`` is False when the link is blacked out (persistent
+    failure patches); pings sent then are lost.
+    """
+
+    network: NetworkId
+    downlink_bps: float
+    uplink_bps: float
+    rtt_s: float
+    jitter_std_s: float
+    loss_rate: float
+    available: bool = True
+
+
+@dataclass(frozen=True)
+class FailurePatch:
+    """A small area with a persistently sick link (paper Fig 9).
+
+    Inside the patch the link suffers repeated ping blackouts and large
+    slow swings in capacity — the "zones with at least one failed ping
+    per day for 20+ days" whose TCP relative standard deviation the paper
+    shows is dramatically higher than healthy zones.
+    """
+
+    patch_id: int
+    center: GeoPoint
+    radius_m: float
+    blackout_prob: float = 0.08
+    blackout_bin_s: float = 120.0
+    swing_amp: float = 0.45
+    swing_bin_s: float = 600.0
+
+    def contains(self, point: GeoPoint) -> bool:
+        return self.center.distance_to(point) <= self.radius_m
+
+
+@dataclass
+class RegionBinding:
+    """One region's flavor of a network: field + temporal + scales."""
+
+    name: str
+    anchor: GeoPoint
+    radius_m: Optional[float]  # None marks the fallback (road corridor)
+    spatial: SpatialField
+    temporal: TemporalProcess
+    rate_scale: float = 1.0
+    jitter_scale: float = 1.0
+
+    def matches(self, point: GeoPoint) -> bool:
+        if self.radius_m is None:
+            return True
+        return self.anchor.distance_to(point) <= self.radius_m
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Tunable knobs for one carrier."""
+
+    network: NetworkId
+    technology: RadioTechnology
+    base_downlink_bps: float
+    base_uplink_bps: float
+    base_rtt_s: float
+    base_jitter_s: float
+    base_loss: float = 0.0005
+    # Exponent coupling spatial quality to latency: better-covered spots
+    # see proportionally lower RTT.
+    rtt_spatial_exp: float = 0.8
+    # Relative std of the fast per-bin RTT noise.
+    rtt_fast_std: float = 0.06
+
+
+class CellularNetwork:
+    """One carrier's ground truth across all study regions."""
+
+    def __init__(
+        self,
+        params: NetworkParams,
+        bindings: Sequence[RegionBinding],
+        failure_patches: Sequence[FailurePatch] = (),
+        events: Sequence[LoadEvent] = (),
+        seed: int = 0,
+    ):
+        if not bindings:
+            raise ValueError("need at least one region binding")
+        if not any(b.radius_m is None for b in bindings):
+            # Ensure a total function over the globe: make the last
+            # binding the fallback.
+            bindings = list(bindings)
+            last = bindings[-1]
+            bindings[-1] = RegionBinding(
+                name=last.name,
+                anchor=last.anchor,
+                radius_m=None,
+                spatial=last.spatial,
+                temporal=last.temporal,
+                rate_scale=last.rate_scale,
+                jitter_scale=last.jitter_scale,
+            )
+        self.params = params
+        self.bindings = list(bindings)
+        self.failure_patches = list(failure_patches)
+        self.events = list(events)
+        self.seed = int(seed)
+
+    @property
+    def network_id(self) -> NetworkId:
+        return self.params.network
+
+    def add_event(self, event: LoadEvent) -> None:
+        """Attach a scheduled load event (e.g. the stadium game)."""
+        self.events.append(event)
+
+    def binding_for(self, point: GeoPoint) -> RegionBinding:
+        """The region binding governing ``point``."""
+        for b in self.bindings:
+            if b.radius_m is not None and b.matches(point):
+                return b
+        for b in self.bindings:
+            if b.radius_m is None:
+                return b
+        return self.bindings[-1]  # pragma: no cover - guarded in __init__
+
+    def _patch_at(self, point: GeoPoint) -> Optional[FailurePatch]:
+        for patch in self.failure_patches:
+            if patch.contains(point):
+                return patch
+        return None
+
+    def _event_factors(self, point: GeoPoint, t: float):
+        lat = 1.0
+        cap = 1.0
+        for ev in self.events:
+            lat *= ev.latency_factor(self.network_id, point, t)
+            cap *= ev.capacity_factor(self.network_id, point, t)
+        return lat, cap
+
+    def link_state(self, point: GeoPoint, t: float) -> LinkState:
+        """Ground-truth link state for this carrier at ``point``, ``t``."""
+        b = self.binding_for(point)
+        spatial = b.spatial.value(point)
+        smooth = b.spatial.smooth(point)
+        temporal = b.temporal.multiplier(t)
+        ev_lat, ev_cap = self._event_factors(point, t)
+
+        capacity = (
+            self.params.base_downlink_bps
+            * b.rate_scale
+            * spatial
+            * temporal
+            * ev_cap
+        )
+        uplink = (
+            self.params.base_uplink_bps * b.rate_scale * spatial * temporal * ev_cap
+        )
+
+        load = b.temporal.load(t)
+        rtt = (
+            self.params.base_rtt_s
+            * smooth ** (-self.params.rtt_spatial_exp)
+            * (0.7 + 0.3 * load)
+            * ev_lat
+        )
+        # Fast RTT noise, iid across 5 s bins, deterministic in (seed, t).
+        rtt_bin = int(t // 5.0)
+        rtt *= max(
+            0.5,
+            1.0
+            + self.params.rtt_fast_std
+            * value_noise(self.seed ^ 0x5A5A, rtt_bin, 0, 1.0),
+        )
+
+        jitter = self.params.base_jitter_s * b.jitter_scale * (0.8 + 0.4 * load)
+        loss = self.params.base_loss * (1.0 + 3.0 * (ev_lat - 1.0))
+        available = True
+
+        patch = self._patch_at(point)
+        if patch is not None:
+            swing_bin = int(t // patch.swing_bin_s)
+            swing = value_noise(
+                self.seed + patch.patch_id * 7919, swing_bin, patch.patch_id, 1.0
+            )
+            capacity *= max(0.15, 1.0 + patch.swing_amp * 1.6 * swing)
+            loss = min(0.05, loss + 0.01)
+            blackout_bin = int(t // patch.blackout_bin_s)
+            u = (
+                value_noise(
+                    self.seed + patch.patch_id * 104729,
+                    blackout_bin,
+                    1,
+                    1.0,
+                )
+                + 1.0
+            ) / 2.0
+            if u < patch.blackout_prob:
+                available = False
+
+        tech = self.params.technology
+        return LinkState(
+            network=self.network_id,
+            downlink_bps=tech.clamp_downlink(capacity),
+            uplink_bps=tech.clamp_uplink(uplink),
+            rtt_s=max(0.02, rtt),
+            jitter_std_s=max(1e-4, jitter),
+            loss_rate=min(0.10, max(0.0, loss)),
+            available=available,
+        )
+
+
+class Landscape:
+    """The full synthetic world: three carriers plus shared geography."""
+
+    def __init__(
+        self,
+        networks: Dict[NetworkId, CellularNetwork],
+        study_area: StudyArea,
+        road: Optional[RoadStretch] = None,
+        stadium: Optional[GeoPoint] = None,
+        seed: int = 0,
+    ):
+        self.networks = dict(networks)
+        self.study_area = study_area
+        self.road = road
+        self.stadium = stadium
+        self.seed = seed
+
+    def network(self, net: NetworkId) -> CellularNetwork:
+        return self.networks[net]
+
+    def network_ids(self) -> List[NetworkId]:
+        return sorted(self.networks.keys(), key=lambda n: n.value)
+
+    def link_state(self, net: NetworkId, point: GeoPoint, t: float) -> LinkState:
+        """Ground truth for carrier ``net`` at ``point`` and time ``t``."""
+        return self.networks[net].link_state(point, t)
+
+    def add_event(self, event: LoadEvent, nets: Optional[Sequence[NetworkId]] = None) -> None:
+        """Attach a load event to some (default: all) carriers."""
+        for net in nets or self.network_ids():
+            self.networks[net].add_event(event)
+
+
+# ---------------------------------------------------------------------------
+# World construction
+# ---------------------------------------------------------------------------
+
+#: Sustained-rate and latency presets per carrier, tuned to paper Tables 3-4.
+_DEFAULT_PARAMS: Dict[NetworkId, NetworkParams] = {
+    NetworkId.NET_A: NetworkParams(
+        network=NetworkId.NET_A,
+        technology=HSPA,
+        base_downlink_bps=1.42e6,
+        base_uplink_bps=0.55e6,
+        base_rtt_s=0.105,
+        # IPDV of consecutive paced packets reports ~1.6x the per-packet
+        # delay std; bases are scaled so *measured* jitter matches the
+        # paper (NetA ~7.4 ms, NetB ~3.0 ms, NetC ~3.4 ms in Madison).
+        base_jitter_s=0.0124,
+    ),
+    NetworkId.NET_B: NetworkParams(
+        network=NetworkId.NET_B,
+        technology=EVDO_REV_A,
+        base_downlink_bps=1.02e6,
+        base_uplink_bps=0.62e6,
+        base_rtt_s=0.113,
+        base_jitter_s=0.0029,
+    ),
+    NetworkId.NET_C: NetworkParams(
+        network=NetworkId.NET_C,
+        technology=EVDO_REV_A,
+        base_downlink_bps=1.12e6,
+        base_uplink_bps=0.60e6,
+        base_rtt_s=0.121,
+        base_jitter_s=0.0037,
+    ),
+}
+
+#: NJ sustained rates are ~1.8-2.2x Madison's for NetB/NetC (Table 3).
+_NJ_RATE_SCALE = {
+    NetworkId.NET_A: 1.0,
+    NetworkId.NET_B: 1.90,
+    NetworkId.NET_C: 2.10,
+}
+_NJ_JITTER_SCALE = {
+    NetworkId.NET_A: 1.0,
+    NetworkId.NET_B: 1.39,
+    NetworkId.NET_C: 0.73,
+}
+
+#: Sustained-rate scaling on the intercity road corridor.  The HSPA
+#: carrier's rural corridor coverage is thinner than in the city, which
+#: levels the three carriers on the road and produces the heavily
+#: crossing per-zone winners of the paper's Fig 13.
+_ROAD_RATE_SCALE = {
+    NetworkId.NET_A: 0.80,
+    NetworkId.NET_B: 1.02,
+    NetworkId.NET_C: 0.98,
+}
+
+
+def build_landscape(
+    seed: int = 7,
+    include_road: bool = True,
+    include_nj: bool = True,
+    city_stations_per_network: int = 10,
+    failure_patch_count: int = 16,
+    networks: Optional[Sequence[NetworkId]] = None,
+) -> Landscape:
+    """Construct the full paper-like world, deterministically from ``seed``.
+
+    The returned landscape has the three carriers over a Madison-like
+    155 km^2 study area, optionally the 240 km road corridor and the NJ
+    spot regions, a stadium location for the football-game event (the
+    event itself is attached by callers/benches that need it), and
+    ``failure_patch_count`` sick patches for NetB (the Standalone
+    dataset, from which Fig 9 is computed, is NetB-only).
+    """
+    streams = RngStreams(seed)
+    area = madison_study_area()
+    road = madison_chicago_road() if include_road else None
+    nj = new_jersey_spots() if include_nj else []
+    nets = list(networks) if networks else list(_DEFAULT_PARAMS.keys())
+
+    # Calibration points shared across networks (field normalization).
+    city_points = area.grid_points(spacing_m=800.0)
+    road_points = road.sample_every(2000.0) if road else []
+
+    built: Dict[NetworkId, CellularNetwork] = {}
+    for net in nets:
+        params = _DEFAULT_PARAMS[net]
+        rng = streams.get(f"stations:{net.value}")
+        bindings: List[RegionBinding] = []
+
+        city_stations = place_base_stations(
+            area.anchor, area.radius_m, city_stations_per_network, rng
+        )
+        city_field = SpatialField(
+            stations=city_stations,
+            origin=area.anchor,
+            seed=derive_seed(seed, f"texture:{net.value}:city"),
+        )
+        city_field.calibrate(city_points)
+        bindings.append(
+            RegionBinding(
+                name="madison",
+                anchor=area.anchor,
+                radius_m=area.radius_m + 2000.0,
+                spatial=city_field,
+                temporal=TemporalProcess(
+                    TemporalParams.madison_like(),
+                    derive_seed(seed, f"temporal:{net.value}:madison"),
+                ),
+            )
+        )
+
+        for region in nj:
+            nj_stations = place_base_stations(
+                region.anchor, 4000.0, 7,
+                streams.get(f"njstations:{net.value}:{region.name}"),
+                mean_range_m=2500.0,
+            )
+            nj_field = SpatialField(
+                stations=nj_stations,
+                origin=region.anchor,
+                seed=derive_seed(seed, f"texture:{net.value}:{region.name}"),
+            )
+            nj_field.calibrate(
+                [region.anchor.offset(dx, dy) for dx in (-2000.0, 0.0, 2000.0) for dy in (-2000.0, 0.0, 2000.0)]
+            )
+            bindings.append(
+                RegionBinding(
+                    name=region.name,
+                    anchor=region.anchor,
+                    radius_m=5000.0,
+                    spatial=nj_field,
+                    temporal=TemporalProcess(
+                        TemporalParams.new_jersey_like(),
+                        derive_seed(seed, f"temporal:{net.value}:{region.name}"),
+                    ),
+                    rate_scale=_NJ_RATE_SCALE[net],
+                    jitter_scale=_NJ_JITTER_SCALE[net],
+                )
+            )
+
+        if road is not None:
+            road_stations = place_along_road(
+                road.waypoints, 5000.0, streams.get(f"roadstations:{net.value}")
+            )
+            road_field = SpatialField(
+                stations=road_stations,
+                origin=area.anchor,
+                seed=derive_seed(seed, f"texture:{net.value}:road"),
+            )
+            road_field.calibrate(road_points)
+            bindings.append(
+                RegionBinding(
+                    name="road",
+                    anchor=area.anchor,
+                    radius_m=None,  # fallback region
+                    spatial=road_field,
+                    temporal=TemporalProcess(
+                        TemporalParams.madison_like(),
+                        derive_seed(seed, f"temporal:{net.value}:road"),
+                    ),
+                    rate_scale=_ROAD_RATE_SCALE[net],
+                )
+            )
+        else:
+            # Make the city binding the fallback if there is no road.
+            last = bindings[0]
+            bindings.append(
+                RegionBinding(
+                    name=last.name,
+                    anchor=last.anchor,
+                    radius_m=None,
+                    spatial=last.spatial,
+                    temporal=last.temporal,
+                    rate_scale=last.rate_scale,
+                    jitter_scale=last.jitter_scale,
+                )
+            )
+
+        patches: List[FailurePatch] = []
+        if net is NetworkId.NET_B and failure_patch_count > 0:
+            prng = streams.get("failure-patches")
+            from repro.geo.coords import destination_point
+
+            for i in range(failure_patch_count):
+                r = area.radius_m * float(np.sqrt(prng.uniform(0.04, 0.95)))
+                theta = float(prng.uniform(0.0, 360.0))
+                patches.append(
+                    FailurePatch(
+                        patch_id=i,
+                        center=destination_point(area.anchor, theta, r),
+                        radius_m=float(prng.uniform(250.0, 450.0)),
+                    )
+                )
+
+        built[net] = CellularNetwork(
+            params=params,
+            bindings=bindings,
+            failure_patches=patches,
+            seed=derive_seed(seed, f"net:{net.value}"),
+        )
+
+    stadium = area.anchor.offset(-1800.0, 600.0)
+    return Landscape(
+        networks=built,
+        study_area=area,
+        road=road,
+        stadium=stadium,
+        seed=seed,
+    )

@@ -1,0 +1,64 @@
+"""Radio-access technology specifications (paper Table 1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class NetworkId(str, enum.Enum):
+    """The three monitored (anonymized) nation-wide carriers."""
+
+    NET_A = "NetA"
+    NET_B = "NetB"
+    NET_C = "NetC"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+@dataclass(frozen=True)
+class RadioTechnology:
+    """Capabilities of a cellular radio-access technology.
+
+    Rates are the nominal peaks from the paper's Table 1; real-world
+    sustained throughput is far below these caps and is produced by the
+    spatial/temporal models — the caps only bound it.
+    """
+
+    name: str
+    max_downlink_bps: float
+    max_uplink_bps: float
+    # Base one-way air-interface latency contribution, seconds.  EV-DO
+    # Rev.A and HSPA both sit around 50-70 ms RTT at the radio leg.
+    base_air_rtt_s: float
+
+    def clamp_downlink(self, rate_bps: float) -> float:
+        """Clamp a modeled rate to the technology's downlink peak."""
+        return max(0.0, min(rate_bps, self.max_downlink_bps))
+
+    def clamp_uplink(self, rate_bps: float) -> float:
+        """Clamp a modeled rate to the technology's uplink peak."""
+        return max(0.0, min(rate_bps, self.max_uplink_bps))
+
+
+HSPA = RadioTechnology(
+    name="GSM HSPA",
+    max_downlink_bps=7.2e6,
+    max_uplink_bps=1.2e6,
+    base_air_rtt_s=0.060,
+)
+
+EVDO_REV_A = RadioTechnology(
+    name="CDMA2000 1xEV-DO Rev.A",
+    max_downlink_bps=3.1e6,
+    max_uplink_bps=1.8e6,
+    base_air_rtt_s=0.065,
+)
+
+#: Technology used by each carrier, per Table 1 of the paper.
+TECHNOLOGY_BY_NETWORK = {
+    NetworkId.NET_A: HSPA,
+    NetworkId.NET_B: EVDO_REV_A,
+    NetworkId.NET_C: EVDO_REV_A,
+}

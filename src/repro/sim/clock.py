@@ -1,0 +1,105 @@
+"""Virtual simulation time.
+
+Simulation time is a float number of seconds since the simulation epoch
+(t=0).  Helpers convert to human-readable wall-clock offsets and expose
+the day-of-week/time-of-day structure the diurnal traffic models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SimTime = float
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def minutes(n: float) -> SimTime:
+    """Convenience: ``n`` minutes expressed in simulation seconds."""
+    return n * SECONDS_PER_MINUTE
+
+
+def hours(n: float) -> SimTime:
+    """Convenience: ``n`` hours expressed in simulation seconds."""
+    return n * SECONDS_PER_HOUR
+
+
+def days(n: float) -> SimTime:
+    """Convenience: ``n`` days expressed in simulation seconds."""
+    return n * SECONDS_PER_DAY
+
+
+def time_of_day_s(t: SimTime) -> float:
+    """Seconds past local midnight at simulation time ``t``."""
+    return t % SECONDS_PER_DAY
+
+
+def hour_of_day(t: SimTime) -> float:
+    """Fractional hour of day in [0, 24)."""
+    return time_of_day_s(t) / SECONDS_PER_HOUR
+
+
+def day_index(t: SimTime) -> int:
+    """Whole days elapsed since the simulation epoch."""
+    return int(t // SECONDS_PER_DAY)
+
+
+def day_of_week(t: SimTime) -> int:
+    """Day of week 0-6.  The simulation epoch falls on day 0 ("Monday")."""
+    return day_index(t) % 7
+
+
+def is_weekend(t: SimTime) -> bool:
+    """True on simulated Saturdays and Sundays."""
+    return day_of_week(t) >= 5
+
+
+def format_sim_time(t: SimTime) -> str:
+    """Render a sim time as ``dayN HH:MM:SS`` for logs and reports."""
+    d = day_index(t)
+    rem = time_of_day_s(t)
+    hh = int(rem // SECONDS_PER_HOUR)
+    mm = int((rem % SECONDS_PER_HOUR) // SECONDS_PER_MINUTE)
+    ss = int(rem % SECONDS_PER_MINUTE)
+    return f"day{d} {hh:02d}:{mm:02d}:{ss:02d}"
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulation clock.
+
+    The clock refuses to move backwards; the event engine owns advancing
+    it, everything else reads it.
+    """
+
+    now: SimTime = 0.0
+    _started_at: SimTime = field(default=0.0, repr=False)
+
+    def advance_to(self, t: SimTime) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises ``ValueError`` on any attempt to move backwards, which
+        would indicate an event-ordering bug.
+        """
+        if t < self.now:
+            raise ValueError(f"clock cannot move backwards: {t} < {self.now}")
+        self.now = t
+
+    def advance_by(self, dt: SimTime) -> None:
+        """Move the clock forward by ``dt >= 0`` seconds."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self.now += dt
+
+    @property
+    def elapsed(self) -> SimTime:
+        """Seconds since the clock was created (or last reset)."""
+        return self.now - self._started_at
+
+    def reset(self, t: SimTime = 0.0) -> None:
+        """Reset the clock to ``t`` (used between independent experiments)."""
+        self.now = t
+        self._started_at = t

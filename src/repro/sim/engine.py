@@ -1,0 +1,141 @@
+"""A small deterministic discrete-event engine.
+
+Events are callables scheduled at absolute simulation times.  Ties are
+broken by insertion order so runs are fully deterministic.  The engine is
+deliberately minimal — WiScape's coordinator and clients only need
+"schedule callback at time t" plus periodic timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.clock import SimClock, SimTime
+
+
+class StopSimulation(Exception):
+    """Raised by an event handler to halt the run immediately."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """Handle for a scheduled event; can be used to cancel it."""
+
+    time: SimTime
+    seq: int
+    name: str
+
+    def __lt__(self, other: "Event") -> bool:  # pragma: no cover - heap aid
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventEngine:
+    """Priority-queue event loop over a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._heap: List[Tuple[SimTime, int, Event, Callable[[], None]]] = []
+        self._cancelled: set = set()
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def now(self) -> SimTime:
+        return self.clock.now
+
+    @property
+    def events_run(self) -> int:
+        """Number of event handlers executed so far."""
+        return self._events_run
+
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-run, not-cancelled events."""
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule_at(
+        self, t: SimTime, handler: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``handler`` to run at absolute time ``t``."""
+        if t < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {t} < {self.clock.now}"
+            )
+        event = Event(time=t, seq=next(self._seq), name=name)
+        heapq.heappush(self._heap, (t, event.seq, event, handler))
+        return event
+
+    def schedule_in(
+        self, dt: SimTime, handler: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Schedule ``handler`` to run ``dt`` seconds from now."""
+        return self.schedule_at(self.clock.now + dt, handler, name=name)
+
+    def schedule_every(
+        self,
+        interval: SimTime,
+        handler: Callable[[], None],
+        name: str = "",
+        start_at: Optional[SimTime] = None,
+        until: Optional[SimTime] = None,
+    ) -> None:
+        """Schedule ``handler`` periodically.
+
+        The handler first runs at ``start_at`` (default: now + interval)
+        and then every ``interval`` seconds while ``until`` (if given) has
+        not passed.  Rescheduling happens after each invocation so a
+        handler that raises stops its own timer.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first = self.clock.now + interval if start_at is None else start_at
+
+        def tick() -> None:
+            handler()
+            nxt = self.clock.now + interval
+            if until is None or nxt <= until:
+                self.schedule_at(nxt, tick, name=name)
+
+        if until is None or first <= until:
+            self.schedule_at(first, tick, name=name)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no-op if already run)."""
+        self._cancelled.add((event.time, event.seq))
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            t, seq, event, handler = heapq.heappop(self._heap)
+            if (t, seq) in self._cancelled:
+                self._cancelled.discard((t, seq))
+                continue
+            self.clock.advance_to(t)
+            self._events_run += 1
+            handler()
+            return True
+        return False
+
+    def run(self, until: Optional[SimTime] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or the cap hits.
+
+        ``until`` is inclusive: an event scheduled exactly at ``until``
+        still runs; the clock finishes at ``until`` if given.
+        """
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                t = self._heap[0][0]
+                if until is not None and t > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        except StopSimulation:
+            return
+        if until is not None and until > self.clock.now:
+            self.clock.advance_to(until)

@@ -1,0 +1,125 @@
+"""Allan deviation for epoch selection.
+
+WiScape sets each zone's epoch to the averaging interval at which the
+zone's metric is most stable, measured by Allan deviation (paper section
+3.2.2): sigma_y(tau) = sqrt( sum (T_{i+1} - T_i)^2 / (2 (N-1)) ) where
+T_i are consecutive tau-long window averages of the measured series.
+Fast noise makes sigma_y fall with tau; slow drift makes it rise again;
+the minimum is the zone's epoch (Fig 6: ~75 min Madison, ~15 min NJ).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _window_means(
+    values: Sequence[float], sample_period_s: float, tau_s: float
+) -> np.ndarray:
+    """Average the series into consecutive windows of duration ``tau_s``."""
+    if sample_period_s <= 0:
+        raise ValueError("sample_period_s must be positive")
+    if tau_s < sample_period_s:
+        raise ValueError("tau_s must be >= sample_period_s")
+    arr = np.asarray(values, dtype=float)
+    per_window = max(1, int(round(tau_s / sample_period_s)))
+    n_windows = arr.size // per_window
+    if n_windows < 2:
+        return np.empty(0)
+    trimmed = arr[: n_windows * per_window]
+    return trimmed.reshape(n_windows, per_window).mean(axis=1)
+
+
+def allan_deviation(
+    values: Sequence[float],
+    sample_period_s: float,
+    tau_s: float,
+    normalize: bool = True,
+) -> float:
+    """Allan deviation of a regularly sampled series at interval ``tau_s``.
+
+    With ``normalize=True`` the result is divided by the series mean so
+    that series measured in different units (or zones with different
+    baselines) are comparable — this matches the paper's 0..1 y-axis.
+    Returns ``nan`` when fewer than two windows fit.
+    """
+    means = _window_means(values, sample_period_s, tau_s)
+    if means.size < 2:
+        return float("nan")
+    diffs = np.diff(means)
+    sigma = math.sqrt(float(np.mean(diffs**2)) / 2.0)
+    if normalize:
+        mu = float(np.mean(np.asarray(values, dtype=float)))
+        if mu == 0:
+            return float("nan")
+        sigma /= abs(mu)
+    return sigma
+
+
+def allan_deviation_profile(
+    values: Sequence[float],
+    sample_period_s: float,
+    taus_s: Sequence[float],
+    normalize: bool = True,
+) -> List[Tuple[float, float]]:
+    """Allan deviation across candidate intervals; drops undefined points."""
+    out: List[Tuple[float, float]] = []
+    for tau in taus_s:
+        if tau < sample_period_s:
+            continue
+        sigma = allan_deviation(values, sample_period_s, tau, normalize=normalize)
+        if not math.isnan(sigma):
+            out.append((float(tau), sigma))
+    return out
+
+
+def select_epoch_from_profile(
+    profile: Sequence[Tuple[float, float]], tolerance: float = 0.10
+) -> float:
+    """The epoch: smallest tau whose deviation is within tolerance of min.
+
+    Allan profiles of real measurement series have flat basins whose raw
+    argmin wanders with sampling noise; WiScape wants the *shortest*
+    epoch that already achieves (near-)minimum deviation — fresher
+    estimates at equal stability.
+    """
+    if not profile:
+        raise ValueError("empty Allan profile")
+    best = min(sigma for _, sigma in profile)
+    for tau, sigma in sorted(profile):
+        if sigma <= best * (1.0 + tolerance):
+            return tau
+    return sorted(profile)[-1][0]  # pragma: no cover - unreachable
+
+
+def optimal_averaging_time(
+    values: Sequence[float],
+    sample_period_s: float,
+    taus_s: Optional[Sequence[float]] = None,
+    normalize: bool = True,
+    tolerance: float = 0.10,
+) -> float:
+    """The tau minimizing Allan deviation — WiScape's epoch duration.
+
+    ``taus_s`` defaults to a log-spaced sweep from 1 minute to a quarter
+    of the series span.  The selected tau is the smallest one within
+    ``tolerance`` of the minimum (see :func:`select_epoch_from_profile`).
+    Raises ``ValueError`` if no tau is evaluable.
+    """
+    if taus_s is None:
+        span = len(values) * sample_period_s
+        hi = max(span / 4.0, sample_period_s * 4)
+        lo = max(60.0, sample_period_s)
+        if hi <= lo:
+            taus_s = [lo]
+        else:
+            taus_s = list(np.geomspace(lo, hi, num=24))
+    profile = allan_deviation_profile(
+        values, sample_period_s, taus_s, normalize=normalize
+    )
+    if not profile:
+        raise ValueError("series too short for any candidate tau")
+    return select_epoch_from_profile(profile, tolerance=tolerance)

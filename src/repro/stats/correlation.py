@@ -1,0 +1,32 @@
+"""Correlation measures.
+
+Used for the paper's Fig 2 analysis: per-zone Pearson correlation
+between vehicle speed and observed latency (shown to be near zero, which
+is what licenses collecting ground truth from moving buses).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson product-moment correlation coefficient.
+
+    Returns 0.0 for degenerate inputs (length < 2 or zero variance),
+    which matches how the paper treats zones with too little data.
+    """
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    n = len(x)
+    if n < 2:
+        return 0.0
+    mx = sum(x) / n
+    my = sum(y) / n
+    sxx = sum((a - mx) ** 2 for a in x)
+    syy = sum((b - my) ** 2 for b in y)
+    if sxx == 0 or syy == 0:
+        return 0.0
+    sxy = sum((a - mx) * (b - my) for a, b in zip(x, y))
+    return sxy / math.sqrt(sxx * syy)

@@ -1,0 +1,91 @@
+"""Empirical distributions and CDF helpers.
+
+Most of the paper's figures are CDFs; :class:`EmpiricalCDF` provides the
+quantile/percentile machinery (including the 5th/95th-percentile test
+behind "persistent network dominance", section 4.2.1) and
+:func:`cdf_points` emits the (x, F(x)) series a plotting tool or the
+text benches render.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+
+class EmpiricalCDF:
+    """Empirical CDF over a fixed sample set.
+
+    Uses the right-continuous step definition F(x) = (#samples <= x)/n
+    and linear-interpolation quantiles (numpy's default behaviour).
+    """
+
+    def __init__(self, samples: Sequence[float]):
+        if not samples:
+            raise ValueError("EmpiricalCDF needs at least one sample")
+        self._sorted = sorted(float(s) for s in samples)
+
+    @property
+    def n(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1]
+
+    def cdf(self, x: float) -> float:
+        """F(x): fraction of samples <= x."""
+        return bisect.bisect_right(self._sorted, x) / self.n
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile for q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if self.n == 1:
+            return self._sorted[0]
+        pos = q * (self.n - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, self.n - 1)
+        frac = pos - lo
+        return self._sorted[lo] * (1.0 - frac) + self._sorted[hi] * frac
+
+    def percentile(self, p: float) -> float:
+        """Quantile expressed in percent (p in [0, 100])."""
+        return self.quantile(p / 100.0)
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def mean(self) -> float:
+        return sum(self._sorted) / self.n
+
+    def fraction_below(self, x: float) -> float:
+        """Alias of :meth:`cdf` reading better in assertions."""
+        return self.cdf(x)
+
+
+def cdf_points(
+    samples: Sequence[float], max_points: int = 200
+) -> List[Tuple[float, float]]:
+    """(x, F(x)) pairs suitable for rendering a CDF curve.
+
+    Down-samples evenly to at most ``max_points`` points to keep bench
+    output readable for large sample sets.
+    """
+    if not samples:
+        return []
+    ordered = sorted(float(s) for s in samples)
+    n = len(ordered)
+    if n <= max_points:
+        return [(x, (i + 1) / n) for i, x in enumerate(ordered)]
+    step = n / max_points
+    out: List[Tuple[float, float]] = []
+    for k in range(max_points):
+        i = min(n - 1, int((k + 1) * step) - 1)
+        out.append((ordered[i], (i + 1) / n))
+    return out

@@ -1,0 +1,138 @@
+"""Symmetric Normalized Kullback-Leibler Divergence (NKLD).
+
+The paper (section 3.3) declares a set of client-sourced samples
+"similar enough" to the long-term distribution of a zone when their
+symmetric, entropy-normalized KL divergence falls below 0.1::
+
+    NKLD(p, q) = 1/2 * ( D(p||q) / H(p) + D(q||p) / H(q) )
+    D(p||q)    = sum_x p(x) * | log p(x)/q(x) |
+
+(The paper's D uses the absolute value of the log-ratio, which keeps
+each term non-negative even where q > p; we follow that definition.)
+Distributions are estimated as histograms over a shared binning with
+add-one (Laplace) smoothing so that D is always finite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The paper's similarity threshold.
+SIMILARITY_THRESHOLD = 0.1
+
+
+def empirical_pmf(
+    samples: Sequence[float],
+    n_bins: int = 8,
+    value_range: Optional[Tuple[float, float]] = None,
+    smoothing: float = 0.5,
+) -> np.ndarray:
+    """Histogram PMF of ``samples`` with Laplace smoothing.
+
+    ``value_range`` must be shared between the two distributions being
+    compared (use the union min/max); ``smoothing`` pseudo-counts keep
+    every bin strictly positive.
+    """
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("samples must be non-empty")
+    counts, _ = np.histogram(arr, bins=n_bins, range=value_range)
+    counts = counts.astype(float) + smoothing
+    return counts / counts.sum()
+
+
+def entropy(p: np.ndarray) -> float:
+    """Shannon entropy (nats) of a strictly positive PMF."""
+    p = np.asarray(p, dtype=float)
+    if np.any(p <= 0):
+        raise ValueError("entropy requires strictly positive probabilities")
+    return float(-np.sum(p * np.log(p)))
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """D(p||q) with the paper's absolute-value convention (>= 0)."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("p and q must share a binning")
+    if np.any(p <= 0) or np.any(q <= 0):
+        raise ValueError("divergence requires strictly positive PMFs")
+    return float(np.sum(p * np.abs(np.log(p / q))))
+
+
+def nkld(p: np.ndarray, q: np.ndarray) -> float:
+    """Symmetric normalized KLD between two strictly positive PMFs.
+
+    Zero iff p == q elementwise; symmetric by construction.  A uniform
+    PMF has maximal entropy, so normalization keeps the value comparable
+    across metrics with different dynamic ranges.
+    """
+    hp = entropy(p)
+    hq = entropy(q)
+    if hp == 0 or hq == 0:
+        # Degenerate single-bin distributions: identical -> 0, else large.
+        return 0.0 if np.allclose(p, q) else float("inf")
+    return 0.5 * (kl_divergence(p, q) / hp + kl_divergence(q, p) / hq)
+
+
+def nkld_from_samples(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_bins: int = 8,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> float:
+    """NKLD between two sample sets over a shared histogram binning."""
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if value_range is None:
+        lo = float(min(a_arr.min(), b_arr.min()))
+        hi = float(max(a_arr.max(), b_arr.max()))
+        if lo == hi:
+            hi = lo + 1e-9
+        value_range = (lo, hi)
+    p = empirical_pmf(a_arr, n_bins=n_bins, value_range=value_range)
+    q = empirical_pmf(b_arr, n_bins=n_bins, value_range=value_range)
+    return nkld(p, q)
+
+
+def nkld_convergence_curve(
+    reference: Sequence[float],
+    draws: Sequence[Sequence[float]],
+    sample_counts: Sequence[int],
+    n_bins: int = 8,
+) -> list:
+    """Average NKLD against ``reference`` as a function of sample count.
+
+    ``draws`` is an iterable of sample vectors (one per iteration, as in
+    the paper's 100 random client traces); for each requested count ``n``
+    the first ``n`` values of each draw are compared to the reference
+    and the NKLDs averaged.  Returns [(n, mean_nkld), ...].
+    """
+    ref = np.asarray(reference, dtype=float)
+    curve = []
+    for n in sample_counts:
+        vals = []
+        for d in draws:
+            d_arr = np.asarray(d, dtype=float)
+            if d_arr.size < n:
+                continue
+            vals.append(nkld_from_samples(d_arr[:n], ref, n_bins=n_bins))
+        if vals:
+            curve.append((int(n), float(np.mean(vals))))
+    return curve
+
+
+def samples_until_similar(
+    curve: Sequence[Tuple[int, float]],
+    threshold: float = SIMILARITY_THRESHOLD,
+) -> Optional[int]:
+    """First sample count at which the NKLD curve drops below threshold."""
+    for n, value in curve:
+        if value < threshold:
+            return n
+    return None

@@ -1,0 +1,51 @@
+"""Minimum-sample-count estimation (paper Table 5).
+
+Given a way to draw measurement samples and the ground-truth value they
+estimate, find the smallest number of back-to-back samples whose average
+lands within a target accuracy (97% in the paper) of the truth, averaged
+over repeated trials.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+def estimation_error(estimate: float, ground_truth: float) -> float:
+    """Relative error |estimate - truth| / truth (paper's E metric)."""
+    if ground_truth == 0:
+        raise ValueError("ground truth must be non-zero")
+    return abs(estimate - ground_truth) / abs(ground_truth)
+
+
+def min_samples_for_accuracy(
+    draw_samples: Callable[[int], Sequence[float]],
+    ground_truth: float,
+    accuracy: float = 0.97,
+    trials: int = 100,
+    candidates: Optional[Sequence[int]] = None,
+) -> Optional[int]:
+    """Smallest n with mean relative error <= 1 - accuracy over trials.
+
+    ``draw_samples(n)`` must return n fresh per-sample estimates (e.g.
+    per-packet throughputs) each call; the routine averages each draw and
+    compares to ``ground_truth``.  Returns None if no candidate n meets
+    the target (callers then widen the candidate list).
+    """
+    if not 0.0 < accuracy < 1.0:
+        raise ValueError("accuracy must be in (0, 1)")
+    tolerance = 1.0 - accuracy
+    if candidates is None:
+        candidates = list(range(10, 210, 10))
+    for n in candidates:
+        errors = []
+        for _ in range(trials):
+            samples = np.asarray(draw_samples(int(n)), dtype=float)
+            if samples.size == 0:
+                continue
+            errors.append(estimation_error(float(samples.mean()), ground_truth))
+        if errors and float(np.mean(errors)) <= tolerance:
+            return int(n)
+    return None

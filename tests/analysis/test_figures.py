@@ -1,0 +1,101 @@
+"""Tests for figure-data builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    relstd_cdf_by_radius,
+    speed_latency_analysis,
+    wiscape_error_cdf,
+    zone_throughput_map,
+)
+from repro.clients.protocol import MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.coords import GeoPoint
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+
+
+def _rec(east, north, value, t=0.0, kind=MeasurementType.TCP_DOWNLOAD,
+         net=NetworkId.NET_B, speed=0.0):
+    p = ORIGIN.offset(east, north)
+    return TraceRecord(
+        dataset="d", time_s=t, client_id="c", network=net, kind=kind,
+        lat=p.lat, lon=p.lon, speed_ms=speed, value=value,
+    )
+
+
+@pytest.fixture()
+def grid():
+    return ZoneGrid(ORIGIN, radius_m=250.0)
+
+
+class TestZoneMap:
+    def test_map_entries(self, grid, rng):
+        records = [
+            _rec(float(rng.normal(0, 30)), 0.0, float(rng.normal(1e6, 5e4)))
+            for _ in range(40)
+        ]
+        entries = zone_throughput_map(records, grid, NetworkId.NET_B, min_samples=20)
+        assert len(entries) == 1
+        assert entries[0].mean_bps == pytest.approx(1e6, rel=0.05)
+        assert entries[0].n_samples == 40
+
+    def test_min_samples(self, grid):
+        records = [_rec(0.0, 0.0, 1e6)] * 5
+        assert zone_throughput_map(records, grid, NetworkId.NET_B, min_samples=10) == []
+
+
+class TestSpeedLatency:
+    def test_no_correlation_when_independent(self, grid, rng):
+        records = []
+        for i in range(200):
+            records.append(_rec(
+                float(rng.normal(0, 40)), 0.0, float(rng.normal(0.12, 0.01)),
+                kind=MeasurementType.PING, speed=float(rng.uniform(0, 30)),
+            ))
+        analysis = speed_latency_analysis(records, grid, min_samples_per_zone=50)
+        assert analysis.scatter
+        assert analysis.fraction_below(0.16) == 1.0
+
+    def test_strong_correlation_detected(self, grid):
+        records = [
+            _rec(0.0, 0.0, 0.1 + 0.01 * s, kind=MeasurementType.PING, speed=float(s))
+            for s in range(50)
+        ]
+        analysis = speed_latency_analysis(records, grid, min_samples_per_zone=20)
+        corr = list(analysis.per_zone_correlation.values())[0]
+        assert corr > 0.95
+
+
+class TestRelstdByRadius:
+    def test_structure(self, rng):
+        records = []
+        for i in range(400):
+            east = float(rng.uniform(-600, 600))
+            # Spatial gradient: value depends on position.
+            value = 1e6 * (1.0 + east / 5000.0) * (1 + float(rng.normal(0, 0.02)))
+            records.append(_rec(east, 0.0, value, t=i * 120.0))
+        result = relstd_cdf_by_radius(
+            records, ORIGIN, [100.0, 600.0], NetworkId.NET_B,
+            min_samples=30, min_cells=4, window_s=3600.0,
+        )
+        assert set(result) == {100.0, 600.0}
+        # The wide zone sees the whole gradient; the narrow ones see less.
+        assert max(result[600.0]) > max(result[100.0])
+
+
+class TestErrorCdf:
+    def test_errors_small_for_stable_zone(self, grid, rng):
+        records = [
+            _rec(float(rng.normal(0, 30)), 0.0, float(rng.normal(1e6, 5e4)), t=float(i))
+            for i in range(400)
+        ]
+        errors = wiscape_error_cdf(
+            records, grid, client_fraction=0.3, sample_budget=100,
+            min_truth_samples=50,
+        )
+        assert errors
+        assert max(errors) < 0.1

@@ -1,0 +1,56 @@
+"""Tests for ASCII map rendering."""
+
+import pytest
+
+from repro.analysis.maps import render_dominance_map, render_zone_map
+from repro.radio.technology import NetworkId
+
+
+class TestZoneMap:
+    def test_empty(self):
+        assert render_zone_map({}) == "(no zones)"
+
+    def test_ramp_extremes(self):
+        values = {(0, 0): 0.0, (1, 0): 100.0}
+        out = render_zone_map(values, ramp=".#", legend=False)
+        assert out == ".#"
+
+    def test_missing_zones_blank(self):
+        values = {(0, 0): 1.0, (2, 0): 2.0}
+        out = render_zone_map(values, ramp=".#", legend=False)
+        assert out == ". #"
+
+    def test_rows_north_on_top(self):
+        values = {(0, 0): 0.0, (0, 1): 100.0}
+        out = render_zone_map(values, ramp=".#", legend=False)
+        assert out.splitlines() == ["#", "."]
+
+    def test_legend(self):
+        out = render_zone_map({(0, 0): 5.0, (1, 0): 10.0})
+        assert "blank = no data" in out
+
+    def test_short_ramp_rejected(self):
+        with pytest.raises(ValueError):
+            render_zone_map({(0, 0): 1.0}, ramp="#")
+
+    def test_constant_values(self):
+        out = render_zone_map({(0, 0): 3.0, (1, 0): 3.0}, ramp=".#", legend=False)
+        assert out == ".."  # all at the low end of the ramp
+
+
+class TestDominanceMap:
+    def test_empty(self):
+        assert render_dominance_map({}) == "(no zones)"
+
+    def test_winners_and_none(self):
+        winners = {
+            (0, 0): NetworkId.NET_A,
+            (1, 0): None,
+            (2, 0): NetworkId.NET_B,
+        }
+        assert render_dominance_map(winners) == "A.B"
+
+    def test_custom_glyphs(self):
+        winners = {(0, 0): NetworkId.NET_A}
+        out = render_dominance_map(winners, glyphs={NetworkId.NET_A: "@"})
+        assert out == "@"

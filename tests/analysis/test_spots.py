@@ -1,0 +1,53 @@
+"""Tests for representative-spot selection."""
+
+import pytest
+
+from repro.analysis.spots import select_representative_spot, spot_flatness
+from repro.radio.technology import NetworkId
+
+BC = [NetworkId.NET_B, NetworkId.NET_C]
+
+
+class TestFlatness:
+    def test_nonnegative(self, landscape):
+        score = spot_flatness(landscape, landscape.study_area.anchor, BC)
+        assert score >= 0.0
+
+    def test_varies_across_city(self, landscape):
+        scores = [
+            spot_flatness(landscape, landscape.study_area.anchor.offset(dx, 0.0), BC)
+            for dx in range(-4000, 4001, 1000)
+        ]
+        assert max(scores) > 2.0 * min(scores)
+
+
+class TestSelection:
+    def test_selected_flatter_than_anchor_average(self, landscape):
+        anchor = landscape.study_area.anchor
+        chosen = select_representative_spot(
+            landscape, anchor, BC, search_radius_m=1500.0, grid_step_m=500.0
+        )
+        chosen_score = spot_flatness(landscape, chosen, BC)
+        anchor_score = spot_flatness(landscape, anchor, BC)
+        assert chosen_score <= anchor_score
+
+    def test_deterministic(self, landscape):
+        anchor = landscape.study_area.anchor
+        a = select_representative_spot(landscape, anchor, BC, search_radius_m=1000.0)
+        b = select_representative_spot(landscape, anchor, BC, search_radius_m=1000.0)
+        assert a == b
+
+    def test_avoids_failure_patches(self, landscape):
+        patch = landscape.network(NetworkId.NET_B).failure_patches[0]
+        chosen = select_representative_spot(
+            landscape, patch.center, [NetworkId.NET_B],
+            search_radius_m=1000.0, grid_step_m=250.0,
+        )
+        assert landscape.network(NetworkId.NET_B)._patch_at(chosen) is None
+
+    def test_within_search_radius(self, landscape):
+        anchor = landscape.study_area.anchor
+        chosen = select_representative_spot(
+            landscape, anchor, BC, search_radius_m=1000.0, grid_step_m=500.0
+        )
+        assert anchor.distance_to(chosen) <= 1500.0

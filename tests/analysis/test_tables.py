@@ -1,0 +1,39 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+
+
+class TestTextTable:
+    def test_render_aligns(self):
+        t = TextTable(["name", "value"])
+        t.add_row("a", 1)
+        t.add_row("long-name", 12345)
+        text = t.render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_formats_applied(self):
+        t = TextTable(["x"], formats=[".2f"])
+        t.add_row(3.14159)
+        assert "3.14" in t.render()
+
+    def test_cell_count_checked(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_format_length_checked(self):
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"], formats=[".2f"])
+
+    def test_indent(self):
+        t = TextTable(["a"])
+        t.add_row("x")
+        assert all(line.startswith("  ") for line in t.render(indent="  ").splitlines())

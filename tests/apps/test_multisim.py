@@ -1,0 +1,146 @@
+"""Tests for the multi-SIM application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.multisim import (
+    BestZoneSelector,
+    FixedSelector,
+    MultiSimClient,
+    RoundRobinSelector,
+    ZonePerformanceMap,
+)
+from repro.apps.webworkload import surge_page_pool
+from repro.clients.protocol import MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.zones import ZoneGrid
+from repro.mobility.models import StaticPosition
+from repro.radio.technology import NetworkId
+
+ALL = [NetworkId.NET_A, NetworkId.NET_B, NetworkId.NET_C]
+
+
+@pytest.fixture()
+def grid(landscape):
+    return ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+
+
+class TestPerformanceMap:
+    def test_set_and_best(self, grid):
+        pmap = ZonePerformanceMap(grid)
+        pmap.set_rate((0, 0), NetworkId.NET_A, 1e6)
+        pmap.set_rate((0, 0), NetworkId.NET_B, 2e6)
+        assert pmap.best_network((0, 0), ALL) is NetworkId.NET_B
+        assert pmap.best_network((5, 5), ALL) is None
+
+    def test_from_records(self, grid, landscape):
+        origin = landscape.study_area.anchor
+        records = []
+        for i in range(5):
+            for net, rate in [(NetworkId.NET_A, 1e6), (NetworkId.NET_B, 2e6)]:
+                records.append(TraceRecord(
+                    dataset="d", time_s=float(i), client_id="c", network=net,
+                    kind=MeasurementType.TCP_DOWNLOAD,
+                    lat=origin.lat, lon=origin.lon, speed_ms=0.0,
+                    value=rate + i,
+                ))
+        pmap = ZonePerformanceMap.from_records(records, grid, min_samples=3)
+        zone = grid.zone_id_for(origin)
+        assert pmap.best_network(zone, ALL) is NetworkId.NET_B
+
+    def test_min_samples_respected(self, grid, landscape):
+        origin = landscape.study_area.anchor
+        records = [TraceRecord(
+            dataset="d", time_s=0.0, client_id="c", network=NetworkId.NET_A,
+            kind=MeasurementType.TCP_DOWNLOAD, lat=origin.lat, lon=origin.lon,
+            speed_ms=0.0, value=1e6,
+        )]
+        pmap = ZonePerformanceMap.from_records(records, grid, min_samples=2)
+        assert pmap.zones() == []
+
+
+class TestSelectors:
+    def test_fixed(self):
+        sel = FixedSelector(NetworkId.NET_C)
+        assert sel.select((0, 0), 7) is NetworkId.NET_C
+
+    def test_round_robin_cycles(self):
+        sel = RoundRobinSelector(ALL)
+        picks = [sel.select((0, 0), i) for i in range(6)]
+        assert picks == ALL + ALL
+
+    def test_best_zone_with_fallback(self, grid):
+        pmap = ZonePerformanceMap(grid)
+        pmap.set_rate((0, 0), NetworkId.NET_B, 5e5)
+        sel = BestZoneSelector(pmap, ALL, fallback=NetworkId.NET_C)
+        assert sel.select((0, 0), 0) is NetworkId.NET_B
+        assert sel.select((9, 9), 0) is NetworkId.NET_C
+        assert sel.unknown_zone_hits == 1
+
+
+class TestMultiSimClient:
+    def test_fetch_accounts_pages(self, landscape, grid):
+        client = MultiSimClient(
+            landscape, StaticPosition(landscape.study_area.anchor.offset(500.0, 0.0)),
+            grid, ALL, seed=1,
+        )
+        pages = surge_page_pool(count=10, seed=9)
+        result = client.fetch(pages, FixedSelector(NetworkId.NET_B), 3600.0)
+        assert len(result.per_page_s) == 10
+        assert result.bytes_fetched == sum(p.size_bytes for p in pages)
+        assert result.total_duration_s == pytest.approx(sum(result.per_page_s), rel=1e-6)
+
+    def test_switch_delay_counted(self, landscape, grid):
+        client = MultiSimClient(
+            landscape, StaticPosition(landscape.study_area.anchor),
+            grid, ALL, seed=2, switch_delay_s=5.0,
+        )
+        pages = surge_page_pool(count=6, seed=10)
+        result = client.fetch(pages, RoundRobinSelector(ALL), 100.0)
+        assert result.switches == 5
+        assert result.total_duration_s > sum(result.per_page_s)
+
+    def test_requires_network(self, landscape, grid):
+        with pytest.raises(ValueError):
+            MultiSimClient(landscape, StaticPosition(landscape.study_area.anchor), grid, [])
+
+
+class TestHysteresisSelector:
+    def _pmap(self, grid):
+        from repro.apps.multisim import ZonePerformanceMap
+
+        pmap = ZonePerformanceMap(grid)
+        # Zone 0: B slightly better; zone 1: C hugely better.
+        pmap.set_rate((0, 0), NetworkId.NET_A, 1.00e6)
+        pmap.set_rate((0, 0), NetworkId.NET_B, 1.05e6)
+        pmap.set_rate((1, 0), NetworkId.NET_A, 1.00e6)
+        pmap.set_rate((1, 0), NetworkId.NET_C, 2.00e6)
+        return pmap
+
+    def test_ignores_small_gains(self, grid):
+        from repro.apps.multisim import HysteresisSelector
+
+        sel = HysteresisSelector(self._pmap(grid), ALL, gain_threshold=0.2,
+                                 fallback=NetworkId.NET_A)
+        assert sel.select((0, 0), 0) is NetworkId.NET_A  # +5% not worth it
+
+    def test_takes_large_gains(self, grid):
+        from repro.apps.multisim import HysteresisSelector
+
+        sel = HysteresisSelector(self._pmap(grid), ALL, gain_threshold=0.2,
+                                 fallback=NetworkId.NET_A)
+        assert sel.select((1, 0), 0) is NetworkId.NET_C  # +100%
+        # ...and then sticks with the choice.
+        assert sel.select((0, 0), 1) is NetworkId.NET_C
+
+    def test_unknown_zone_keeps_current(self, grid):
+        from repro.apps.multisim import HysteresisSelector
+
+        sel = HysteresisSelector(self._pmap(grid), ALL, fallback=NetworkId.NET_B)
+        assert sel.select((9, 9), 0) is NetworkId.NET_B
+
+    def test_invalid_threshold(self, grid):
+        from repro.apps.multisim import HysteresisSelector
+
+        with pytest.raises(ValueError):
+            HysteresisSelector(self._pmap(grid), ALL, gain_threshold=-0.1)

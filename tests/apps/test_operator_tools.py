@@ -1,0 +1,103 @@
+"""Tests for operator-side analyses."""
+
+import numpy as np
+import pytest
+
+from repro.apps.operator_tools import (
+    detect_latency_surges,
+    variable_zone_report,
+    zones_with_persistent_ping_failures,
+)
+from repro.clients.protocol import MeasurementType
+from repro.datasets.records import TraceRecord
+from repro.geo.coords import GeoPoint
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+DAY = 86400.0
+
+
+def _ping(east, day, failures, value=0.12):
+    p = ORIGIN.offset(east, 0.0)
+    return TraceRecord(
+        dataset="d", time_s=day * DAY + 3600.0, client_id="c",
+        network=NetworkId.NET_B, kind=MeasurementType.PING,
+        lat=p.lat, lon=p.lon, speed_ms=0.0, value=value, failures=failures,
+    )
+
+
+def _tcp(east, value, t=0.0):
+    p = ORIGIN.offset(east, 0.0)
+    return TraceRecord(
+        dataset="d", time_s=t, client_id="c",
+        network=NetworkId.NET_B, kind=MeasurementType.TCP_DOWNLOAD,
+        lat=p.lat, lon=p.lon, speed_ms=0.0, value=value,
+    )
+
+
+class TestPingFailureZones:
+    def test_persistent_failures_flagged(self):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        records = [_ping(0.0, d, failures=1) for d in range(6)]
+        records += [_ping(2000.0, d, failures=1) for d in range(2)]  # too few days
+        records += [_ping(4000.0, d, failures=0) for d in range(10)]  # healthy
+        flagged = zones_with_persistent_ping_failures(records, grid, min_days=5)
+        assert flagged == [grid.zone_id_for(ORIGIN)]
+
+    def test_failures_on_same_day_count_once(self):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        records = [_ping(0.0, 0, failures=1) for _ in range(20)]
+        assert zones_with_persistent_ping_failures(records, grid, min_days=2) == []
+
+
+class TestVariableZoneReport:
+    def test_failing_zones_more_variable(self, rng):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        records = []
+        # Healthy zone: tight throughput, no ping failures.
+        for i in range(80):
+            records.append(_tcp(3000.0, float(rng.normal(1e6, 3e4)), t=i * 600.0))
+            records.append(_ping(3000.0, i % 10, failures=0))
+        # Sick zone: wild throughput, daily ping failures.
+        for i in range(80):
+            records.append(_tcp(0.0, float(rng.normal(1e6, 4e5)), t=i * 600.0))
+            records.append(_ping(0.0, i % 10, failures=1))
+        report = variable_zone_report(records, grid, min_samples=50, min_fail_days=5)
+        assert len(report.failing_zone_ids) == 1
+        assert report.failing_rel_stds[0] > 3 * max(report.healthy_rel_stds)
+
+
+class TestSurgeDetection:
+    def _series(self, surge_mult=4.0, surge_hours=(10, 13)):
+        series = []
+        for minute in range(0, 18 * 60, 10):
+            t = minute * 60.0
+            base = 0.115
+            h = t / 3600.0
+            if surge_hours[0] <= h < surge_hours[1]:
+                base *= surge_mult
+            series.append((t, base))
+        return series
+
+    def test_sustained_surge_detected(self):
+        alerts = detect_latency_surges(self._series(), (0, 0), NetworkId.NET_B)
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.magnitude == pytest.approx(4.0, rel=0.1)
+        assert alert.duration_s == pytest.approx(3 * 3600.0, abs=1800.0)
+
+    def test_transient_ignored(self):
+        # A 20-minute blip is shorter than min_duration_s.
+        series = self._series(surge_mult=4.0, surge_hours=(10.0, 10.33))
+        alerts = detect_latency_surges(
+            series, (0, 0), NetworkId.NET_B, min_duration_s=1800.0
+        )
+        assert alerts == []
+
+    def test_no_surge_no_alert(self):
+        series = self._series(surge_mult=1.0)
+        assert detect_latency_surges(series, (0, 0), NetworkId.NET_B) == []
+
+    def test_empty_series(self):
+        assert detect_latency_surges([], (0, 0), NetworkId.NET_B) == []

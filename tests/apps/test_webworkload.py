@@ -1,0 +1,58 @@
+"""Tests for the SURGE-like web workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.webworkload import (
+    MAX_PAGE_BYTES,
+    MIN_PAGE_BYTES,
+    WELL_KNOWN_SITES,
+    surge_page_pool,
+    total_bytes,
+    website_bundle,
+)
+
+
+class TestSurgePool:
+    def test_count_and_ids_unique(self):
+        pages = surge_page_pool(count=500, seed=1)
+        assert len(pages) == 500
+        assert len({p.page_id for p in pages}) == 500
+
+    def test_sizes_within_paper_range(self):
+        for p in surge_page_pool(count=1000, seed=2):
+            assert MIN_PAGE_BYTES <= p.size_bytes <= MAX_PAGE_BYTES
+
+    def test_heavy_tail(self):
+        sizes = np.array([p.size_bytes for p in surge_page_pool(count=2000, seed=3)])
+        # Heavy tail: mean well above median; some pages near the cap.
+        assert sizes.mean() > 1.5 * np.median(sizes)
+        assert sizes.max() > 1_000_000
+
+    def test_deterministic(self):
+        a = [p.size_bytes for p in surge_page_pool(count=100, seed=4)]
+        b = [p.size_bytes for p in surge_page_pool(count=100, seed=4)]
+        assert a == b
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            surge_page_pool(count=0)
+
+
+class TestWebsiteBundles:
+    def test_all_sites_present(self):
+        assert set(WELL_KNOWN_SITES) == {"cnn", "microsoft", "youtube", "amazon"}
+
+    def test_bundle_structure(self):
+        pages = website_bundle("cnn")
+        assert len(pages) == len(WELL_KNOWN_SITES["cnn"])
+        assert all(p.page_id.startswith("cnn-") for p in pages)
+
+    def test_microsoft_lean(self):
+        assert total_bytes(website_bundle("microsoft")) < total_bytes(
+            website_bundle("youtube")
+        )
+
+    def test_unknown_site(self):
+        with pytest.raises(KeyError):
+            website_bundle("geocities")

@@ -1,0 +1,71 @@
+"""Tests for the Pathload-like estimator."""
+
+import numpy as np
+import pytest
+
+from repro.bwest.pathload import PathloadEstimator
+from repro.network.channel import MeasurementChannel
+from repro.radio.technology import NetworkId
+
+
+@pytest.fixture()
+def channel(landscape):
+    return MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(3))
+
+
+@pytest.fixture()
+def point(landscape):
+    return landscape.study_area.anchor.offset(1300.0, 700.0)
+
+
+class TestTrendDetection:
+    def test_flat_delays_no_trend(self):
+        est = PathloadEstimator()
+        rng = np.random.default_rng(1)
+        delays = list(0.06 + rng.normal(0.0, 0.003, 80))
+        assert not est._increasing_trend(delays)
+
+    def test_ramp_detected(self):
+        est = PathloadEstimator()
+        rng = np.random.default_rng(2)
+        delays = list(
+            0.06 + 0.0005 * np.arange(80) + rng.normal(0.0, 0.003, 80)
+        )
+        assert est._increasing_trend(delays)
+
+    def test_heavy_loss_treated_as_congested(self):
+        assert PathloadEstimator()._increasing_trend([0.06] * 5)
+
+
+class TestEstimation:
+    def test_estimate_in_link_ballpark(self, channel, point):
+        result = PathloadEstimator().estimate(channel, point, 3600.0)
+        link = channel.link_at(point, 3600.0)
+        assert 0.2 * link.downlink_bps < result.estimate_bps < 1.6 * link.downlink_bps
+
+    def test_range_consistent(self, channel, point):
+        result = PathloadEstimator().estimate(channel, point, 7200.0)
+        assert result.low_bps <= result.estimate_bps <= result.high_bps
+        assert result.iterations >= 1
+
+    def test_tends_to_underestimate(self, landscape, point):
+        """Paper section 3.3.1: Pathload under-estimates on cellular."""
+        ratios = []
+        for i in range(8):
+            ch = MeasurementChannel(
+                landscape, NetworkId.NET_B, np.random.default_rng(50 + i)
+            )
+            t = 3600.0 * (1 + i)
+            truth = np.mean([
+                ch.udp_train(point, t - 30.0 + 6 * k, n_packets=100,
+                             inter_packet_delay_s=0.0005).throughput_bps
+                for k in range(10)
+            ])
+            ratios.append(
+                PathloadEstimator().estimate(ch, point, t).estimate_bps / truth
+            )
+        assert np.mean(ratios) < 1.05
+
+    def test_invalid_train_length(self):
+        with pytest.raises(ValueError):
+            PathloadEstimator(train_length=5)

@@ -1,0 +1,72 @@
+"""Tests for the WBest-like estimator."""
+
+import numpy as np
+import pytest
+
+from repro.bwest.pathload import PathloadEstimator
+from repro.bwest.wbest import WBestEstimator
+from repro.network.channel import MeasurementChannel
+from repro.radio.technology import NetworkId
+
+
+@pytest.fixture()
+def point(landscape):
+    return landscape.study_area.anchor.offset(1300.0, 700.0)
+
+
+class TestStages:
+    def test_pair_dispersions_positive(self, landscape, point):
+        ch = MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(4))
+        disp = WBestEstimator()._pair_dispersions(ch, point, 100.0)
+        assert len(disp) >= 30
+        assert all(d > 0 for d in disp)
+
+    def test_result_fields(self, landscape, point):
+        ch = MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(5))
+        result = WBestEstimator().estimate(ch, point, 500.0)
+        assert result.capacity_bps > 0
+        assert 0.0 <= result.available_bps <= result.capacity_bps
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WBestEstimator(n_pairs=2)
+
+
+class TestPaperFinding:
+    """Section 3.3.1: both tools under-estimate; WBest is worse.
+
+    This negative result is why WiScape measures with plain UDP
+    downloads instead of dedicated estimation tools.
+    """
+
+    @pytest.fixture(scope="class")
+    def ratios(self, landscape):
+        point = landscape.study_area.anchor.offset(1300.0, 700.0)
+        wb, pl = [], []
+        for i in range(10):
+            ch = MeasurementChannel(
+                landscape, NetworkId.NET_B, np.random.default_rng(80 + i)
+            )
+            t = 3600.0 * (1 + i)
+            truth = np.mean([
+                ch.udp_train(point, t - 30.0 + 6 * k, n_packets=100,
+                             inter_packet_delay_s=0.0005).throughput_bps
+                for k in range(10)
+            ])
+            wb.append(WBestEstimator().estimate(ch, point, t).available_bps / truth)
+            pl.append(PathloadEstimator().estimate(ch, point, t).estimate_bps / truth)
+        return np.asarray(wb), np.asarray(pl)
+
+    def test_wbest_underestimates(self, ratios):
+        wbest, _ = ratios
+        assert np.mean(wbest) < 1.0
+
+    def test_wbest_worse_than_pathload(self, ratios):
+        wbest, pathload = ratios
+        assert np.mean(wbest) <= np.mean(pathload) + 0.05
+
+    def test_underestimation_magnitudes_plausible(self, ratios):
+        wbest, pathload = ratios
+        # Paper: WBest up to ~70% under, Pathload up to ~40% under.
+        assert wbest.min() < 0.85
+        assert pathload.min() < 0.95

@@ -1,0 +1,125 @@
+"""Tests for the client measurement agent."""
+
+import math
+
+import pytest
+
+from repro.clients.agent import ClientAgent
+from repro.clients.device import Device, DeviceCategory
+from repro.clients.protocol import MeasurementTask, MeasurementType
+from repro.mobility.models import RouteFollower, StaticPosition
+from repro.mobility.routes import Route
+from repro.radio.technology import NetworkId
+
+ALL = [NetworkId.NET_A, NetworkId.NET_B, NetworkId.NET_C]
+
+
+@pytest.fixture()
+def static_agent(landscape):
+    point = landscape.study_area.anchor.offset(1100.0, -300.0)
+    device = Device("dev-1", DeviceCategory.LAPTOP_USB, ALL, seed=1)
+    return ClientAgent("client-1", device, StaticPosition(point), landscape, seed=2)
+
+
+def _task(kind, network=NetworkId.NET_B, task_id=1, **params):
+    return MeasurementTask(
+        task_id=task_id, network=network, kind=kind, params=dict(params)
+    )
+
+
+class TestExecution:
+    def test_udp_report(self, static_agent):
+        report = static_agent.execute(_task(MeasurementType.UDP_TRAIN), 3600.0)
+        assert report is not None
+        assert report.kind is MeasurementType.UDP_TRAIN
+        assert report.value > 1e5
+        assert report.samples  # per-packet rate samples
+        assert "jitter_s" in report.extras
+        assert 0.0 <= report.extras["loss_rate"] <= 1.0
+
+    def test_tcp_report(self, static_agent):
+        report = static_agent.execute(
+            _task(MeasurementType.TCP_DOWNLOAD, size_bytes=200_000), 3600.0
+        )
+        assert report.value > 1e5
+        assert report.extras["duration_s"] > 0
+        assert report.end_s > report.start_s
+
+    def test_ping_report(self, static_agent):
+        report = static_agent.execute(
+            _task(MeasurementType.PING, count=10, interval_s=1.0), 3600.0
+        )
+        assert 0.05 < report.value < 0.5  # mean RTT in seconds
+        assert len(report.samples) + report.extras["failures"] == 10
+
+    def test_gps_tagging(self, static_agent, landscape):
+        report = static_agent.execute(_task(MeasurementType.PING), 100.0)
+        true_pos = static_agent.position(100.0)
+        assert true_pos.distance_to(report.point) < 50.0
+
+    def test_counters(self, static_agent):
+        before = static_agent.reports_completed
+        static_agent.execute(_task(MeasurementType.PING), 200.0)
+        assert static_agent.reports_completed == before + 1
+        assert static_agent.bytes_transferred >= 0
+
+
+class TestRefusals:
+    def test_unsupported_network(self, landscape):
+        device = Device("dev-2", DeviceCategory.LAPTOP_USB, [NetworkId.NET_B], seed=3)
+        agent = ClientAgent(
+            "client-2", device,
+            StaticPosition(landscape.study_area.anchor), landscape, seed=4,
+        )
+        assert agent.execute(_task(MeasurementType.PING, network=NetworkId.NET_A), 0.0) is None
+        assert agent.tasks_refused == 1
+
+    def test_inactive_client(self, landscape):
+        route = Route(
+            name="r",
+            waypoints=[
+                landscape.study_area.anchor,
+                landscape.study_area.anchor.offset(3000.0, 0.0),
+            ],
+        )
+        movement = RouteFollower(route, day_start_h=9.0, day_end_h=17.0, seed=5)
+        device = Device("dev-3", DeviceCategory.SBC_PCMCIA, ALL, seed=5)
+        agent = ClientAgent("client-3", device, movement, landscape, seed=6)
+        # 03:00: bus parked -> refuses.
+        assert agent.execute(_task(MeasurementType.PING), 3 * 3600.0) is None
+        # 12:00: active -> executes.
+        assert agent.execute(_task(MeasurementType.PING, task_id=2), 12 * 3600.0) is not None
+
+    def test_expired_task(self, static_agent):
+        task = MeasurementTask(
+            task_id=9,
+            network=NetworkId.NET_B,
+            kind=MeasurementType.PING,
+            deadline_s=10.0,
+        )
+        assert static_agent.execute(task, 20.0) is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_reports(self, landscape):
+        def make():
+            device = Device("dev-x", DeviceCategory.LAPTOP_USB, ALL, seed=7)
+            return ClientAgent(
+                "client-x", device,
+                StaticPosition(landscape.study_area.anchor.offset(500.0, 0.0)),
+                landscape, seed=8,
+            )
+
+        r1 = make().execute(_task(MeasurementType.UDP_TRAIN), 1000.0)
+        r2 = make().execute(_task(MeasurementType.UDP_TRAIN), 1000.0)
+        assert r1.value == r2.value
+        assert r1.samples == r2.samples
+
+
+class TestUplinkTask:
+    def test_uplink_param_measures_uplink(self, static_agent):
+        down = static_agent.execute(_task(MeasurementType.UDP_TRAIN, task_id=50), 5000.0)
+        up = static_agent.execute(
+            _task(MeasurementType.UDP_TRAIN, task_id=51, uplink=1), 5000.0
+        )
+        assert up.value < down.value

@@ -1,0 +1,60 @@
+"""Tests for device categories and heterogeneity."""
+
+import pytest
+
+from repro.clients.device import Device, DeviceCategory, default_profile
+from repro.radio.technology import NetworkId
+
+BC = [NetworkId.NET_B, NetworkId.NET_C]
+
+
+class TestProfiles:
+    def test_all_categories_have_profiles(self):
+        for cat in DeviceCategory:
+            profile = default_profile(cat)
+            assert profile.category is cat
+            assert profile.rate_factor > 0
+
+    def test_phones_constrained(self):
+        """Paper section 3.3: phone front-ends are weaker than laptops."""
+        phone = default_profile(DeviceCategory.PHONE)
+        laptop = default_profile(DeviceCategory.LAPTOP_USB)
+        assert phone.rate_factor < laptop.rate_factor
+
+
+class TestDevice:
+    def test_requires_interface(self):
+        with pytest.raises(ValueError):
+            Device("d", DeviceCategory.LAPTOP_USB, [])
+
+    def test_supports(self):
+        dev = Device("d", DeviceCategory.LAPTOP_USB, BC, seed=1)
+        assert dev.supports(NetworkId.NET_B)
+        assert not dev.supports(NetworkId.NET_A)
+
+    def test_rate_bias_stable(self):
+        dev = Device("d", DeviceCategory.LAPTOP_USB, BC, seed=1)
+        assert dev.rate_bias(NetworkId.NET_B) == dev.rate_bias(NetworkId.NET_B)
+
+    def test_rate_bias_reproducible(self):
+        a = Device("d", DeviceCategory.LAPTOP_USB, BC, seed=1)
+        b = Device("d", DeviceCategory.LAPTOP_USB, BC, seed=1)
+        assert a.rate_bias(NetworkId.NET_B) == b.rate_bias(NetworkId.NET_B)
+
+    def test_devices_differ(self):
+        a = Device("d1", DeviceCategory.LAPTOP_USB, BC, seed=1)
+        b = Device("d2", DeviceCategory.LAPTOP_USB, BC, seed=1)
+        assert a.rate_bias(NetworkId.NET_B) != b.rate_bias(NetworkId.NET_B)
+
+    def test_bias_near_category_factor(self):
+        biases = [
+            Device(f"d{i}", DeviceCategory.PHONE, BC, seed=7).rate_bias(NetworkId.NET_B)
+            for i in range(30)
+        ]
+        mean = sum(biases) / len(biases)
+        assert mean == pytest.approx(0.80, rel=0.1)
+
+    def test_unsupported_interface_keyerror(self):
+        dev = Device("d", DeviceCategory.LAPTOP_USB, BC, seed=1)
+        with pytest.raises(KeyError):
+            dev.rate_bias(NetworkId.NET_A)

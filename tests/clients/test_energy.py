@@ -1,0 +1,75 @@
+"""Tests for the client energy model."""
+
+import pytest
+
+from repro.clients.energy import EnergyMeter, RadioEnergyModel
+
+
+class TestRadioEnergyModel:
+    def test_components_add_up(self):
+        model = RadioEnergyModel(
+            promotion_j=0.5, active_w=1.0, tail_w=0.5, tail_s=10.0
+        )
+        assert model.transfer_energy_j(2.0) == pytest.approx(0.5 + 2.0 + 5.0)
+
+    def test_zero_duration_still_costs(self):
+        """Waking the radio costs energy even for a tiny probe."""
+        model = RadioEnergyModel()
+        assert model.transfer_energy_j(0.0) > 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            RadioEnergyModel().transfer_energy_j(-1.0)
+
+    def test_longer_transfers_cost_more(self):
+        model = RadioEnergyModel()
+        assert model.transfer_energy_j(10.0) > model.transfer_energy_j(1.0)
+
+
+class TestEnergyMeter:
+    def test_accumulates(self):
+        meter = EnergyMeter(RadioEnergyModel(promotion_j=1.0, active_w=1.0, tail_w=0.0, tail_s=0.0))
+        meter.record_transfer(1.0)
+        meter.record_transfer(3.0)
+        assert meter.transfers == 2
+        assert meter.total_j == pytest.approx(6.0)
+        assert meter.mean_j_per_transfer == pytest.approx(3.0)
+
+    def test_battery_fraction(self):
+        meter = EnergyMeter(RadioEnergyModel(promotion_j=0.0, active_w=1.0, tail_w=0.0, tail_s=0.0))
+        meter.record_transfer(185.0)
+        assert meter.as_battery_fraction(battery_j=18_500.0) == pytest.approx(0.01)
+
+    def test_invalid_battery(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().as_battery_fraction(battery_j=0.0)
+
+    def test_empty_meter(self):
+        meter = EnergyMeter()
+        assert meter.total_j == 0.0
+        assert meter.mean_j_per_transfer == 0.0
+
+
+class TestAgentIntegration:
+    def test_agent_accumulates_energy(self, landscape):
+        from repro.clients.agent import ClientAgent
+        from repro.clients.device import Device, DeviceCategory
+        from repro.clients.protocol import MeasurementTask, MeasurementType
+        from repro.mobility.models import StaticPosition
+        from repro.radio.technology import NetworkId
+
+        device = Device("e1", DeviceCategory.PHONE, [NetworkId.NET_B], seed=1)
+        agent = ClientAgent(
+            "e1", device, StaticPosition(landscape.study_area.anchor), landscape, seed=2
+        )
+        assert agent.energy.total_j == 0.0
+        for k in range(3):
+            agent.execute(
+                MeasurementTask(
+                    task_id=k, network=NetworkId.NET_B,
+                    kind=MeasurementType.PING, params={"count": 5, "interval_s": 1.0},
+                ),
+                100.0 + 60.0 * k,
+            )
+        assert agent.energy.transfers == 3
+        assert agent.energy.total_j > 0.0

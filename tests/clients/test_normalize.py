@@ -1,0 +1,123 @@
+"""Tests for cross-category normalization."""
+
+import numpy as np
+import pytest
+
+from repro.clients.device import DeviceCategory
+from repro.clients.normalize import CategoryNormalizer, CategoryObservation
+from repro.radio.technology import NetworkId
+
+LAPTOP = DeviceCategory.LAPTOP_USB
+PHONE = DeviceCategory.PHONE
+SBC = DeviceCategory.SBC_PCMCIA
+
+
+def _obs(category, zone, mean, net=NetworkId.NET_B, n=10):
+    return CategoryObservation(
+        category=category, zone_id=zone, network=net, mean_bps=mean, n_samples=n
+    )
+
+
+class TestAggregate:
+    def test_grouping_and_min_samples(self):
+        reports = [(PHONE, (0, 0), NetworkId.NET_B, 1e6)] * 6
+        reports += [(LAPTOP, (0, 0), NetworkId.NET_B, 1.2e6)] * 2  # too few
+        observations = CategoryNormalizer.aggregate(reports, min_samples=5)
+        assert len(observations) == 1
+        assert observations[0].category is PHONE
+        assert observations[0].mean_bps == pytest.approx(1e6)
+
+    def test_nan_ignored(self):
+        reports = [(PHONE, (0, 0), NetworkId.NET_B, float("nan"))] * 10
+        assert CategoryNormalizer.aggregate(reports, min_samples=1) == []
+
+
+class TestFit:
+    def test_learns_median_ratio(self):
+        normalizer = CategoryNormalizer(reference=LAPTOP)
+        observations = []
+        for i, ratio in enumerate([0.78, 0.80, 0.82, 0.79, 0.95]):
+            base = 1e6 * (1 + 0.1 * i)
+            observations.append(_obs(LAPTOP, (i, 0), base))
+            observations.append(_obs(PHONE, (i, 0), base * ratio))
+        normalizer.fit(observations)
+        assert normalizer.factor(PHONE) == pytest.approx(0.80, abs=0.02)
+        assert normalizer.support(PHONE) == 5
+
+    def test_reference_factor_is_one(self):
+        assert CategoryNormalizer().factor(LAPTOP) == 1.0
+
+    def test_insufficient_cells_not_learned(self):
+        normalizer = CategoryNormalizer()
+        observations = [
+            _obs(LAPTOP, (0, 0), 1e6),
+            _obs(PHONE, (0, 0), 0.8e6),
+        ]
+        normalizer.fit(observations, min_shared_cells=3)
+        with pytest.raises(KeyError):
+            normalizer.factor(PHONE)
+
+    def test_cells_without_reference_skipped(self):
+        normalizer = CategoryNormalizer()
+        observations = [_obs(PHONE, (i, 0), 1e6) for i in range(5)]
+        normalizer.fit(observations)
+        with pytest.raises(KeyError):
+            normalizer.factor(PHONE)
+
+
+class TestNormalize:
+    def _fitted(self):
+        normalizer = CategoryNormalizer()
+        observations = []
+        for i in range(4):
+            observations.append(_obs(LAPTOP, (i, 0), 1e6))
+            observations.append(_obs(PHONE, (i, 0), 8e5))
+        normalizer.fit(observations)
+        return normalizer
+
+    def test_normalize_value(self):
+        normalizer = self._fitted()
+        assert normalizer.normalize(PHONE, 8e5) == pytest.approx(1e6)
+
+    def test_normalize_samples(self):
+        normalizer = self._fitted()
+        out = normalizer.normalize_samples(PHONE, [8e5, 4e5])
+        assert out == pytest.approx([1e6, 5e5])
+
+    def test_end_to_end_with_simulated_devices(self, landscape):
+        """Phone samples normalized into the laptop frame become
+        composable — the paper's future-work scenario."""
+        from repro.clients.agent import ClientAgent
+        from repro.clients.device import Device
+        from repro.clients.protocol import MeasurementTask, MeasurementType
+        from repro.geo.zones import ZoneGrid
+        from repro.mobility.models import StaticPosition
+
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        reports = []
+        agents = {}
+        for category, label in ((LAPTOP, "lap"), (PHONE, "ph")):
+            values = []
+            for zone_i in range(3):
+                point = landscape.study_area.anchor.offset(900.0 * zone_i, 0.0)
+                device = Device(f"{label}{zone_i}", category, [NetworkId.NET_B], seed=3)
+                agent = ClientAgent(
+                    f"{label}{zone_i}", device, StaticPosition(point), landscape, seed=4
+                )
+                for k in range(8):
+                    report = agent.execute(
+                        MeasurementTask(
+                            task_id=k, network=NetworkId.NET_B,
+                            kind=MeasurementType.UDP_TRAIN,
+                            params={"n_packets": 60},
+                        ),
+                        500.0 + 120.0 * k,
+                    )
+                    reports.append(
+                        (category, grid.zone_id_for(report.point),
+                         NetworkId.NET_B, report.value)
+                    )
+        normalizer = CategoryNormalizer(reference=LAPTOP)
+        normalizer.fit(CategoryNormalizer.aggregate(reports, min_samples=5))
+        # The learned factor reflects the phone's weaker front-end (~0.8).
+        assert 0.65 <= normalizer.factor(PHONE) <= 0.95

@@ -1,0 +1,66 @@
+"""Tests for the coordinator/client protocol types."""
+
+import math
+
+from repro.clients.protocol import (
+    MeasurementReport,
+    MeasurementTask,
+    MeasurementType,
+)
+from repro.geo.coords import GeoPoint
+from repro.radio.technology import NetworkId
+
+P = GeoPoint(43.0, -89.4)
+
+
+class TestMeasurementTask:
+    def test_expiry(self):
+        task = MeasurementTask(
+            task_id=1,
+            network=NetworkId.NET_B,
+            kind=MeasurementType.PING,
+            issued_at_s=0.0,
+            deadline_s=100.0,
+        )
+        assert not task.expired(50.0)
+        assert not task.expired(100.0)
+        assert task.expired(100.1)
+
+    def test_no_deadline_never_expires(self):
+        task = MeasurementTask(
+            task_id=1, network=NetworkId.NET_B, kind=MeasurementType.PING
+        )
+        assert not task.expired(1e12)
+
+    def test_params_default_empty(self):
+        task = MeasurementTask(
+            task_id=1, network=NetworkId.NET_A, kind=MeasurementType.UDP_TRAIN
+        )
+        assert task.params == {}
+
+
+class TestMeasurementReport:
+    def _report(self, value=1e6, kind=MeasurementType.UDP_TRAIN, **extras):
+        return MeasurementReport(
+            task_id=1,
+            client_id="c",
+            network=NetworkId.NET_B,
+            kind=kind,
+            start_s=10.0,
+            end_s=12.0,
+            point=P,
+            speed_ms=3.0,
+            value=value,
+            extras=dict(extras),
+        )
+
+    def test_duration(self):
+        assert self._report().duration_s == 2.0
+
+    def test_nan_value_is_failure(self):
+        assert self._report(value=float("nan")).is_failure()
+        assert not self._report(value=5.0).is_failure()
+
+    def test_kind_round_trips_as_string(self):
+        assert MeasurementType("udp") is MeasurementType.UDP_TRAIN
+        assert str(MeasurementType.TCP_DOWNLOAD) == "tcp"

@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+Landscape construction is moderately expensive (base-station placement
+and field calibration over the city grid), so the standard world is
+built once per session.  Tests that mutate a landscape (e.g. attach
+events) build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.network import build_landscape
+
+
+@pytest.fixture(scope="session")
+def landscape():
+    """The standard three-carrier world (city + road + NJ)."""
+    return build_landscape(seed=7)
+
+
+@pytest.fixture(scope="session")
+def city_only_landscape():
+    """A lighter world: city only, no road corridor, no NJ."""
+    return build_landscape(seed=7, include_road=False, include_nj=False)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

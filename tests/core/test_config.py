@@ -1,0 +1,45 @@
+"""Tests for WiScape configuration validation."""
+
+import pytest
+
+from repro.core.config import WiScapeConfig
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        cfg = WiScapeConfig()
+        assert cfg.zone_radius_m == 250.0  # section 3.1
+        assert cfg.default_sample_budget == 100  # "around 100 samples"
+        assert cfg.nkld_threshold == 0.1  # section 3.3
+        assert cfg.change_sigma == 2.0  # section 3.4
+
+    def test_frozen(self):
+        cfg = WiScapeConfig()
+        with pytest.raises(AttributeError):
+            cfg.zone_radius_m = 100.0
+
+
+class TestValidation:
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            WiScapeConfig(zone_radius_m=0.0)
+
+    def test_epoch_bounds(self):
+        with pytest.raises(ValueError):
+            WiScapeConfig(default_epoch_s=10.0, min_epoch_s=60.0)
+
+    def test_budget_ordering(self):
+        with pytest.raises(ValueError):
+            WiScapeConfig(min_sample_budget=200, default_sample_budget=100)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            WiScapeConfig(nkld_threshold=0.0)
+
+    def test_bad_tick(self):
+        with pytest.raises(ValueError):
+            WiScapeConfig(tick_interval_s=-1.0)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            WiScapeConfig(change_sigma=0.0)

@@ -1,0 +1,78 @@
+"""Tests for coverage/freshness accounting."""
+
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.core.coverage import (
+    CoverageReport,
+    blind_neighbor_zones,
+    coverage_report,
+)
+from repro.core.records import ZoneRecordStore
+from repro.geo.coords import GeoPoint
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+KIND = MeasurementType.UDP_TRAIN
+
+
+def _store_with(zones):
+    """A store with one stream per zone; each gets one closed epoch."""
+    store = ZoneRecordStore(default_epoch_s=600.0, default_budget=10)
+    for zone_id, close_at in zones:
+        record = store.get((zone_id, NetworkId.NET_B, KIND), now_s=0.0)
+        record.add_samples([1.0, 2.0], at_s=close_at - 10.0)
+        record.epoch_start_s = close_at - 600.0
+        record.maybe_close_epoch(close_at)
+        record.published = record.current_estimate
+    return store
+
+
+class TestCoverageReport:
+    def test_fresh_vs_stale(self):
+        store = _store_with([((0, 0), 1000.0), ((1, 0), 1000.0)])
+        # First zone fresh (age 200 s), second made stale artificially.
+        store.peek(((1, 0), NetworkId.NET_B, KIND)).published = None
+        report = coverage_report(store, now_s=1200.0)
+        assert len(report.fresh) == 1
+        assert len(report.blind) == 1
+        assert report.fresh_fraction == 0.5
+
+    def test_stale_after_two_epochs(self):
+        store = _store_with([((0, 0), 1000.0)])
+        report = coverage_report(store, now_s=1000.0 + 3 * 600.0)
+        assert len(report.stale) == 1
+        assert report.stale[0].age_s == pytest.approx(1800.0)
+
+    def test_kind_filter(self):
+        store = _store_with([((0, 0), 1000.0)])
+        report = coverage_report(store, now_s=1100.0, kind=MeasurementType.PING)
+        assert report.entries == []
+
+    def test_zones_helper(self):
+        store = _store_with([((0, 0), 1000.0), ((5, 5), 1000.0)])
+        report = coverage_report(store, now_s=1100.0)
+        assert report.zones("fresh") == {(0, 0), (5, 5)}
+
+    def test_empty_store(self):
+        store = ZoneRecordStore(default_epoch_s=600.0, default_budget=10)
+        report = coverage_report(store, now_s=0.0)
+        assert report.fresh_fraction == 0.0
+
+
+class TestBlindNeighbors:
+    def test_ring_around_single_zone(self):
+        grid = ZoneGrid(GeoPoint(43.0, -89.4), radius_m=250.0)
+        blind = blind_neighbor_zones(grid, [(0, 0)])
+        assert len(blind) == 8
+        assert (0, 0) not in blind
+
+    def test_covered_zones_excluded(self):
+        grid = ZoneGrid(GeoPoint(43.0, -89.4), radius_m=250.0)
+        blind = blind_neighbor_zones(grid, [(0, 0), (1, 0)])
+        assert (0, 0) not in blind and (1, 0) not in blind
+        assert (2, 0) in blind
+
+    def test_empty(self):
+        grid = ZoneGrid(GeoPoint(43.0, -89.4), radius_m=250.0)
+        assert blind_neighbor_zones(grid, []) == set()

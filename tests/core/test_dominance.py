@@ -1,0 +1,109 @@
+"""Tests for persistent network dominance."""
+
+import numpy as np
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.core.dominance import (
+    DominanceResult,
+    dominant_network,
+    zone_dominance,
+)
+from repro.datasets.records import TraceRecord
+from repro.geo.coords import GeoPoint
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+B, C = NetworkId.NET_B, NetworkId.NET_C
+
+
+class TestDominantNetwork:
+    def test_clear_winner_higher_better(self, rng):
+        samples = {
+            B: list(rng.normal(2000.0, 50.0, 100)),
+            C: list(rng.normal(1000.0, 50.0, 100)),
+        }
+        assert dominant_network(samples, higher_is_better=True) is B
+
+    def test_clear_winner_lower_better(self, rng):
+        samples = {
+            B: list(rng.normal(0.1, 0.005, 100)),
+            C: list(rng.normal(0.3, 0.005, 100)),
+        }
+        assert dominant_network(samples, higher_is_better=False) is B
+
+    def test_overlapping_no_winner(self, rng):
+        samples = {
+            B: list(rng.normal(1000.0, 200.0, 100)),
+            C: list(rng.normal(1050.0, 200.0, 100)),
+        }
+        assert dominant_network(samples) is None
+
+    def test_needs_two_networks(self, rng):
+        assert dominant_network({B: [1.0] * 20}) is None
+
+    def test_min_samples_respected(self, rng):
+        samples = {B: [2000.0] * 5, C: [1000.0] * 5}
+        assert dominant_network(samples, min_samples=10) is None
+
+    def test_marginal_overlap_at_percentiles(self, rng):
+        """The 5/95 rule: winner's 5th pct must beat rival's 95th."""
+        b = list(rng.normal(1500.0, 100.0, 500))
+        c = list(rng.normal(1100.0, 100.0, 500))
+        # 5th pct of B ~ 1335, 95th of C ~ 1265 -> dominated.
+        assert dominant_network({B: b, C: c}) is B
+
+
+class TestZoneDominance:
+    def _records(self, rng):
+        records = []
+        # Zone at origin: B clearly dominant; zone 2 km east: tie.
+        for i in range(50):
+            for net, base in [(B, 2000.0), (C, 1000.0)]:
+                p = ORIGIN.offset(rng.uniform(-50, 50), rng.uniform(-50, 50))
+                records.append(TraceRecord(
+                    dataset="d", time_s=float(i), client_id="c", network=net,
+                    kind=MeasurementType.TCP_DOWNLOAD, lat=p.lat, lon=p.lon,
+                    speed_ms=0.0, value=float(rng.normal(base, 50.0)),
+                ))
+            for net in (B, C):
+                p = ORIGIN.offset(2000.0 + rng.uniform(-50, 50), 0.0)
+                records.append(TraceRecord(
+                    dataset="d", time_s=float(i), client_id="c", network=net,
+                    kind=MeasurementType.TCP_DOWNLOAD, lat=p.lat, lon=p.lon,
+                    speed_ms=0.0, value=float(rng.normal(1500.0, 300.0)),
+                ))
+        return records
+
+    def test_mixed_zones(self, rng):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        result = zone_dominance(
+            self._records(rng), grid, MeasurementType.TCP_DOWNLOAD
+        )
+        assert result.n_zones == 2
+        assert result.n_dominated == 1
+        assert result.dominance_ratio == 0.5
+        assert result.share(B) == 0.5
+        assert result.share(C) == 0.0
+
+    def test_counts(self, rng):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        result = zone_dominance(
+            self._records(rng), grid, MeasurementType.TCP_DOWNLOAD
+        )
+        counts = result.counts()
+        assert counts[B] == 1
+        assert counts[None] == 1
+
+    def test_wrong_kind_filtered(self, rng):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        result = zone_dominance(
+            self._records(rng), grid, MeasurementType.PING
+        )
+        assert result.n_zones == 0
+
+    def test_empty_result_ratio(self):
+        r = DominanceResult(kind=MeasurementType.PING, higher_is_better=False)
+        assert r.dominance_ratio == 0.0
+        assert r.share(B) == 0.0

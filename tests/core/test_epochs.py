@@ -1,0 +1,81 @@
+"""Tests for the epoch estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.epochs import EpochEstimator
+
+
+class TestRegrid:
+    def test_regular_series_passthrough(self):
+        est = EpochEstimator(grid_s=60.0)
+        times = [60.0 * i for i in range(10)]
+        values = [float(i) for i in range(10)]
+        assert est.regrid(times, values) == values
+
+    def test_averages_within_cell(self):
+        est = EpochEstimator(grid_s=60.0)
+        out = est.regrid([0.0, 30.0, 60.0], [1.0, 3.0, 5.0])
+        assert out == [2.0, 5.0]
+
+    def test_gap_holds_last_value(self):
+        est = EpochEstimator(grid_s=60.0)
+        out = est.regrid([0.0, 300.0], [1.0, 9.0])
+        assert out == [1.0, 1.0, 1.0, 1.0, 1.0, 9.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            EpochEstimator().regrid([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert EpochEstimator().regrid([], []) == []
+
+
+class TestEstimate:
+    def test_fallback_on_short_history(self):
+        est = EpochEstimator(min_history_points=100)
+        epoch = est.estimate([60.0 * i for i in range(10)], [1.0] * 10, fallback_s=1800.0)
+        assert epoch == 1800.0
+
+    def test_fallback_clamped(self):
+        est = EpochEstimator(min_epoch_s=600.0, max_epoch_s=3600.0, min_history_points=100)
+        assert est.estimate([], [], fallback_s=10.0) == 600.0
+        assert est.estimate([], [], fallback_s=1e6) == 3600.0
+
+    def test_result_within_bounds(self):
+        rng = np.random.default_rng(1)
+        est = EpochEstimator(min_epoch_s=300.0, max_epoch_s=7200.0, min_history_points=50)
+        n = 5000
+        times = [60.0 * i for i in range(n)]
+        values = list(10.0 + rng.normal(0, 1, n) + np.cumsum(rng.normal(0, 0.01, n)))
+        epoch = est.estimate(times, values, fallback_s=1800.0)
+        assert 300.0 <= epoch <= 7200.0
+
+    def test_noisier_short_scale_gives_longer_epoch(self):
+        """More fast noise pushes the Allan minimum right."""
+        rng = np.random.default_rng(2)
+        n = 8000
+        times = [30.0 * i for i in range(n)]
+        drift = np.cumsum(rng.normal(0, 0.004, n))
+        quiet = list(10.0 + 0.1 * rng.normal(0, 1, n) + drift)
+        noisy = list(10.0 + 2.0 * rng.normal(0, 1, n) + drift)
+        est = EpochEstimator(min_epoch_s=60.0, max_epoch_s=20_000.0, min_history_points=50, grid_s=30.0)
+        assert est.estimate(noisy and times, noisy, 600.0) >= est.estimate(
+            times, quiet, 600.0
+        )
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            EpochEstimator(min_epoch_s=100.0, max_epoch_s=50.0)
+
+
+class TestProfile:
+    def test_profile_empty_for_tiny_series(self):
+        est = EpochEstimator()
+        assert est.profile([0.0, 60.0], [1.0, 2.0]) == []
+
+    def test_candidate_taus_bounded(self):
+        est = EpochEstimator(min_epoch_s=300.0, max_epoch_s=3600.0)
+        taus = est.candidate_taus(span_s=100_000.0)
+        assert min(taus) >= 300.0
+        assert max(taus) <= 3600.0

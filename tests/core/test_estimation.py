@@ -1,0 +1,103 @@
+"""Tests for offline trace-driven estimation."""
+
+import math
+
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.core.estimation import (
+    estimate_zones,
+    estimation_errors,
+    group_by_zone,
+    split_records,
+)
+from repro.datasets.records import TraceRecord
+from repro.geo.coords import GeoPoint
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+
+
+def _rec(east, value, t=0.0, net=NetworkId.NET_B, kind=MeasurementType.TCP_DOWNLOAD):
+    p = ORIGIN.offset(east, 0.0)
+    return TraceRecord(
+        dataset="t", time_s=t, client_id="c", network=net, kind=kind,
+        lat=p.lat, lon=p.lon, speed_ms=0.0, value=value,
+    )
+
+
+@pytest.fixture()
+def grid():
+    return ZoneGrid(ORIGIN, radius_m=250.0)
+
+
+class TestGrouping:
+    def test_groups_by_zone_net_kind(self, grid):
+        records = [
+            _rec(0.0, 1.0),
+            _rec(10.0, 2.0),
+            _rec(2000.0, 3.0),
+            _rec(0.0, 4.0, net=NetworkId.NET_C),
+        ]
+        groups = group_by_zone(records, grid)
+        assert len(groups) == 3
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 1, 2]
+
+
+class TestEstimateZones:
+    def test_mean_and_std(self, grid):
+        records = [_rec(0.0, v) for v in (1.0, 2.0, 3.0)]
+        est = list(estimate_zones(records, grid).values())[0]
+        assert est.mean == pytest.approx(2.0)
+        assert est.n_samples == 3
+
+    def test_min_samples_filter(self, grid):
+        records = [_rec(0.0, 1.0)]
+        assert estimate_zones(records, grid, min_samples=2) == {}
+
+    def test_max_samples_cap(self, grid):
+        records = [_rec(0.0, float(i)) for i in range(100)]
+        est = list(estimate_zones(records, grid, max_samples=10).values())[0]
+        assert est.n_samples == 10
+        assert est.mean == pytest.approx(4.5)
+
+    def test_nan_excluded(self, grid):
+        records = [_rec(0.0, 1.0), _rec(0.0, float("nan")), _rec(0.0, 3.0)]
+        est = list(estimate_zones(records, grid).values())[0]
+        assert est.n_samples == 2
+        assert est.mean == pytest.approx(2.0)
+
+
+class TestSplit:
+    def test_partition(self):
+        records = [_rec(0.0, float(i)) for i in range(100)]
+        client, truth = split_records(records, client_fraction=0.3, seed=1)
+        assert len(client) == 30
+        assert len(truth) == 70
+
+    def test_deterministic(self):
+        records = [_rec(0.0, float(i)) for i in range(50)]
+        a1, _ = split_records(records, 0.2, seed=5)
+        a2, _ = split_records(records, 0.2, seed=5)
+        assert [r.value for r in a1] == [r.value for r in a2]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_records([], client_fraction=0.0)
+
+
+class TestErrors:
+    def test_relative_error(self, grid):
+        records_a = [_rec(0.0, 110.0)] * 3
+        records_b = [_rec(0.0, 100.0)] * 3
+        errs = estimation_errors(
+            estimate_zones(records_a, grid), estimate_zones(records_b, grid)
+        )
+        assert list(errs.values())[0] == pytest.approx(0.10)
+
+    def test_unmatched_zones_skipped(self, grid):
+        a = estimate_zones([_rec(0.0, 1.0)], grid)
+        b = estimate_zones([_rec(5000.0, 1.0)], grid)
+        assert estimation_errors(a, b) == {}

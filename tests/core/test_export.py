@@ -1,0 +1,139 @@
+"""Tests for exporting/importing published estimates."""
+
+import json
+
+import pytest
+
+from repro.clients.protocol import MeasurementReport, MeasurementType
+from repro.core.controller import MeasurementCoordinator
+from repro.core.export import (
+    export_published,
+    load_document,
+    load_performance_map,
+    save_published,
+)
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+
+def _coordinator_with_estimates(landscape):
+    grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+    coordinator = MeasurementCoordinator(grid, seed=1)
+    p = landscape.study_area.anchor
+    for net, rate in [(NetworkId.NET_B, 9e5), (NetworkId.NET_C, 1.3e6)]:
+        for k in range(10):
+            coordinator.ingest(MeasurementReport(
+                task_id=k, client_id="x", network=net,
+                kind=MeasurementType.UDP_TRAIN,
+                start_s=10.0 + k, end_s=11.0 + k, point=p, speed_ms=0.0,
+                value=rate * (1 + 0.01 * k),
+                samples=[rate] * 5,
+            ))
+    for record in coordinator.store.records():
+        coordinator._close_and_alert(record, coordinator.config.default_epoch_s)
+    return coordinator, grid
+
+
+class TestExport:
+    def test_document_structure(self, landscape):
+        coordinator, grid = _coordinator_with_estimates(landscape)
+        doc = export_published(coordinator)
+        assert doc["schema"] == 1
+        assert doc["zone_radius_m"] == 250.0
+        assert len(doc["entries"]) == 2
+        entry = doc["entries"][0]
+        assert set(entry) >= {"zone", "network", "kind", "mean", "p5", "p95"}
+
+    def test_save_and_load(self, landscape, tmp_path):
+        coordinator, grid = _coordinator_with_estimates(landscape)
+        path = tmp_path / "published.json"
+        count = save_published(coordinator, path)
+        assert count == 2
+        doc = load_document(path)
+        assert len(doc["entries"]) == 2
+
+    def test_schema_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            load_document(path)
+
+    def test_performance_map_roundtrip(self, landscape, tmp_path):
+        coordinator, grid = _coordinator_with_estimates(landscape)
+        path = tmp_path / "published.json"
+        save_published(coordinator, path)
+        pmap = load_performance_map(path)
+        zone = grid.zone_id_for(landscape.study_area.anchor)
+        assert pmap.best_network(
+            zone, [NetworkId.NET_B, NetworkId.NET_C]
+        ) is NetworkId.NET_C
+
+    def test_ping_entries_skipped_in_map(self, landscape, tmp_path):
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        coordinator = MeasurementCoordinator(grid, seed=1)
+        p = landscape.study_area.anchor
+        for k in range(5):
+            coordinator.ingest(MeasurementReport(
+                task_id=k, client_id="x", network=NetworkId.NET_B,
+                kind=MeasurementType.PING,
+                start_s=10.0 + k, end_s=11.0 + k, point=p, speed_ms=0.0,
+                value=0.12, samples=[0.12] * 5,
+            ))
+        for record in coordinator.store.records():
+            coordinator._close_and_alert(record, coordinator.config.default_epoch_s)
+        path = tmp_path / "pings.json"
+        save_published(coordinator, path)
+        pmap = load_performance_map(path)
+        assert pmap.zones() == []
+
+
+class TestLiveDominance:
+    def test_dominant_network_query(self, landscape):
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        coordinator = MeasurementCoordinator(grid, seed=1)
+        p = landscape.study_area.anchor
+        zone = grid.zone_id_for(p)
+        # NET_C clearly dominates: its worst samples beat NET_B's best.
+        for net, base in [(NetworkId.NET_B, 8e5), (NetworkId.NET_C, 1.6e6)]:
+            for k in range(30):
+                coordinator.ingest(MeasurementReport(
+                    task_id=k, client_id="x", network=net,
+                    kind=MeasurementType.UDP_TRAIN,
+                    start_s=10.0 + k, end_s=11.0 + k, point=p, speed_ms=0.0,
+                    value=base * (1 + 0.02 * (k % 5)),
+                ))
+        for record in coordinator.store.records():
+            coordinator._close_and_alert(record, coordinator.config.default_epoch_s)
+        winner = coordinator.dominant_network(
+            zone, MeasurementType.UDP_TRAIN,
+            [NetworkId.NET_B, NetworkId.NET_C],
+        )
+        assert winner is NetworkId.NET_C
+
+    def test_no_dominance_when_overlapping(self, landscape):
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        coordinator = MeasurementCoordinator(grid, seed=1)
+        p = landscape.study_area.anchor
+        zone = grid.zone_id_for(p)
+        for net in (NetworkId.NET_B, NetworkId.NET_C):
+            for k in range(30):
+                coordinator.ingest(MeasurementReport(
+                    task_id=k, client_id="x", network=net,
+                    kind=MeasurementType.UDP_TRAIN,
+                    start_s=10.0 + k, end_s=11.0 + k, point=p, speed_ms=0.0,
+                    value=1e6 * (1 + 0.3 * ((k % 7) - 3) / 3),
+                ))
+        for record in coordinator.store.records():
+            coordinator._close_and_alert(record, coordinator.config.default_epoch_s)
+        assert coordinator.dominant_network(
+            zone, MeasurementType.UDP_TRAIN,
+            [NetworkId.NET_B, NetworkId.NET_C],
+        ) is None
+
+    def test_insufficient_data_returns_none(self, landscape):
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        coordinator = MeasurementCoordinator(grid, seed=1)
+        assert coordinator.dominant_network(
+            (0, 0), MeasurementType.UDP_TRAIN,
+            [NetworkId.NET_B, NetworkId.NET_C],
+        ) is None

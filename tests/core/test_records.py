@@ -1,0 +1,126 @@
+"""Tests for zone records and epoch bookkeeping."""
+
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.core.records import ZoneRecord, ZoneRecordStore
+from repro.radio.technology import NetworkId
+
+KEY = ((0, 0), NetworkId.NET_B, MeasurementType.UDP_TRAIN)
+
+
+def _record(epoch_s=600.0, budget=10):
+    return ZoneRecord(key=KEY, epoch_s=epoch_s, sample_budget=budget)
+
+
+class TestAccumulation:
+    def test_samples_needed_decreases(self):
+        rec = _record(budget=10)
+        assert rec.samples_needed() == 10
+        rec.add_samples([1.0, 2.0, 3.0], at_s=5.0)
+        assert rec.samples_needed() == 7
+
+    def test_nan_samples_dropped(self):
+        rec = _record()
+        rec.add_samples([1.0, float("nan"), 2.0], at_s=0.0)
+        assert len(rec.open_samples) == 2
+
+    def test_sample_pool_capped(self):
+        rec = _record()
+        rec.sample_pool_cap = 50
+        rec.add_samples([1.0] * 200, at_s=0.0)
+        assert len(rec.sample_pool) == 50
+
+    def test_series_rolls(self):
+        rec = _record()
+        rec.series_cap = 100
+        for i in range(150):
+            rec.note_measurement(float(i), float(i))
+        assert len(rec.series_values) <= 100
+        assert rec.series_values[-1] == 149.0
+
+
+class TestEpochClose:
+    def test_not_before_boundary(self):
+        rec = _record(epoch_s=600.0)
+        rec.add_samples([1.0], at_s=10.0)
+        assert rec.maybe_close_epoch(599.0) is None
+
+    def test_close_publishes_estimate(self):
+        rec = _record(epoch_s=600.0)
+        rec.add_samples([1.0, 2.0, 3.0], at_s=10.0)
+        est = rec.maybe_close_epoch(600.0)
+        assert est is not None
+        assert est.mean == pytest.approx(2.0)
+        assert est.n_samples == 3
+        assert est.start_s == 0.0
+        assert est.end_s == 600.0
+        assert rec.open_samples == []
+
+    def test_empty_epoch_closes_silently(self):
+        rec = _record(epoch_s=600.0)
+        assert rec.maybe_close_epoch(600.0) is None
+        assert rec.epoch_start_s == 600.0
+
+    def test_multiple_idle_epochs_skipped(self):
+        rec = _record(epoch_s=600.0)
+        rec.maybe_close_epoch(3000.0)
+        assert rec.epoch_start_s == 3000.0
+        assert rec.epoch_index == 5
+
+    def test_estimate_series(self):
+        rec = _record(epoch_s=100.0)
+        rec.add_samples([2.0], at_s=50.0)
+        rec.maybe_close_epoch(100.0)
+        rec.add_samples([4.0], at_s=150.0)
+        rec.maybe_close_epoch(200.0)
+        series = rec.estimate_series()
+        assert [v for _, v in series] == [2.0, 4.0]
+        assert [t for t, _ in series] == [50.0, 150.0]
+
+    def test_relative_std(self):
+        rec = _record(epoch_s=100.0)
+        rec.add_samples([1.0, 3.0], at_s=0.0)
+        est = rec.maybe_close_epoch(100.0)
+        assert est.relative_std == pytest.approx(0.5)
+
+
+class TestMutation:
+    def test_set_epoch_duration(self):
+        rec = _record()
+        rec.set_epoch_duration(1200.0)
+        assert rec.epoch_s == 1200.0
+        with pytest.raises(ValueError):
+            rec.set_epoch_duration(0.0)
+
+    def test_set_sample_budget(self):
+        rec = _record()
+        rec.set_sample_budget(55)
+        assert rec.sample_budget == 55
+        with pytest.raises(ValueError):
+            rec.set_sample_budget(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ZoneRecord(key=KEY, epoch_s=0.0, sample_budget=10)
+        with pytest.raises(ValueError):
+            ZoneRecord(key=KEY, epoch_s=10.0, sample_budget=0)
+
+
+class TestStore:
+    def test_get_creates_aligned(self):
+        store = ZoneRecordStore(default_epoch_s=600.0, default_budget=100)
+        rec = store.get(KEY, now_s=1500.0)
+        assert rec.epoch_start_s == 1200.0  # aligned to boundary
+
+    def test_get_idempotent(self):
+        store = ZoneRecordStore(default_epoch_s=600.0, default_budget=100)
+        assert store.get(KEY, 0.0) is store.get(KEY, 999.0)
+
+    def test_peek_does_not_create(self):
+        store = ZoneRecordStore(default_epoch_s=600.0, default_budget=100)
+        assert store.peek(KEY) is None
+        assert KEY not in store
+        store.get(KEY)
+        assert KEY in store
+        assert len(store) == 1

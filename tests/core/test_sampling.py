@@ -1,0 +1,52 @@
+"""Tests for the NKLD sample-budget planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SampleBudgetPlanner
+
+
+class TestPlan:
+    def test_default_without_history(self):
+        planner = SampleBudgetPlanner(default_budget=100, min_pool=400)
+        assert planner.plan([1.0] * 50) == 100
+
+    def test_plan_within_bounds(self, rng):
+        planner = SampleBudgetPlanner(
+            default_budget=100, min_budget=40, max_budget=150, min_pool=100, seed=1
+        )
+        pool = list(rng.normal(100.0, 10.0, size=3000))
+        assert 40 <= planner.plan(pool) <= 150
+
+    def test_plan_near_paper_value(self, rng):
+        """The paper's headline: ~100 samples characterize an epoch."""
+        planner = SampleBudgetPlanner(min_pool=100, seed=2)
+        pool = list(rng.normal(1e6, 3e5, size=4000))
+        assert 60 <= planner.plan(pool) <= 200
+
+    def test_never_converging_capped_at_max(self):
+        rng = np.random.default_rng(3)
+        pool = list(rng.choice([1.0, 1e6], size=2000))
+        planner = SampleBudgetPlanner(
+            default_budget=50, min_budget=20, max_budget=60,
+            min_pool=100, step=20, iterations=10, seed=3,
+        )
+        assert planner.plan(pool) <= 60
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            SampleBudgetPlanner(default_budget=10, min_budget=20, max_budget=30)
+
+
+class TestConvergenceCurve:
+    def test_monotone_tendency(self, rng):
+        planner = SampleBudgetPlanner(seed=4, iterations=40)
+        pool = list(rng.normal(50.0, 5.0, size=4000))
+        curve = planner.convergence_curve(pool, counts=[10, 50, 150])
+        values = [v for _, v in curve]
+        assert values[-1] < values[0]
+
+    def test_counts_beyond_pool_skipped(self):
+        planner = SampleBudgetPlanner(seed=5)
+        curve = planner.convergence_curve([1.0] * 30, counts=[10, 20, 50])
+        assert [n for n, _ in curve] == [10, 20]

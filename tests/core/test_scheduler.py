@@ -1,0 +1,93 @@
+"""Tests for the probabilistic measurement scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.core.records import ZoneRecord
+from repro.core.scheduler import MeasurementScheduler
+from repro.radio.technology import NetworkId
+
+KEY = ((0, 0), NetworkId.NET_B, MeasurementType.UDP_TRAIN)
+
+
+def _scheduler(seed=0, tick=60.0):
+    return MeasurementScheduler(
+        tick_interval_s=tick,
+        samples_per_task={MeasurementType.UDP_TRAIN: 50, MeasurementType.PING: 10},
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _record(budget=100, epoch_s=1800.0, start=0.0):
+    return ZoneRecord(key=KEY, epoch_s=epoch_s, sample_budget=budget, first_epoch_start_s=start)
+
+
+class TestProbability:
+    def test_zero_when_budget_met(self):
+        sched = _scheduler()
+        rec = _record(budget=50)
+        rec.add_samples([1.0] * 50, at_s=0.0)
+        assert sched.task_probability(rec, MeasurementType.UDP_TRAIN, 5, 60.0) == 0.0
+
+    def test_zero_without_clients(self):
+        assert _scheduler().task_probability(_record(), MeasurementType.UDP_TRAIN, 0, 0.0) == 0.0
+
+    def test_single_client_urgent_at_epoch_end(self):
+        sched = _scheduler()
+        rec = _record(budget=100, epoch_s=1800.0)
+        # One tick left in the epoch, whole budget missing -> p = 1.
+        p = sched.task_probability(rec, MeasurementType.UDP_TRAIN, 1, 1740.0)
+        assert p == 1.0
+
+    def test_probability_spread_over_clients(self):
+        sched = _scheduler()
+        rec = _record(budget=100, epoch_s=1800.0)
+        p1 = sched.task_probability(rec, MeasurementType.UDP_TRAIN, 1, 0.0)
+        p10 = sched.task_probability(rec, MeasurementType.UDP_TRAIN, 10, 0.0)
+        assert p10 == pytest.approx(p1 / 10.0)
+
+    def test_probability_bounded(self):
+        sched = _scheduler()
+        rec = _record(budget=10_000, epoch_s=120.0)
+        assert sched.task_probability(rec, MeasurementType.UDP_TRAIN, 1, 119.0) == 1.0
+
+    def test_expected_samples_meet_budget(self):
+        """Issuing at p every tick collects ~the budget over the epoch."""
+        sched = _scheduler(seed=1)
+        rec = _record(budget=100, epoch_s=3600.0)
+        collected = 0
+        for tick in range(60):
+            now = tick * 60.0
+            decisions = sched.decide(rec, MeasurementType.UDP_TRAIN, ["a", "b", "c"], now)
+            for d in decisions:
+                if d.issue:
+                    rec.add_samples([1.0] * 50, at_s=now)
+                    collected += 50
+        assert 100 <= collected <= 400  # budget met, bounded overshoot
+
+
+class TestDecide:
+    def test_decisions_cover_all_clients(self):
+        sched = _scheduler(seed=2)
+        decisions = sched.decide(_record(), MeasurementType.UDP_TRAIN, ["x", "y"], 0.0)
+        assert [d.client_id for d in decisions] == ["x", "y"]
+
+    def test_no_issue_when_probability_zero(self):
+        sched = _scheduler(seed=3)
+        rec = _record(budget=10)
+        rec.add_samples([1.0] * 10, at_s=0.0)
+        decisions = sched.decide(rec, MeasurementType.UDP_TRAIN, ["x"], 0.0)
+        assert not any(d.issue for d in decisions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementScheduler(
+                tick_interval_s=0.0, samples_per_task={}, rng=np.random.default_rng(0)
+            )
+        with pytest.raises(ValueError):
+            MeasurementScheduler(
+                tick_interval_s=1.0,
+                samples_per_task={MeasurementType.PING: 0},
+                rng=np.random.default_rng(0),
+            )

@@ -1,0 +1,90 @@
+"""Tests for the dataset disk cache."""
+
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.datasets.cache import cache_key, cached_dataset, clear_cache
+from repro.datasets.records import TraceRecord
+from repro.radio.technology import NetworkId
+
+
+def _records(n):
+    return [
+        TraceRecord(
+            dataset="c", time_s=float(i), client_id="x",
+            network=NetworkId.NET_B, kind=MeasurementType.PING,
+            lat=43.0, lon=-89.0, speed_ms=0.0, value=0.1 + i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestCacheKey:
+    def test_stable(self):
+        assert cache_key("a", {"x": 1}) == cache_key("a", {"x": 1})
+
+    def test_param_order_irrelevant(self):
+        assert cache_key("a", {"x": 1, "y": 2}) == cache_key("a", {"y": 2, "x": 1})
+
+    def test_differs_by_params(self):
+        assert cache_key("a", {"x": 1}) != cache_key("a", {"x": 2})
+
+
+class TestCachedDataset:
+    def test_generates_once(self, tmp_path):
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return _records(5)
+
+        first = cached_dataset(tmp_path, "t", {"d": 1}, generate)
+        second = cached_dataset(tmp_path, "t", {"d": 1}, generate)
+        assert len(calls) == 1
+        assert [r.value for r in first] == [r.value for r in second]
+
+    def test_different_params_regenerate(self, tmp_path):
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return _records(2)
+
+        cached_dataset(tmp_path, "t", {"d": 1}, generate)
+        cached_dataset(tmp_path, "t", {"d": 2}, generate)
+        assert len(calls) == 2
+
+    def test_refresh_forces(self, tmp_path):
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return _records(2)
+
+        cached_dataset(tmp_path, "t", {"d": 1}, generate)
+        cached_dataset(tmp_path, "t", {"d": 1}, generate, refresh=True)
+        assert len(calls) == 2
+
+    def test_meta_written(self, tmp_path):
+        cached_dataset(tmp_path, "t", {"d": 1}, lambda: _records(3))
+        metas = list(tmp_path.glob("*.meta.json"))
+        assert len(metas) == 1
+        assert '"records": 3' in metas[0].read_text()
+
+
+class TestClearCache:
+    def test_clear_all(self, tmp_path):
+        cached_dataset(tmp_path, "a", {}, lambda: _records(1))
+        cached_dataset(tmp_path, "b", {}, lambda: _records(1))
+        removed = clear_cache(tmp_path)
+        assert removed == 4  # 2 jsonl + 2 meta
+        assert not list(tmp_path.glob("*.jsonl"))
+
+    def test_clear_by_name(self, tmp_path):
+        cached_dataset(tmp_path, "a", {}, lambda: _records(1))
+        cached_dataset(tmp_path, "b", {}, lambda: _records(1))
+        clear_cache(tmp_path, name="a")
+        assert len(list(tmp_path.glob("*.jsonl"))) == 1
+
+    def test_missing_dir(self, tmp_path):
+        assert clear_cache(tmp_path / "nope") == 0

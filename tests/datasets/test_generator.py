@@ -1,0 +1,124 @@
+"""Tests for the dataset generators (scaled-down volumes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.datasets.catalog import DATASET_CATALOG, catalog_table
+from repro.datasets.generator import DatasetGenerator
+from repro.radio.technology import NetworkId
+
+
+@pytest.fixture(scope="module")
+def generator(landscape):
+    return DatasetGenerator(landscape, seed=3)
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    from repro.radio.network import build_landscape
+
+    return build_landscape(seed=7)
+
+
+class TestStandalone:
+    @pytest.fixture(scope="class")
+    def records(self, generator):
+        return generator.standalone(days=1, n_buses=2, n_routes=4, interval_s=600)
+
+    def test_netb_only(self, records):
+        assert {r.network for r in records} == {NetworkId.NET_B}
+
+    def test_tcp_and_ping(self, records):
+        kinds = {r.kind for r in records}
+        assert kinds == {MeasurementType.TCP_DOWNLOAD, MeasurementType.PING}
+
+    def test_within_city(self, records, landscape):
+        for r in records[:200]:
+            assert landscape.study_area.anchor.distance_to(r.point) < 10_000.0
+
+    def test_service_hours(self, records):
+        for r in records:
+            tod = r.time_s % 86400.0
+            assert 6 * 3600.0 <= tod < 24 * 3600.0
+
+    def test_deterministic(self, landscape):
+        a = DatasetGenerator(landscape, seed=3).standalone(
+            days=1, n_buses=1, n_routes=2, interval_s=1200
+        )
+        b = DatasetGenerator(landscape, seed=3).standalone(
+            days=1, n_buses=1, n_routes=2, interval_s=1200
+        )
+        assert [r.value for r in a] == [r.value for r in b]
+
+
+class TestWirover:
+    @pytest.fixture(scope="class")
+    def records(self, generator):
+        return generator.wirover(days=1, n_city_buses=1, n_intercity=1, series_interval_s=600)
+
+    def test_ping_only_two_networks(self, records):
+        assert {r.kind for r in records} == {MeasurementType.PING}
+        assert {r.network for r in records} == {NetworkId.NET_B, NetworkId.NET_C}
+
+    def test_speed_recorded(self, records):
+        speeds = [r.speed_ms for r in records]
+        assert max(speeds) > 5.0  # vehicles do move
+
+    def test_intercity_reaches_far(self, records, landscape):
+        far = max(
+            landscape.study_area.anchor.distance_to(r.point) for r in records
+        )
+        assert far > 50_000.0  # on the Madison-Chicago corridor
+
+
+class TestSpotAndProximate:
+    def test_static_spot_metrics(self, generator, landscape):
+        loc = landscape.study_area.anchor.offset(1000.0, 0.0)
+        recs = generator.static_spot(loc, "t", days=1, interval_s=600)
+        kinds = {r.kind for r in recs}
+        assert kinds == {MeasurementType.UDP_TRAIN, MeasurementType.TCP_DOWNLOAD}
+        # Static: no movement.
+        assert all(r.speed_ms < 2.0 for r in recs)
+        assert all(loc.distance_to(r.point) < 60.0 for r in recs)
+
+    def test_proximate_stays_in_zone(self, generator, landscape):
+        center = landscape.study_area.anchor.offset(-800.0, 500.0)
+        recs = generator.proximate(center, "t", days=1, interval_s=1800)
+        assert all(center.distance_to(r.point) < 300.0 for r in recs)
+        assert all(r.samples for r in recs)  # per-packet samples retained
+
+    def test_spot_bundle_keys(self, generator):
+        bundle = generator.spot_bundle(days=1, interval_s=1800)
+        assert set(bundle) == {"static-wi", "static-nj"}
+        nj_nets = {r.network for r in bundle["static-nj"]}
+        assert NetworkId.NET_A not in nj_nets
+
+
+class TestShortSegment:
+    def test_three_networks_tcp(self, generator):
+        recs = generator.short_segment(days=1, interval_s=300)
+        assert {r.kind for r in recs} == {MeasurementType.TCP_DOWNLOAD}
+        assert {r.network for r in recs} == {
+            NetworkId.NET_A, NetworkId.NET_B, NetworkId.NET_C,
+        }
+
+
+class TestCatalog:
+    def test_seven_datasets(self):
+        assert len(DATASET_CATALOG) == 7
+        assert set(DATASET_CATALOG) == {
+            "static-wi", "static-nj", "proximate-wi", "proximate-nj",
+            "short-segment", "wirover", "standalone",
+        }
+
+    def test_generator_methods_exist(self):
+        for spec in DATASET_CATALOG.values():
+            assert hasattr(DatasetGenerator, spec.generator_method)
+
+    def test_table_renders(self):
+        text = catalog_table()
+        assert "standalone" in text
+        assert "Wide-area" in text

@@ -1,0 +1,90 @@
+"""Tests for dataset file I/O."""
+
+import math
+
+import pytest
+
+from repro.clients.protocol import MeasurementType
+from repro.datasets.io import load_all, read_csv, read_jsonl, write_csv, write_jsonl
+from repro.datasets.records import TraceRecord
+from repro.radio.technology import NetworkId
+
+
+def _records(n=10):
+    out = []
+    for i in range(n):
+        out.append(
+            TraceRecord(
+                dataset="io-test",
+                time_s=float(i),
+                client_id=f"c{i % 3}",
+                network=NetworkId.NET_B,
+                kind=MeasurementType.UDP_TRAIN if i % 2 else MeasurementType.PING,
+                lat=43.0 + i * 1e-4,
+                lon=-89.4,
+                speed_ms=float(i % 5),
+                value=float("nan") if i == 7 else 1e6 + i,
+                jitter_s=0.001 * i,
+                loss_rate=0.0,
+                failures=i % 2,
+                samples=[float(i), float(i + 1)],
+            )
+        )
+    return out
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        records = _records()
+        path = tmp_path / "traces.jsonl"
+        count = write_jsonl(records, path)
+        assert count == len(records)
+        back = list(read_jsonl(path))
+        assert len(back) == len(records)
+        for orig, loaded in zip(records, back):
+            if math.isnan(orig.value):
+                assert math.isnan(loaded.value)
+            else:
+                assert loaded == orig
+
+    def test_samples_preserved(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(_records(3), path)
+        back = list(read_jsonl(path))
+        assert back[1].samples == [1.0, 2.0]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(_records(2), path)
+        with open(path, "a") as f:
+            f.write("\n\n")
+        assert len(list(read_jsonl(path))) == 2
+
+
+class TestCsv:
+    def test_roundtrip_drops_samples(self, tmp_path):
+        records = [r for r in _records() if not math.isnan(r.value)]
+        path = tmp_path / "traces.csv"
+        write_csv(records, path)
+        back = list(read_csv(path))
+        assert len(back) == len(records)
+        for orig, loaded in zip(records, back):
+            assert loaded.value == orig.value
+            assert loaded.network is orig.network
+            assert loaded.kind is orig.kind
+            assert loaded.samples == []
+
+
+class TestLoadAll:
+    def test_dispatch_by_extension(self, tmp_path):
+        records = _records(4)
+        jp = tmp_path / "a.jsonl"
+        cp = tmp_path / "a.csv"
+        write_jsonl(records, jp)
+        write_csv(records, cp)
+        assert len(load_all(jp)) == 4
+        assert len(load_all(cp)) == 4
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_all(tmp_path / "a.parquet")

@@ -1,0 +1,96 @@
+"""Tests for trace records."""
+
+import math
+
+import pytest
+
+from repro.clients.protocol import (
+    MeasurementReport,
+    MeasurementType,
+)
+from repro.datasets.records import TraceRecord
+from repro.geo.coords import GeoPoint
+from repro.radio.technology import NetworkId
+
+P = GeoPoint(43.0, -89.4)
+
+
+def _record(value=1e6, samples=(1.0, 2.0)):
+    return TraceRecord(
+        dataset="test",
+        time_s=100.0,
+        client_id="c1",
+        network=NetworkId.NET_B,
+        kind=MeasurementType.UDP_TRAIN,
+        lat=P.lat,
+        lon=P.lon,
+        speed_ms=4.5,
+        value=value,
+        jitter_s=0.003,
+        loss_rate=0.01,
+        failures=2,
+        samples=list(samples),
+    )
+
+
+class TestTraceRecord:
+    def test_point_property(self):
+        assert _record().point == P
+
+    def test_failed_flag(self):
+        assert not _record().failed
+        assert _record(value=float("nan")).failed
+
+    def test_dict_roundtrip(self):
+        rec = _record()
+        assert TraceRecord.from_dict(rec.to_dict()) == rec
+
+    def test_dict_without_samples(self):
+        d = _record().to_dict(include_samples=False)
+        assert "samples" not in d
+        back = TraceRecord.from_dict(d)
+        assert back.samples == []
+
+    def test_from_report(self):
+        report = MeasurementReport(
+            task_id=4,
+            client_id="cli",
+            network=NetworkId.NET_C,
+            kind=MeasurementType.PING,
+            start_s=50.0,
+            end_s=55.0,
+            point=P,
+            speed_ms=0.0,
+            value=0.12,
+            samples=[0.11, 0.13],
+            extras={"failures": 1.0, "jitter_s": 0.002},
+        )
+        rec = TraceRecord.from_report("spot", report)
+        assert rec.dataset == "spot"
+        assert rec.network is NetworkId.NET_C
+        assert rec.kind is MeasurementType.PING
+        assert rec.value == 0.12
+        assert rec.failures == 1
+        assert rec.jitter_s == 0.002
+        assert rec.samples == [0.11, 0.13]
+
+    def test_from_dict_parses_strings(self):
+        """CSV readers deliver everything as strings."""
+        d = {
+            "dataset": "x",
+            "time_s": "1.5",
+            "client_id": "c",
+            "network": "NetA",
+            "kind": "tcp",
+            "lat": "43.0",
+            "lon": "-89.0",
+            "speed_ms": "2.0",
+            "value": "123.0",
+            "jitter_s": "0.001",
+            "loss_rate": "0",
+            "failures": "3",
+        }
+        rec = TraceRecord.from_dict(d)
+        assert rec.network is NetworkId.NET_A
+        assert rec.kind is MeasurementType.TCP_DOWNLOAD
+        assert rec.failures == 3

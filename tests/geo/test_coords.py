@@ -1,0 +1,178 @@
+"""Tests for coordinate primitives and great-circle geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import (
+    EARTH_RADIUS_M,
+    GeoPoint,
+    LocalProjection,
+    bounding_box,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+    interpolate,
+    path_length_m,
+    resample_path,
+)
+
+MADISON = GeoPoint(43.0731, -89.4012)
+
+lat_strategy = st.floats(min_value=-80.0, max_value=80.0)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0)
+points = st.builds(GeoPoint, lat_strategy, lon_strategy)
+
+
+class TestGeoPoint:
+    def test_latitude_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_longitude_normalized(self):
+        assert GeoPoint(0.0, 190.0).lon == pytest.approx(-170.0)
+        assert GeoPoint(0.0, -185.0).lon == pytest.approx(175.0)
+
+    def test_offset_east_displaces_longitude_only(self):
+        moved = MADISON.offset(1000.0, 0.0)
+        assert moved.lat == pytest.approx(MADISON.lat)
+        assert moved.lon > MADISON.lon
+
+    def test_offset_distance_roundtrip(self):
+        moved = MADISON.offset(300.0, 400.0)
+        assert MADISON.distance_to(moved) == pytest.approx(500.0, rel=1e-3)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(MADISON, MADISON) == 0.0
+
+    def test_known_distance_madison_chicago(self):
+        chicago = GeoPoint(41.8781, -87.6298)
+        # Great-circle Madison-Chicago is ~196 km.
+        assert haversine_m(MADISON, chicago) == pytest.approx(196_000, rel=0.02)
+
+    @given(points, points)
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a), abs=1e-6)
+
+    @given(points, points, points)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        ab = haversine_m(a, b)
+        bc = haversine_m(b, c)
+        ac = haversine_m(a, c)
+        assert ac <= ab + bc + 1e-6
+
+    @given(points)
+    @settings(max_examples=50)
+    def test_nonnegative(self, p):
+        assert haversine_m(p, MADISON) >= 0.0
+
+
+class TestDestinationPoint:
+    @given(
+        st.floats(min_value=0.0, max_value=359.9),
+        st.floats(min_value=1.0, max_value=100_000.0),
+    )
+    @settings(max_examples=50)
+    def test_distance_preserved(self, bearing, distance):
+        dest = destination_point(MADISON, bearing, distance)
+        assert haversine_m(MADISON, dest) == pytest.approx(distance, rel=1e-6)
+
+    def test_north_increases_latitude(self):
+        dest = destination_point(MADISON, 0.0, 5000.0)
+        assert dest.lat > MADISON.lat
+        assert dest.lon == pytest.approx(MADISON.lon, abs=1e-6)
+
+    def test_bearing_roundtrip(self):
+        dest = destination_point(MADISON, 57.0, 20_000.0)
+        assert initial_bearing_deg(MADISON, dest) == pytest.approx(57.0, abs=0.1)
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        b = MADISON.offset(1000.0, 1000.0)
+        assert interpolate(MADISON, b, 0.0) == MADISON
+        assert interpolate(MADISON, b, 1.0) == b
+
+    def test_fraction_clamped(self):
+        b = MADISON.offset(1000.0, 0.0)
+        assert interpolate(MADISON, b, -0.5) == MADISON
+        assert interpolate(MADISON, b, 1.5) == b
+
+    def test_midpoint_is_halfway(self):
+        b = MADISON.offset(2000.0, 0.0)
+        mid = interpolate(MADISON, b, 0.5)
+        assert haversine_m(MADISON, mid) == pytest.approx(1000.0, rel=1e-3)
+
+
+class TestResamplePath:
+    def test_preserves_endpoints(self):
+        path = [MADISON, MADISON.offset(5000.0, 0.0)]
+        resampled = resample_path(path, 400.0)
+        assert resampled[0] == path[0]
+        assert resampled[-1] == path[-1]
+
+    def test_spacing_approximately_uniform(self):
+        path = [MADISON, MADISON.offset(5000.0, 0.0)]
+        resampled = resample_path(path, 500.0)
+        gaps = [
+            haversine_m(a, b) for a, b in zip(resampled, resampled[1:])
+        ]
+        # All interior gaps equal the requested spacing.
+        for g in gaps[:-1]:
+            assert g == pytest.approx(500.0, rel=0.01)
+
+    def test_length_preserved(self):
+        path = [MADISON, MADISON.offset(3000.0, 2000.0), MADISON.offset(6000.0, 0.0)]
+        resampled = resample_path(path, 100.0)
+        assert path_length_m(resampled) == pytest.approx(
+            path_length_m(path), rel=0.01
+        )
+
+    def test_invalid_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            resample_path([MADISON, MADISON.offset(10, 0)], 0.0)
+
+    def test_short_path_passthrough(self):
+        assert resample_path([MADISON], 100.0) == [MADISON]
+
+
+class TestLocalProjection:
+    @given(
+        st.floats(min_value=-20_000, max_value=20_000),
+        st.floats(min_value=-20_000, max_value=20_000),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip(self, x, y):
+        proj = LocalProjection(MADISON)
+        point = proj.to_geo(x, y)
+        rx, ry = proj.to_xy(point)
+        assert rx == pytest.approx(x, abs=0.01)
+        assert ry == pytest.approx(y, abs=0.01)
+
+    def test_planar_distance_matches_haversine_at_city_scale(self):
+        proj = LocalProjection(MADISON)
+        b = MADISON.offset(4000.0, -3000.0)
+        assert proj.distance_xy(MADISON, b) == pytest.approx(
+            haversine_m(MADISON, b), rel=0.005
+        )
+
+
+class TestBoundingBox:
+    def test_contains_all_points(self):
+        pts = [MADISON.offset(dx, dy) for dx in (-500, 0, 500) for dy in (-500, 500)]
+        sw, ne = bounding_box(pts)
+        for p in pts:
+            assert sw.lat <= p.lat <= ne.lat
+            assert sw.lon <= p.lon <= ne.lon
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,73 @@
+"""Tests for the synthetic study regions."""
+
+import pytest
+
+from repro.geo.coords import haversine_m
+from repro.geo.regions import (
+    MADISON_CENTER,
+    madison_chicago_road,
+    madison_spot_locations,
+    madison_study_area,
+    new_jersey_spots,
+    short_segment_road,
+)
+
+
+class TestStudyArea:
+    def test_area_matches_paper(self):
+        # Paper: more than 155 sq km in and around Madison.
+        area = madison_study_area()
+        assert area.area_km2 == pytest.approx(154.0, rel=0.05)
+
+    def test_contains_center(self):
+        area = madison_study_area()
+        assert area.contains(area.anchor)
+        assert not area.contains(area.anchor.offset(20_000.0, 0.0))
+
+    def test_grid_points_inside(self):
+        area = madison_study_area()
+        pts = area.grid_points(2000.0)
+        assert len(pts) > 10
+        assert all(area.contains(p) for p in pts)
+
+
+class TestRoads:
+    def test_intercity_length_matches_paper(self):
+        # Paper: a road stretch of more than 240 km Madison-Chicago.
+        road = madison_chicago_road()
+        assert 200.0 <= road.length_km <= 300.0
+
+    def test_short_segment_length(self):
+        # Paper: a 20 km road stretch in Madison.
+        road = short_segment_road()
+        assert 18.0 <= road.length_km <= 25.0
+
+    def test_road_construction_deterministic(self):
+        a = madison_chicago_road().waypoints
+        b = madison_chicago_road().waypoints
+        assert a == b
+
+    def test_sampling_spacing(self):
+        road = short_segment_road()
+        pts = road.sample_every(500.0)
+        gaps = [haversine_m(x, y) for x, y in zip(pts, pts[1:])]
+        for g in gaps[:-1]:
+            assert g == pytest.approx(500.0, rel=0.05)
+
+
+class TestSpots:
+    def test_nj_spots(self):
+        spots = new_jersey_spots()
+        names = {s.name for s in spots}
+        assert names == {"new-brunswick", "princeton"}
+
+    def test_madison_spot_locations_distinct(self):
+        spots = madison_spot_locations(5)
+        assert len(spots) == 5
+        for i, a in enumerate(spots):
+            for b in spots[i + 1 :]:
+                assert haversine_m(a, b) > 500.0
+
+    def test_spots_near_city(self):
+        for p in madison_spot_locations(5):
+            assert haversine_m(MADISON_CENTER, p) < 7000.0

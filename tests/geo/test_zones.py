@@ -1,0 +1,108 @@
+"""Tests for the zone lattice and binning."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import GeoPoint
+from repro.geo.zones import ZoneGrid, ZoneSampleIndex
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+
+offsets = st.tuples(
+    st.floats(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-10_000, max_value=10_000),
+)
+
+
+class TestZoneGrid:
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneGrid(ORIGIN, radius_m=0.0)
+
+    def test_origin_maps_to_zero_zone(self):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        assert grid.zone_id_for(ORIGIN) == (0, 0)
+
+    def test_zone_center_roundtrip(self):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        zone = grid.zone((3, -2))
+        assert grid.zone_id_for(zone.center) == (3, -2)
+
+    @given(offsets)
+    @settings(max_examples=100)
+    def test_every_point_within_half_pitch_of_its_center(self, off):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        p = ORIGIN.offset(*off)
+        zone = grid.zone_for(p)
+        # Lattice cells are squares of side 2r: the farthest corner is
+        # r * sqrt(2) from the center.
+        assert zone.center.distance_to(p) <= 250.0 * math.sqrt(2.0) * 1.01
+
+    @given(offsets)
+    @settings(max_examples=100)
+    def test_binning_deterministic(self, off):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        p = ORIGIN.offset(*off)
+        assert grid.zone_id_for(p) == grid.zone_id_for(p)
+
+    def test_zone_area_matches_paper(self):
+        # Paper: each zone is ~0.2 sq km (250 m radius circle).
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        zone = grid.zone((0, 0))
+        assert zone.area_km2 == pytest.approx(0.196, abs=0.01)
+
+    def test_neighbors_count(self):
+        grid = ZoneGrid(ORIGIN)
+        assert len(grid.neighbors((0, 0), ring=1)) == 8
+        assert len(grid.neighbors((0, 0), ring=2)) == 24
+
+    def test_known_zones_grow_lazily(self):
+        grid = ZoneGrid(ORIGIN)
+        assert len(grid) == 0
+        grid.zone_id_for(ORIGIN)
+        assert len(grid) == 0  # zone_id_for does not materialize
+        grid.zone_for(ORIGIN)
+        assert len(grid) == 1
+        grid.zone((0, 0))
+        assert len(grid) == 1  # same zone, no duplicate
+
+    def test_bin_points_partitions(self):
+        grid = ZoneGrid(ORIGIN, radius_m=100.0)
+        pts = [ORIGIN.offset(i * 50.0, 0.0) for i in range(20)]
+        binned = grid.bin_points(pts)
+        assert sum(len(v) for v in binned.values()) == len(pts)
+
+    def test_adjacent_points_in_same_zone(self):
+        grid = ZoneGrid(ORIGIN, radius_m=250.0)
+        a = ORIGIN.offset(10.0, 10.0)
+        b = ORIGIN.offset(12.0, 11.0)
+        assert grid.zone_id_for(a) == grid.zone_id_for(b)
+
+
+class TestZoneSampleIndex:
+    def test_mean_and_std(self):
+        idx = ZoneSampleIndex()
+        for v in [1.0, 2.0, 3.0]:
+            idx.add((0, 0), v)
+        assert idx.mean((0, 0)) == pytest.approx(2.0)
+        assert idx.std((0, 0)) == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_relative_std(self):
+        idx = ZoneSampleIndex()
+        for v in [10.0, 10.0, 10.0]:
+            idx.add((1, 1), v)
+        assert idx.relative_std((1, 1)) == 0.0
+
+    def test_zones_with_at_least(self):
+        idx = ZoneSampleIndex()
+        for i in range(5):
+            idx.add((0, 0), float(i))
+        idx.add((1, 0), 1.0)
+        assert idx.zones_with_at_least(5) == [(0, 0)]
+        assert set(idx.zones_with_at_least(1)) == {(0, 0), (1, 0)}
+
+    def test_count_missing_zone(self):
+        assert ZoneSampleIndex().count((9, 9)) == 0

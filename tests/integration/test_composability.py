@@ -1,0 +1,106 @@
+"""Composability of client-sourced measurements (paper section 3.3).
+
+Samples from different clients at different times/places within a zone
+must be statistically similar to the zone's long-term truth — that is
+what licenses estimating a zone from whichever clients happen by.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clients.agent import ClientAgent
+from repro.clients.device import Device, DeviceCategory
+from repro.clients.protocol import MeasurementTask, MeasurementType
+from repro.mobility.models import ProximateLoop, StaticPosition
+from repro.radio.technology import NetworkId
+from repro.stats.nkld import nkld_from_samples
+
+
+def _udp_task(task_id=1):
+    return MeasurementTask(
+        task_id=task_id, network=NetworkId.NET_B,
+        kind=MeasurementType.UDP_TRAIN, params={"n_packets": 60},
+    )
+
+
+def _agent(landscape, cid, movement, seed):
+    device = Device(cid, DeviceCategory.LAPTOP_USB, [NetworkId.NET_B], seed=seed)
+    return ClientAgent(cid, device, movement, landscape, seed=seed + 1)
+
+
+@pytest.fixture(scope="module")
+def zone_center(landscape):
+    return landscape.study_area.anchor.offset(1800.0, -900.0)
+
+
+class TestTemporalComposability:
+    def test_two_clients_same_spot_different_times(self, landscape, zone_center):
+        a = _agent(landscape, "ca", StaticPosition(zone_center), seed=10)
+        b = _agent(landscape, "cb", StaticPosition(zone_center), seed=20)
+        samples_a, samples_b = [], []
+        for k in range(60):
+            samples_a.extend(a.execute(_udp_task(k), 1000.0 + 300.0 * k).samples)
+            samples_b.extend(b.execute(_udp_task(k), 1150.0 + 300.0 * k).samples)
+        div = nkld_from_samples(samples_a, samples_b)
+        assert div < 0.1  # the paper's similarity threshold
+
+
+class TestSpatialComposability:
+    def test_clients_at_different_spots_in_zone(self, landscape, zone_center):
+        a = _agent(
+            landscape, "cc",
+            StaticPosition(zone_center.offset(-120.0, 60.0)), seed=30,
+        )
+        b = _agent(
+            landscape, "cd",
+            StaticPosition(zone_center.offset(140.0, -90.0)), seed=40,
+        )
+        samples_a, samples_b = [], []
+        for k in range(60):
+            t = 2000.0 + 240.0 * k
+            samples_a.extend(a.execute(_udp_task(k), t).samples)
+            samples_b.extend(b.execute(_udp_task(k), t).samples)
+        assert nkld_from_samples(samples_a, samples_b) < 0.1
+
+
+class TestMobileVsStatic:
+    def test_proximate_matches_static(self, landscape, zone_center):
+        """A driving client's samples estimate the static ground truth
+        (paper Table 3)."""
+        static = _agent(landscape, "ce", StaticPosition(zone_center), seed=50)
+        mobile = _agent(
+            landscape, "cf", ProximateLoop(zone_center, radius_m=180.0, seed=7), seed=60,
+        )
+        static_vals, mobile_vals = [], []
+        for k in range(50):
+            t = 3000.0 + 400.0 * k
+            static_vals.append(static.execute(_udp_task(k), t).value)
+            mobile_vals.append(mobile.execute(_udp_task(k), t + 120.0).value)
+        assert np.mean(mobile_vals) == pytest.approx(np.mean(static_vals), rel=0.12)
+
+
+class TestCrossZoneDissimilarity:
+    def test_far_zones_are_not_composable(self, landscape, zone_center):
+        """Sanity: the NKLD test is discriminative — samples from a zone
+        with very different coverage are NOT similar."""
+        # Find a point with materially different capacity.
+        other = None
+        base = landscape.link_state(NetworkId.NET_B, zone_center, 0.0).downlink_bps
+        for dx in range(-6000, 6001, 1500):
+            for dy in range(-6000, 6001, 1500):
+                p = landscape.study_area.anchor.offset(float(dx), float(dy))
+                cap = landscape.link_state(NetworkId.NET_B, p, 0.0).downlink_bps
+                if cap > base * 1.6 or cap < base * 0.6:
+                    other = p
+                    break
+            if other:
+                break
+        assert other is not None, "no contrasting zone found"
+        a = _agent(landscape, "cg", StaticPosition(zone_center), seed=70)
+        b = _agent(landscape, "ch", StaticPosition(other), seed=80)
+        sa, sb = [], []
+        for k in range(40):
+            t = 5000.0 + 300.0 * k
+            sa.extend(a.execute(_udp_task(k), t).samples)
+            sb.extend(b.execute(_udp_task(k), t).samples)
+        assert nkld_from_samples(sa, sb) > 0.1

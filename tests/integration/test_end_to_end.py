@@ -1,0 +1,98 @@
+"""End-to-end integration: clients + coordinator + engine + landscape."""
+
+import numpy as np
+import pytest
+
+from repro.clients.agent import ClientAgent
+from repro.clients.device import Device, DeviceCategory
+from repro.clients.protocol import MeasurementType
+from repro.core.config import WiScapeConfig
+from repro.core.controller import MeasurementCoordinator
+from repro.geo.zones import ZoneGrid
+from repro.mobility.routes import city_bus_routes
+from repro.mobility.vehicles import TransitBus
+from repro.radio.technology import NetworkId
+from repro.sim.engine import EventEngine
+
+BC = [NetworkId.NET_B, NetworkId.NET_C]
+
+
+@pytest.fixture(scope="module")
+def run_result(landscape):
+    """A 6-hour city run with 4 bus clients; shared across assertions."""
+    grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+    coord = MeasurementCoordinator(grid, seed=1)
+    routes = city_bus_routes(landscape.study_area, count=6)
+    for b in range(4):
+        bus = TransitBus(bus_id=b, routes=routes, seed=b)
+        device = Device(f"bus{b}", DeviceCategory.SBC_PCMCIA, BC, seed=b)
+        coord.register_client(ClientAgent(f"bus{b}", device, bus, landscape, seed=b))
+    engine = EventEngine()
+    engine.clock.reset(6 * 3600.0)
+    coord.attach(engine, until=12 * 3600.0)
+    engine.run(until=12 * 3600.0)
+    return coord
+
+
+class TestSixHourRun:
+    def test_activity(self, run_result):
+        s = run_result.stats
+        assert s.ticks == 360
+        assert s.tasks_issued > 100
+        assert s.reports_ingested > 100
+        assert s.epochs_closed > 50
+
+    def test_reports_match_tasks(self, run_result):
+        s = run_result.stats
+        assert s.reports_ingested + s.tasks_refused == s.tasks_issued
+
+    def test_many_zones_covered(self, run_result):
+        zones = {key[0] for key in run_result.store.keys()}
+        assert len(zones) > 20
+
+    def test_published_estimates_sane(self, run_result):
+        published = [
+            (rec.key, rec.published)
+            for rec in run_result.store.records()
+            if rec.published is not None
+        ]
+        assert published
+        for (zone, net, kind), est in published:
+            assert est.n_samples >= 1
+            if kind is MeasurementType.UDP_TRAIN:
+                assert 5e4 < est.mean < 3.1e6  # within technology range
+            elif kind is MeasurementType.PING:
+                assert 0.03 < est.mean < 1.0
+
+    def test_overhead_is_low(self, run_result):
+        """The point of WiScape: few measurements per client per epoch.
+
+        4 clients over 6 hours must not have been asked for thousands of
+        measurements: the budget bounds sampling per (zone, epoch).
+        """
+        per_client_per_hour = run_result.stats.tasks_issued / 4 / 6
+        assert per_client_per_hour < 120
+
+    def test_estimates_track_ground_truth(self, run_result, landscape):
+        """Published UDP estimates should approximate true capacity."""
+        checked = 0
+        for rec in run_result.store.records():
+            zone, net, kind = rec.key
+            if kind is not MeasurementType.UDP_TRAIN or rec.published is None:
+                continue
+            if rec.published.n_samples < 50:
+                continue
+            center = run_result.grid.zone(zone).center
+            if landscape.network(net)._patch_at(center) is not None:
+                continue  # failure patches swing wildly by design
+            truths = [
+                landscape.link_state(
+                    net, center,
+                    rec.published.start_s
+                    + frac * (rec.published.end_s - rec.published.start_s),
+                ).downlink_bps
+                for frac in (0.1, 0.3, 0.5, 0.7, 0.9)
+            ]
+            assert rec.published.mean == pytest.approx(np.mean(truths), rel=0.6)
+            checked += 1
+        assert checked >= 5

@@ -1,0 +1,51 @@
+"""Dataset workflow: generate -> save -> reload -> identical analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import zone_throughput_map
+from repro.clients.protocol import MeasurementType
+from repro.datasets.generator import DatasetGenerator
+from repro.datasets.io import read_jsonl, write_csv, write_jsonl
+from repro.geo.zones import ZoneGrid
+from repro.radio.technology import NetworkId
+
+
+@pytest.fixture(scope="module")
+def small_trace(landscape):
+    gen = DatasetGenerator(landscape, seed=3)
+    return gen.standalone(days=1, n_buses=2, n_routes=4, interval_s=300)
+
+
+class TestRoundTripAnalysis:
+    def test_reloaded_trace_gives_identical_statistics(
+        self, small_trace, landscape, tmp_path
+    ):
+        path = tmp_path / "standalone.jsonl"
+        write_jsonl(small_trace, path)
+        reloaded = list(read_jsonl(path))
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        orig = zone_throughput_map(small_trace, grid, NetworkId.NET_B, min_samples=5)
+        back = zone_throughput_map(reloaded, grid, NetworkId.NET_B, min_samples=5)
+        assert len(orig) == len(back)
+        for a, b in zip(orig, back):
+            assert a.zone_id == b.zone_id
+            assert a.mean_bps == pytest.approx(b.mean_bps, rel=1e-12)
+
+    def test_csv_preserves_values(self, small_trace, tmp_path):
+        import csv
+
+        path = tmp_path / "standalone.csv"
+        count = write_csv(small_trace, path)
+        assert count == len(small_trace)
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == len(small_trace)
+        assert float(rows[0]["value"]) == pytest.approx(small_trace[0].value, rel=1e-9)
+
+    def test_trace_values_physical(self, small_trace):
+        for rec in small_trace:
+            if rec.kind is MeasurementType.TCP_DOWNLOAD:
+                assert 1e3 < rec.value < 3.2e6
+            elif rec.kind is MeasurementType.PING and not rec.failed:
+                assert 0.03 < rec.value < 2.0

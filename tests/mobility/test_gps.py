@@ -1,0 +1,39 @@
+"""Tests for the GPS model."""
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.mobility.gps import GpsReader
+from repro.mobility.models import StaticPosition
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+
+
+class TestGpsReader:
+    def test_noise_magnitude(self, rng):
+        reader = GpsReader(StaticPosition(ORIGIN), rng, position_sigma_m=5.0)
+        errors = [ORIGIN.distance_to(reader.fix(float(t)).point) for t in range(300)]
+        # Rayleigh with sigma 5 m: mean ~6.27 m.
+        assert np.mean(errors) == pytest.approx(6.27, rel=0.25)
+
+    def test_zero_noise_exact(self, rng):
+        reader = GpsReader(
+            StaticPosition(ORIGIN), rng, position_sigma_m=0.0, speed_sigma_ms=0.0
+        )
+        fix = reader.fix(10.0)
+        assert fix.point == ORIGIN
+        assert fix.speed_ms == 0.0
+
+    def test_speed_nonnegative(self, rng):
+        reader = GpsReader(StaticPosition(ORIGIN), rng, speed_sigma_ms=1.0)
+        for t in range(100):
+            assert reader.fix(float(t)).speed_ms >= 0.0
+
+    def test_invalid_sigma(self, rng):
+        with pytest.raises(ValueError):
+            GpsReader(StaticPosition(ORIGIN), rng, position_sigma_m=-1.0)
+
+    def test_fix_carries_time(self, rng):
+        reader = GpsReader(StaticPosition(ORIGIN), rng)
+        assert reader.fix(42.0).time_s == 42.0

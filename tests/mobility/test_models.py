@@ -1,0 +1,124 @@
+"""Tests for movement models."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.mobility.models import (
+    ProximateLoop,
+    RouteFollower,
+    ScheduledTrip,
+    StaticPosition,
+)
+from repro.mobility.routes import Route
+from repro.sim.clock import hours
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+
+
+def _route(length_m=10_000.0):
+    return Route(name="r", waypoints=[ORIGIN, ORIGIN.offset(length_m, 0.0)])
+
+
+class TestStaticPosition:
+    def test_never_moves(self):
+        s = StaticPosition(ORIGIN)
+        assert s.position(0.0) == s.position(99_999.0) == ORIGIN
+        assert s.speed_ms(5.0) == 0.0
+        assert s.is_active(123.0)
+
+
+class TestRouteFollower:
+    def test_inactive_outside_window(self):
+        f = RouteFollower(_route(), day_start_h=6.0, day_end_h=22.0, seed=1)
+        assert not f.is_active(hours(3))
+        assert f.is_active(hours(12))
+        assert not f.is_active(hours(23))
+
+    def test_speed_zero_when_inactive(self):
+        f = RouteFollower(_route(), day_start_h=6.0, day_end_h=22.0, seed=1)
+        assert f.speed_ms(hours(3)) == 0.0
+
+    def test_stays_on_route(self):
+        route = _route()
+        f = RouteFollower(route, seed=2)
+        for h in (7.0, 10.5, 15.25, 21.9):
+            p = f.position(hours(h))
+            # Distance from the route line is ~0 (route is a straight line).
+            best = min(
+                p.distance_to(route.point_at(d))
+                for d in range(0, int(route.length_m) + 1, 100)
+            )
+            assert best < 60.0
+
+    def test_distance_monotonic_within_day(self):
+        f = RouteFollower(_route(), seed=3)
+        d1 = f.distance_travelled(hours(8))
+        d2 = f.distance_travelled(hours(9))
+        d3 = f.distance_travelled(hours(12))
+        assert d1 <= d2 <= d3
+
+    def test_deterministic(self):
+        f1 = RouteFollower(_route(), seed=4)
+        f2 = RouteFollower(_route(), seed=4)
+        for h in (7.0, 13.3, 20.0):
+            assert f1.position(hours(h)) == f2.position(hours(h))
+
+    def test_speed_within_spread(self):
+        f = RouteFollower(
+            _route(), mean_speed_kmh=36.0, speed_spread=0.5, stop_fraction=0.1, seed=5
+        )
+        speeds = [f.speed_ms(hours(8) + 60.0 * k) for k in range(200)]
+        moving = [s for s in speeds if s > 0]
+        assert moving
+        assert all(4.9 <= s <= 15.1 for s in moving)  # 10 m/s +- 50%
+
+    def test_stops_happen(self):
+        f = RouteFollower(_route(), stop_fraction=0.3, seed=6)
+        speeds = [f.speed_ms(hours(8) + 60.0 * k) for k in range(300)]
+        stopped = sum(1 for s in speeds if s == 0.0)
+        assert 0.15 < stopped / len(speeds) < 0.45
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RouteFollower(_route(), mean_speed_kmh=0.0)
+        with pytest.raises(ValueError):
+            RouteFollower(_route(), stop_fraction=1.0)
+
+
+class TestProximateLoop:
+    def test_stays_within_radius(self):
+        loop = ProximateLoop(ORIGIN, radius_m=200.0, seed=7)
+        for h in (0.5, 9.0, 13.7, 23.0):
+            assert ORIGIN.distance_to(loop.position(hours(h))) <= 260.0
+
+    def test_active_all_day_by_default(self):
+        loop = ProximateLoop(ORIGIN, seed=8)
+        assert loop.is_active(hours(2))
+        assert loop.is_active(hours(23.5))
+
+
+class TestScheduledTrip:
+    def test_parked_before_departure(self):
+        trip = ScheduledTrip(_route(50_000.0), depart_t=hours(8), seed=9)
+        assert trip.position(hours(7)) == ORIGIN
+        assert not trip.in_transit(hours(7))
+        assert trip.speed_ms(hours(7)) == 0.0
+
+    def test_arrives(self):
+        route = _route(50_000.0)
+        trip = ScheduledTrip(route, depart_t=hours(8), mean_speed_kmh=90.0, seed=10)
+        end_t = hours(8) + trip.duration_s * 1.6
+        assert not trip.in_transit(end_t)
+        assert trip.position(end_t).distance_to(route.waypoints[-1]) < 100.0
+
+    def test_reverse_direction(self):
+        route = _route(50_000.0)
+        trip = ScheduledTrip(route, depart_t=0.0, seed=11, reverse=True)
+        assert trip.position(0.0).distance_to(route.waypoints[-1]) < 1.0
+
+    def test_progress_during_transit(self):
+        route = _route(50_000.0)
+        trip = ScheduledTrip(route, depart_t=0.0, mean_speed_kmh=100.0, seed=12)
+        d1 = trip.distance_travelled(600.0)
+        d2 = trip.distance_travelled(1200.0)
+        assert 0 < d1 < d2 <= route.length_m

@@ -1,0 +1,81 @@
+"""Tests for the route library."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint, haversine_m
+from repro.geo.regions import madison_study_area
+from repro.mobility.routes import Route, city_bus_routes, loop_route
+
+ORIGIN = GeoPoint(43.0731, -89.4012)
+
+
+class TestRoute:
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValueError):
+            Route(name="bad", waypoints=[ORIGIN])
+
+    def test_length(self):
+        r = Route(name="r", waypoints=[ORIGIN, ORIGIN.offset(3000.0, 4000.0)])
+        assert r.length_m == pytest.approx(5000.0, rel=1e-3)
+
+    def test_point_at_endpoints(self):
+        end = ORIGIN.offset(1000.0, 0.0)
+        r = Route(name="r", waypoints=[ORIGIN, end])
+        assert r.point_at(0.0) == ORIGIN
+        assert haversine_m(r.point_at(r.length_m), end) < 1.0
+
+    def test_point_at_clamped(self):
+        r = Route(name="r", waypoints=[ORIGIN, ORIGIN.offset(1000.0, 0.0)])
+        assert r.point_at(-50.0) == ORIGIN
+        assert haversine_m(r.point_at(99_999.0), r.waypoints[-1]) < 1.0
+
+    def test_point_at_midway(self):
+        r = Route(name="r", waypoints=[ORIGIN, ORIGIN.offset(2000.0, 0.0)])
+        mid = r.point_at(1000.0)
+        assert haversine_m(ORIGIN, mid) == pytest.approx(1000.0, rel=0.01)
+
+    def test_arclength_monotonic(self):
+        r = Route(
+            name="r",
+            waypoints=[ORIGIN, ORIGIN.offset(500.0, 500.0), ORIGIN.offset(0.0, 1000.0)],
+        )
+        prev = r.point_at(0.0)
+        total = 0.0
+        for d in range(100, int(r.length_m), 100):
+            cur = r.point_at(float(d))
+            total += haversine_m(prev, cur)
+            prev = cur
+        assert total <= r.length_m * 1.05
+
+
+class TestCityBusRoutes:
+    def test_count(self):
+        routes = city_bus_routes(madison_study_area(), count=8)
+        assert len(routes) == 8
+        assert len({r.name for r in routes}) == 8
+
+    def test_routes_span_city(self):
+        area = madison_study_area()
+        for r in city_bus_routes(area, count=6):
+            assert r.length_m > area.radius_m  # crosses a good fraction
+            for wp in r.waypoints:
+                assert area.anchor.distance_to(wp) <= area.radius_m * 1.05
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            city_bus_routes(madison_study_area(), count=0)
+
+
+class TestLoopRoute:
+    def test_closed(self):
+        r = loop_route(ORIGIN, 200.0)
+        assert r.waypoints[0] == r.waypoints[-1]
+
+    def test_points_at_radius(self):
+        r = loop_route(ORIGIN, 200.0)
+        for wp in r.waypoints:
+            assert ORIGIN.distance_to(wp) == pytest.approx(200.0, rel=0.01)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            loop_route(ORIGIN, 0.0)

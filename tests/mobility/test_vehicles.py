@@ -1,0 +1,102 @@
+"""Tests for vehicle platforms."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.geo.regions import madison_chicago_road, madison_study_area
+from repro.mobility.routes import Route, city_bus_routes
+from repro.mobility.vehicles import Car, IntercityBus, TransitBus
+from repro.sim.clock import SECONDS_PER_DAY, hours
+
+
+@pytest.fixture(scope="module")
+def routes():
+    return city_bus_routes(madison_study_area(), count=6)
+
+
+class TestTransitBus:
+    def test_requires_routes(self):
+        with pytest.raises(ValueError):
+            TransitBus(bus_id=0, routes=[])
+
+    def test_route_assignment_deterministic(self, routes):
+        bus = TransitBus(bus_id=1, routes=routes, seed=3)
+        assert bus.route_for_day(4).name == bus.route_for_day(4).name
+        again = TransitBus(bus_id=1, routes=routes, seed=3)
+        assert bus.route_for_day(4).name == again.route_for_day(4).name
+
+    def test_routes_vary_across_days(self, routes):
+        bus = TransitBus(bus_id=2, routes=routes, seed=3)
+        names = {bus.route_for_day(d).name for d in range(30)}
+        assert len(names) >= 3
+
+    def test_different_buses_differ(self, routes):
+        b1 = TransitBus(bus_id=1, routes=routes, seed=3)
+        b2 = TransitBus(bus_id=2, routes=routes, seed=3)
+        names1 = [b1.route_for_day(d).name for d in range(10)]
+        names2 = [b2.route_for_day(d).name for d in range(10)]
+        assert names1 != names2
+
+    def test_service_window(self, routes):
+        bus = TransitBus(bus_id=3, routes=routes, seed=1)
+        assert not bus.is_active(hours(5))
+        assert bus.is_active(hours(12))
+
+    def test_position_on_assigned_route(self, routes):
+        bus = TransitBus(bus_id=4, routes=routes, seed=1)
+        day = 2
+        t = day * SECONDS_PER_DAY + hours(14)
+        route = bus.route_for_day(day)
+        p = bus.position(t)
+        best = min(
+            p.distance_to(route.point_at(float(d)))
+            for d in range(0, int(route.length_m) + 1, 200)
+        )
+        assert best < 250.0
+
+
+class TestIntercityBus:
+    def test_round_trip(self):
+        road = madison_chicago_road()
+        route = Route(name=road.name, waypoints=road.waypoints)
+        bus = IntercityBus(bus_id=0, road=route, depart_hour=8.0, seed=5)
+        start = route.waypoints[0]
+        end = route.waypoints[-1]
+        # Before departure: at origin, inactive.
+        assert bus.position(hours(6)).distance_to(start) < 1.0
+        assert not bus.is_active(hours(6))
+        # Mid-morning: en route.
+        assert bus.is_active(hours(9.5))
+        # Late night: back near origin.
+        assert bus.position(hours(23.9)).distance_to(start) < 5000.0
+
+    def test_reaches_far_end(self):
+        road = madison_chicago_road()
+        route = Route(name=road.name, waypoints=road.waypoints)
+        bus = IntercityBus(bus_id=1, road=route, depart_hour=7.0, layover_h=2.0, seed=6)
+        # ~240 km at ~90 km/h is ~2.7 h; at 10:30 the bus should be at
+        # or near the far end (arrived, laying over).
+        p = bus.position(hours(10.5))
+        assert p.distance_to(route.waypoints[-1]) < 30_000.0
+
+
+class TestCar:
+    def test_daytime_only(self):
+        route = Route(
+            name="seg",
+            waypoints=[GeoPoint(43.0, -89.4), GeoPoint(43.05, -89.3)],
+        )
+        car = Car(car_id=1, route=route, day_start_h=9.0, day_end_h=18.0, seed=2)
+        assert not car.is_active(hours(8))
+        assert car.is_active(hours(12))
+        assert not car.is_active(hours(19))
+
+    def test_moves(self):
+        route = Route(
+            name="seg",
+            waypoints=[GeoPoint(43.0, -89.4), GeoPoint(43.05, -89.3)],
+        )
+        car = Car(car_id=2, route=route, seed=3)
+        p1 = car.position(hours(10))
+        p2 = car.position(hours(10) + 600.0)
+        assert p1.distance_to(p2) > 100.0

@@ -1,0 +1,164 @@
+"""Tests for the measurement channel."""
+
+import numpy as np
+import pytest
+
+from repro.network.channel import MeasurementChannel
+from repro.radio.technology import NetworkId
+
+
+@pytest.fixture()
+def point(landscape):
+    return landscape.study_area.anchor.offset(1400.0, 600.0)
+
+
+def _channel(landscape, net=NetworkId.NET_B, seed=1, bias=1.0):
+    return MeasurementChannel(
+        landscape, net, np.random.default_rng(seed), rate_bias=bias
+    )
+
+
+class TestUdpTrain:
+    def test_saturating_train_measures_capacity(self, landscape, point):
+        ch = _channel(landscape)
+        link = ch.link_at(point, 3600.0)
+        result = ch.udp_train(point, 3600.0, n_packets=150, inter_packet_delay_s=0.0005)
+        assert result.throughput_bps == pytest.approx(link.downlink_bps, rel=0.15)
+
+    def test_paced_train_measures_send_rate(self, landscape, point):
+        ch = _channel(landscape)
+        # 1200 B every 50 ms = 192 kbit/s, far below capacity.
+        result = ch.udp_train(point, 3600.0, n_packets=60, inter_packet_delay_s=0.05)
+        assert result.throughput_bps == pytest.approx(192_000, rel=0.1)
+
+    def test_records_ordered_and_complete(self, landscape, point):
+        result = _channel(landscape).udp_train(point, 10.0, n_packets=40)
+        assert len(result.records) == 40
+        assert [r.seq for r in result.records] == list(range(40))
+
+    def test_rate_samples_mean_near_capacity(self, landscape, point):
+        ch = _channel(landscape)
+        samples = []
+        caps = []
+        for k in range(30):
+            t = 100.0 + 137.0 * k
+            result = ch.udp_train(point, t, n_packets=60, inter_packet_delay_s=0.0005)
+            samples.extend(result.rate_samples_bps)
+            caps.append(result.link.downlink_bps)
+        assert np.mean(samples) == pytest.approx(np.mean(caps), rel=0.1)
+
+    def test_blackout_loses_most_packets(self, landscape):
+        patch = landscape.network(NetworkId.NET_B).failure_patches[0]
+        ch = _channel(landscape)
+        # Find a blackout instant.
+        for t in np.arange(0.0, 5 * 86400.0, 300.0):
+            if not landscape.link_state(NetworkId.NET_B, patch.center, t).available:
+                result = ch.udp_train(patch.center, float(t), n_packets=50)
+                assert result.loss_rate > 0.5
+                return
+        pytest.fail("no blackout found in 5 days")
+
+    def test_invalid_packet_count(self, landscape, point):
+        with pytest.raises(ValueError):
+            _channel(landscape).udp_train(point, 0.0, n_packets=0)
+
+
+class TestTcpDownload:
+    def test_throughput_below_udp_capacity(self, landscape, point):
+        ch = _channel(landscape)
+        caps = [ch.link_at(point, 3600.0 + k).downlink_bps for k in range(0, 60, 5)]
+        result = ch.tcp_download(point, 3600.0, size_bytes=1_000_000)
+        assert result.throughput_bps < np.mean(caps) * 1.05
+
+    def test_small_downloads_slower(self, landscape, point):
+        """Slow start penalizes short flows (lower achieved throughput)."""
+        ch = _channel(landscape)
+        small = np.mean([
+            ch.tcp_download(point, 3600.0 + k * 40, size_bytes=20_000).throughput_bps
+            for k in range(10)
+        ])
+        large = np.mean([
+            ch.tcp_download(point, 3600.0 + k * 40, size_bytes=2_000_000).throughput_bps
+            for k in range(10)
+        ])
+        assert small < large
+
+    def test_duration_scales_with_size(self, landscape, point):
+        ch = _channel(landscape)
+        d1 = ch.tcp_download(point, 100.0, size_bytes=200_000).duration_s
+        d2 = ch.tcp_download(point, 100.0, size_bytes=2_000_000).duration_s
+        assert d2 > 3.0 * d1
+
+    def test_packetize(self, landscape, point):
+        result = _channel(landscape).tcp_download(
+            point, 50.0, size_bytes=100_000, packetize=True
+        )
+        assert result.records
+        assert all(not r.lost for r in result.records)
+
+    def test_invalid_size(self, landscape, point):
+        with pytest.raises(ValueError):
+            _channel(landscape).tcp_download(point, 0.0, size_bytes=0)
+
+    def test_blackout_stalls(self, landscape):
+        patch = landscape.network(NetworkId.NET_B).failure_patches[0]
+        ch = _channel(landscape)
+        for t in np.arange(0.0, 5 * 86400.0, 300.0):
+            if not landscape.link_state(NetworkId.NET_B, patch.center, t).available:
+                result = ch.tcp_download(patch.center, float(t), size_bytes=100_000)
+                assert result.duration_s >= 30.0
+                return
+        pytest.fail("no blackout found")
+
+
+class TestPingSeries:
+    def test_rtts_match_link(self, landscape, point):
+        ch = _channel(landscape)
+        link = ch.link_at(point, 3600.0)
+        result = ch.ping_series(point, 3600.0, count=30, interval_s=1.0)
+        assert result.mean_rtt_s == pytest.approx(link.rtt_s, rel=0.2)
+
+    def test_counts_add_up(self, landscape, point):
+        result = _channel(landscape).ping_series(point, 0.0, count=20)
+        assert len(result.rtts_s) + result.failures == 20
+
+    def test_blackout_fails_pings(self, landscape):
+        patch = landscape.network(NetworkId.NET_B).failure_patches[0]
+        ch = _channel(landscape)
+        for t in np.arange(0.0, 5 * 86400.0, 300.0):
+            if not landscape.link_state(NetworkId.NET_B, patch.center, t).available:
+                result = ch.ping_series(patch.center, float(t), count=5, interval_s=0.5)
+                assert result.failures >= 1
+                return
+        pytest.fail("no blackout found")
+
+    def test_invalid_count(self, landscape, point):
+        with pytest.raises(ValueError):
+            _channel(landscape).ping_series(point, 0.0, count=0)
+
+
+class TestRateBias:
+    def test_bias_scales_throughput(self, landscape, point):
+        fast = _channel(landscape, seed=3, bias=1.0)
+        slow = _channel(landscape, seed=3, bias=0.5)
+        rf = fast.udp_train(point, 500.0, n_packets=100, inter_packet_delay_s=0.0005)
+        rs = slow.udp_train(point, 500.0, n_packets=100, inter_packet_delay_s=0.0005)
+        assert rs.throughput_bps == pytest.approx(rf.throughput_bps * 0.5, rel=0.15)
+
+    def test_invalid_bias(self, landscape):
+        with pytest.raises(ValueError):
+            _channel(landscape, bias=0.0)
+
+
+class TestUplink:
+    def test_uplink_slower_than_downlink(self, landscape, point):
+        ch = _channel(landscape, seed=9)
+        down = ch.udp_train(point, 700.0, n_packets=100, inter_packet_delay_s=0.0005)
+        up = ch.udp_train(point, 700.0, n_packets=100, inter_packet_delay_s=0.0005, direction="up")
+        assert up.throughput_bps < down.throughput_bps
+        link = ch.link_at(point, 700.0)
+        assert up.throughput_bps == pytest.approx(link.uplink_bps, rel=0.2)
+
+    def test_invalid_direction(self, landscape, point):
+        with pytest.raises(ValueError):
+            _channel(landscape).udp_train(point, 0.0, direction="sideways")

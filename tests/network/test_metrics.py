@@ -1,0 +1,125 @@
+"""Tests for packet-trace metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.metrics import (
+    goodput_bps,
+    ipdv_jitter_s,
+    loss_rate,
+    mean,
+    relative_std,
+    std,
+    summarize_rtts,
+)
+from repro.network.packet import PacketRecord
+
+
+def _train(delays, size=1000, ipd=0.01):
+    """Build a delivered train with the given per-packet one-way delays."""
+    return [
+        PacketRecord(i, i * ipd, i * ipd + d, size)
+        for i, d in enumerate(delays)
+    ]
+
+
+class TestGoodput:
+    def test_simple_rate(self):
+        # 10 packets of 1000 B, window exactly 1 s.
+        records = [
+            PacketRecord(i, i * 0.1, i * 0.1 + 0.1, 1000) for i in range(10)
+        ]
+        # window: send 0.0 .. recv 1.0
+        assert goodput_bps(records) == pytest.approx(10 * 1000 * 8 / 1.0)
+
+    def test_lost_packets_excluded_from_bits(self):
+        records = _train([0.05] * 10)
+        records[3] = PacketRecord(3, 0.03, None, 1000)
+        full = goodput_bps(_train([0.05] * 10))
+        partial = goodput_bps(records)
+        assert partial < full
+
+    def test_all_lost(self):
+        records = [PacketRecord(i, 0.0, None, 100) for i in range(5)]
+        assert goodput_bps(records) == 0.0
+
+    def test_empty(self):
+        assert goodput_bps([]) == 0.0
+
+
+class TestLossRate:
+    def test_no_loss(self):
+        assert loss_rate(_train([0.01] * 4)) == 0.0
+
+    def test_half_loss(self):
+        records = _train([0.01] * 4)
+        records[0] = PacketRecord(0, 0.0, None, 1000)
+        records[1] = PacketRecord(1, 0.01, None, 1000)
+        assert loss_rate(records) == 0.5
+
+    def test_empty(self):
+        assert loss_rate([]) == 0.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_bounded(self, lost_flags):
+        records = [
+            PacketRecord(i, 0.0, None if lost else 0.1, 100)
+            for i, lost in enumerate(lost_flags)
+        ]
+        assert 0.0 <= loss_rate(records) <= 1.0
+
+
+class TestIpdvJitter:
+    def test_constant_delay_zero_jitter(self):
+        assert ipdv_jitter_s(_train([0.05] * 20)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_alternating_delay(self):
+        # Delays alternate +-5 ms: each consecutive IPDV is 10 ms.
+        delays = [0.05 + (0.005 if i % 2 else -0.005) for i in range(20)]
+        assert ipdv_jitter_s(_train(delays)) == pytest.approx(0.01)
+
+    def test_pairs_spanning_loss_skipped(self):
+        records = _train([0.05, 0.06, 0.05, 0.06])
+        records[1] = PacketRecord(1, 0.01, None, 1000)
+        # Only the (2,3) pair remains consecutive.
+        assert ipdv_jitter_s(records) == pytest.approx(0.01)
+
+    def test_too_few_packets(self):
+        assert ipdv_jitter_s(_train([0.05])) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=0.5), min_size=2, max_size=50))
+    @settings(max_examples=50)
+    def test_nonnegative(self, delays):
+        assert ipdv_jitter_s(_train(delays)) >= 0.0
+
+
+class TestRttSummary:
+    def test_basic(self):
+        s = summarize_rtts([0.1, 0.2, 0.3], failures=1)
+        assert s.count == 3
+        assert s.failures == 1
+        assert s.mean_s == pytest.approx(0.2)
+        assert s.min_s == 0.1
+        assert s.max_s == 0.3
+        assert s.failure_rate == pytest.approx(0.25)
+
+    def test_empty(self):
+        s = summarize_rtts([], failures=4)
+        assert s.count == 0
+        assert s.failure_rate == 1.0
+
+
+class TestScalarHelpers:
+    def test_mean_std(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert std([2.0, 2.0, 2.0]) == 0.0
+        assert std([1.0]) == 0.0
+
+    def test_relative_std(self):
+        assert relative_std([10.0, 10.0]) == 0.0
+        assert relative_std([]) == 0.0
+        assert relative_std([1.0, 3.0]) == pytest.approx(0.5)

@@ -1,0 +1,51 @@
+"""Tests for base-station placement."""
+
+import numpy as np
+import pytest
+
+from repro.geo.regions import madison_chicago_road, madison_study_area
+from repro.radio.basestation import place_along_road, place_base_stations
+
+
+class TestCityPlacement:
+    def test_count(self, rng):
+        area = madison_study_area()
+        stations = place_base_stations(area.anchor, area.radius_m, 12, rng)
+        assert len(stations) == 12
+
+    def test_all_within_area(self, rng):
+        area = madison_study_area()
+        stations = place_base_stations(area.anchor, area.radius_m, 30, rng)
+        for s in stations:
+            assert area.anchor.distance_to(s.location) <= area.radius_m + 1.0
+
+    def test_deterministic_given_rng(self):
+        area = madison_study_area()
+        a = place_base_stations(area.anchor, area.radius_m, 10, np.random.default_rng(3))
+        b = place_base_stations(area.anchor, area.radius_m, 10, np.random.default_rng(3))
+        assert [s.location for s in a] == [s.location for s in b]
+
+    def test_capacity_scales_bounded(self, rng):
+        area = madison_study_area()
+        for s in place_base_stations(area.anchor, area.radius_m, 50, rng):
+            assert 0.75 <= s.capacity_scale <= 1.25
+
+    def test_zero_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            place_base_stations(madison_study_area().anchor, 1000.0, 0, rng)
+
+
+class TestRoadPlacement:
+    def test_towers_near_corridor(self, rng):
+        road = madison_chicago_road()
+        stations = place_along_road(road.waypoints, 10_000.0, rng)
+        assert len(stations) >= 20
+        anchors = road.sample_every(1000.0)
+        for s in stations:
+            nearest = min(s.location.distance_to(a) for a in anchors)
+            assert nearest <= 1500.0
+
+    def test_site_ids_offset(self, rng):
+        road = madison_chicago_road()
+        stations = place_along_road(road.waypoints, 20_000.0, rng, start_site_id=500)
+        assert all(s.site_id >= 500 for s in stations)

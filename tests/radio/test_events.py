@@ -1,0 +1,92 @@
+"""Tests for scheduled load events."""
+
+import pytest
+
+from repro.geo.regions import MADISON_CENTER
+from repro.radio.events import LoadEvent, football_game_event
+from repro.radio.technology import NetworkId
+from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def _event():
+    return football_game_event(MADISON_CENTER, game_day=5, kickoff_hour=11.0)
+
+
+class TestTimeWindow:
+    def test_inactive_before(self):
+        ev = _event()
+        t = ev.start_s - 3600.0
+        assert ev.latency_factor(NetworkId.NET_B, MADISON_CENTER, t) == 1.0
+
+    def test_peak_during_core(self):
+        ev = _event()
+        t = (ev.start_s + ev.end_s) / 2.0
+        assert ev.latency_factor(NetworkId.NET_B, MADISON_CENTER, t) == pytest.approx(3.7)
+
+    def test_ramps(self):
+        ev = _event()
+        t = ev.start_s - ev.ramp_s / 2.0
+        f = ev.latency_factor(NetworkId.NET_B, MADISON_CENTER, t)
+        assert 1.0 < f < 3.7
+
+    def test_inactive_after(self):
+        ev = _event()
+        t = ev.end_s + ev.ramp_s + 1.0
+        assert ev.capacity_factor(NetworkId.NET_B, MADISON_CENTER, t) == 1.0
+
+
+class TestSpaceFade:
+    def test_full_inside_half_radius(self):
+        ev = _event()
+        t = (ev.start_s + ev.end_s) / 2.0
+        near = MADISON_CENTER.offset(300.0, 0.0)
+        assert ev.intensity(near, t) == pytest.approx(1.0)
+
+    def test_zero_outside_radius(self):
+        ev = _event()
+        t = (ev.start_s + ev.end_s) / 2.0
+        far = MADISON_CENTER.offset(5000.0, 0.0)
+        assert ev.intensity(far, t) == 0.0
+
+    def test_partial_fade(self):
+        ev = _event()
+        t = (ev.start_s + ev.end_s) / 2.0
+        mid = MADISON_CENTER.offset(1200.0, 0.0)
+        assert 0.0 < ev.intensity(mid, t) < 1.0
+
+
+class TestCapacity:
+    def test_capacity_divided_during_event(self):
+        ev = _event()
+        t = (ev.start_s + ev.end_s) / 2.0
+        f = ev.capacity_factor(NetworkId.NET_B, MADISON_CENTER, t)
+        assert f == pytest.approx(1.0 / 3.0)
+
+    def test_unknown_network_unaffected(self):
+        ev = LoadEvent(
+            name="x",
+            center=MADISON_CENTER,
+            radius_m=1000.0,
+            start_s=0.0,
+            end_s=3600.0,
+            latency_multiplier={NetworkId.NET_B: 2.0},
+            capacity_divisor={NetworkId.NET_B: 2.0},
+        )
+        assert ev.latency_factor(NetworkId.NET_A, MADISON_CENTER, 1800.0) == 1.0
+
+
+class TestFootballPreset:
+    def test_on_first_saturday(self):
+        ev = _event()
+        assert ev.start_s == pytest.approx(
+            5 * SECONDS_PER_DAY + 11 * SECONDS_PER_HOUR
+        )
+        assert ev.end_s - ev.start_s == pytest.approx(3 * SECONDS_PER_HOUR)
+
+    def test_netb_hit_hardest(self):
+        ev = _event()
+        assert (
+            ev.latency_multiplier[NetworkId.NET_B]
+            > ev.latency_multiplier[NetworkId.NET_C]
+            > 1.0
+        )

@@ -1,0 +1,37 @@
+"""Tests for radio technology specs."""
+
+import pytest
+
+from repro.radio.technology import (
+    EVDO_REV_A,
+    HSPA,
+    TECHNOLOGY_BY_NETWORK,
+    NetworkId,
+)
+
+
+class TestSpecs:
+    def test_paper_table1_rates(self):
+        # NetA: HSPA, downlink <= 7.2 Mbps, uplink <= 1.2 Mbps.
+        assert HSPA.max_downlink_bps == pytest.approx(7.2e6)
+        assert HSPA.max_uplink_bps == pytest.approx(1.2e6)
+        # NetB/NetC: EV-DO Rev.A, downlink <= 3.1, uplink <= 1.8.
+        assert EVDO_REV_A.max_downlink_bps == pytest.approx(3.1e6)
+        assert EVDO_REV_A.max_uplink_bps == pytest.approx(1.8e6)
+
+    def test_network_technology_mapping(self):
+        assert TECHNOLOGY_BY_NETWORK[NetworkId.NET_A] is HSPA
+        assert TECHNOLOGY_BY_NETWORK[NetworkId.NET_B] is EVDO_REV_A
+        assert TECHNOLOGY_BY_NETWORK[NetworkId.NET_C] is EVDO_REV_A
+
+    def test_clamp_downlink(self):
+        assert EVDO_REV_A.clamp_downlink(5e6) == pytest.approx(3.1e6)
+        assert EVDO_REV_A.clamp_downlink(1e6) == pytest.approx(1e6)
+        assert EVDO_REV_A.clamp_downlink(-5.0) == 0.0
+
+    def test_clamp_uplink(self):
+        assert HSPA.clamp_uplink(2e6) == pytest.approx(1.2e6)
+
+    def test_network_id_string(self):
+        assert str(NetworkId.NET_A) == "NetA"
+        assert NetworkId("NetB") is NetworkId.NET_B

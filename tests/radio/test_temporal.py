@@ -1,0 +1,82 @@
+"""Tests for temporal performance processes."""
+
+import numpy as np
+import pytest
+
+from repro.radio.temporal import (
+    TemporalParams,
+    TemporalProcess,
+    diurnal_load,
+)
+from repro.sim.clock import hours
+from repro.stats.allan import allan_deviation
+
+
+class TestDiurnal:
+    def test_peak_in_evening(self):
+        values = {h: diurnal_load(hours(h), 0.1) for h in range(24)}
+        assert max(values, key=values.get) == 20
+
+    def test_mean_near_one(self):
+        vals = [diurnal_load(hours(h / 4.0), 0.1) for h in range(96)]
+        assert np.mean(vals) == pytest.approx(1.0, abs=1e-6)
+
+    def test_amplitude(self):
+        vals = [diurnal_load(hours(h / 4.0), 0.08) for h in range(96)]
+        assert max(vals) == pytest.approx(1.08, abs=1e-3)
+        assert min(vals) == pytest.approx(0.92, abs=1e-3)
+
+
+class TestTemporalProcess:
+    def test_deterministic(self):
+        p1 = TemporalProcess(TemporalParams.madison_like(), seed=9)
+        p2 = TemporalProcess(TemporalParams.madison_like(), seed=9)
+        for t in (0.0, 1234.5, 99_999.0):
+            assert p1.multiplier(t) == p2.multiplier(t)
+
+    def test_seeds_differ(self):
+        p1 = TemporalProcess(TemporalParams.madison_like(), seed=1)
+        p2 = TemporalProcess(TemporalParams.madison_like(), seed=2)
+        vals1 = [p1.multiplier(t) for t in range(0, 86400, 600)]
+        vals2 = [p2.multiplier(t) for t in range(0, 86400, 600)]
+        assert vals1 != vals2
+
+    def test_mean_near_one(self):
+        proc = TemporalProcess(TemporalParams.madison_like(), seed=3)
+        vals = [proc.multiplier(t) for t in np.arange(0, 5 * 86400, 120.0)]
+        assert np.mean(vals) == pytest.approx(1.0, abs=0.08)
+
+    def test_floor(self):
+        proc = TemporalProcess(TemporalParams.madison_like(), seed=3)
+        vals = [proc.multiplier(t) for t in np.arange(0, 86400, 60.0)]
+        assert min(vals) >= 0.05
+
+    def test_fast_iid_across_bins(self):
+        proc = TemporalProcess(TemporalParams.madison_like(), seed=4)
+        # Same bin -> same value; different bin -> (almost surely) different.
+        assert proc.fast(10.0) == proc.fast(12.0)
+        assert proc.fast(10.0) != proc.fast(20.0)
+
+    def test_nj_more_variable_than_madison(self):
+        wi = TemporalProcess(TemporalParams.madison_like(), seed=5)
+        nj = TemporalProcess(TemporalParams.new_jersey_like(), seed=5)
+        ts = np.arange(0, 2 * 86400, 60.0)
+        wi_std = np.std([wi.multiplier(t) for t in ts])
+        nj_std = np.std([nj.multiplier(t) for t in ts])
+        assert nj_std > wi_std
+
+    def test_allan_shape_fast_noise_falls(self):
+        """Short-interval Allan deviation is dominated by fast noise."""
+        proc = TemporalProcess(TemporalParams.madison_like(), seed=6)
+        series = [proc.multiplier(t) for t in np.arange(0, 86400, 30.0)]
+        short = allan_deviation(series, 30.0, 120.0)
+        longer = allan_deviation(series, 30.0, 1800.0)
+        assert short > longer
+
+    def test_drift_rises_with_tau(self):
+        """The drift component alone has rising Allan deviation."""
+        proc = TemporalProcess(TemporalParams.madison_like(), seed=7)
+        series = [1.0 + proc.slow(t) for t in np.arange(0, 6 * 86400, 60.0)]
+        low = allan_deviation(series, 60.0, 900.0)
+        high = allan_deviation(series, 60.0, 14400.0)
+        assert high > low

@@ -1,0 +1,75 @@
+"""Tests for virtual time."""
+
+import pytest
+
+from repro.sim.clock import (
+    SimClock,
+    day_index,
+    day_of_week,
+    format_sim_time,
+    hour_of_day,
+    hours,
+    is_weekend,
+    minutes,
+    days,
+    time_of_day_s,
+)
+
+
+class TestConversions:
+    def test_minutes_hours_days(self):
+        assert minutes(2) == 120.0
+        assert hours(1.5) == 5400.0
+        assert days(2) == 172800.0
+
+    def test_time_of_day_wraps(self):
+        assert time_of_day_s(days(3) + 61.0) == 61.0
+
+    def test_hour_of_day(self):
+        assert hour_of_day(days(1) + hours(13) + minutes(30)) == pytest.approx(13.5)
+
+    def test_day_index(self):
+        assert day_index(0.0) == 0
+        assert day_index(days(4) + 5) == 4
+
+    def test_day_of_week_cycles(self):
+        assert day_of_week(0.0) == 0
+        assert day_of_week(days(7)) == 0
+        assert day_of_week(days(5)) == 5
+
+    def test_weekend(self):
+        assert not is_weekend(days(4))
+        assert is_weekend(days(5))
+        assert is_weekend(days(6))
+        assert not is_weekend(days(7))
+
+    def test_format(self):
+        assert format_sim_time(days(2) + hours(3) + minutes(4) + 5) == "day2 03:04:05"
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_no_backwards(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_by(-1.0)
+
+    def test_elapsed_and_reset(self):
+        clock = SimClock()
+        clock.advance_by(42.0)
+        assert clock.elapsed == 42.0
+        clock.reset(100.0)
+        assert clock.now == 100.0
+        assert clock.elapsed == 0.0

@@ -1,0 +1,132 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventEngine, StopSimulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule_at(5.0, lambda: order.append("b"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append(1))
+        engine.schedule_at(1.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_clock_tracks_event_times(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(3.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.0]
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule_at(2.0, lambda: engine.schedule_in(3.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_cancel(self):
+        engine = EventEngine()
+        ran = []
+        ev = engine.schedule_at(1.0, lambda: ran.append(1))
+        engine.cancel(ev)
+        engine.run()
+        assert ran == []
+        assert engine.events_run == 0
+
+
+class TestRunBounds:
+    def test_until_inclusive(self):
+        engine = EventEngine()
+        ran = []
+        engine.schedule_at(5.0, lambda: ran.append("at5"))
+        engine.schedule_at(6.0, lambda: ran.append("at6"))
+        engine.run(until=5.0)
+        assert ran == ["at5"]
+        assert engine.clock.now == 5.0
+
+    def test_run_advances_clock_to_until(self):
+        engine = EventEngine()
+        engine.run(until=100.0)
+        assert engine.clock.now == 100.0
+
+    def test_max_events(self):
+        engine = EventEngine()
+        ran = []
+        for i in range(10):
+            engine.schedule_at(float(i + 1), lambda i=i: ran.append(i))
+        engine.run(max_events=3)
+        assert ran == [0, 1, 2]
+
+    def test_stop_simulation(self):
+        engine = EventEngine()
+        ran = []
+
+        def stop():
+            raise StopSimulation
+
+        engine.schedule_at(1.0, lambda: ran.append(1))
+        engine.schedule_at(2.0, stop)
+        engine.schedule_at(3.0, lambda: ran.append(3))
+        engine.run()
+        assert ran == [1]
+
+
+class TestPeriodic:
+    def test_schedule_every(self):
+        engine = EventEngine()
+        ticks = []
+        engine.schedule_every(10.0, lambda: ticks.append(engine.now), until=45.0)
+        engine.run(until=45.0)
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+    def test_schedule_every_custom_start(self):
+        engine = EventEngine()
+        ticks = []
+        engine.schedule_every(10.0, lambda: ticks.append(engine.now), start_at=5.0, until=30.0)
+        engine.run(until=30.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule_every(0.0, lambda: None)
+
+    def test_raising_handler_stops_timer(self):
+        engine = EventEngine()
+        ticks = []
+
+        def tick():
+            ticks.append(engine.now)
+            if len(ticks) == 2:
+                raise StopSimulation
+
+        engine.schedule_every(1.0, tick)
+        engine.run(until=10.0)
+        assert len(ticks) == 2
+
+    def test_pending_counts(self):
+        engine = EventEngine()
+        e1 = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.pending() == 2
+        engine.cancel(e1)
+        assert engine.pending() == 1

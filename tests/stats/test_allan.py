@@ -1,0 +1,102 @@
+"""Tests for Allan deviation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.allan import (
+    allan_deviation,
+    allan_deviation_profile,
+    optimal_averaging_time,
+    select_epoch_from_profile,
+)
+
+
+class TestAllanDeviation:
+    def test_constant_series_zero(self):
+        assert allan_deviation([5.0] * 100, 1.0, 10.0) == 0.0
+
+    def test_white_noise_scales_inverse_sqrt_tau(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(10.0, 1.0, size=40_000)
+        s1 = allan_deviation(series, 1.0, 10.0, normalize=False)
+        s2 = allan_deviation(series, 1.0, 40.0, normalize=False)
+        # White noise: sigma(tau) ~ tau^-1/2 => 4x window -> half sigma.
+        assert s2 == pytest.approx(s1 / 2.0, rel=0.15)
+
+    def test_normalization_divides_by_mean(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(100.0, 5.0, size=5000)
+        raw = allan_deviation(series, 1.0, 10.0, normalize=False)
+        norm = allan_deviation(series, 1.0, 10.0, normalize=True)
+        assert norm == pytest.approx(raw / np.mean(series), rel=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=30)
+    def test_scale_invariance_when_normalized(self, scale):
+        rng = np.random.default_rng(3)
+        series = rng.normal(10.0, 1.0, size=2000)
+        a = allan_deviation(series, 1.0, 20.0, normalize=True)
+        b = allan_deviation(series * scale, 1.0, 20.0, normalize=True)
+        assert b == pytest.approx(a, rel=1e-9)
+
+    def test_too_short_returns_nan(self):
+        assert math.isnan(allan_deviation([1.0, 2.0, 3.0], 1.0, 3.0))
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            allan_deviation([1.0] * 10, 1.0, 0.5)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            allan_deviation([1.0] * 10, 0.0, 1.0)
+
+    def test_ramp_has_positive_deviation(self):
+        series = list(np.linspace(1.0, 2.0, 1000))
+        assert allan_deviation(series, 1.0, 50.0) > 0.0
+
+
+class TestProfile:
+    def test_drops_undefined_points(self):
+        series = [1.0 + 0.01 * (i % 7) for i in range(100)]
+        profile = allan_deviation_profile(series, 1.0, [0.5, 5.0, 10.0, 1000.0])
+        taus = [tau for tau, _ in profile]
+        assert 0.5 not in taus  # below the sample period
+        assert 1000.0 not in taus  # too few windows
+
+    def test_ordered_by_input(self):
+        rng = np.random.default_rng(4)
+        series = rng.normal(1.0, 0.1, size=1000)
+        profile = allan_deviation_profile(series, 1.0, [5.0, 10.0, 20.0])
+        assert [tau for tau, _ in profile] == [5.0, 10.0, 20.0]
+
+
+class TestEpochSelection:
+    def test_picks_minimum(self):
+        profile = [(10.0, 0.5), (20.0, 0.2), (40.0, 0.4)]
+        assert select_epoch_from_profile(profile, tolerance=0.0) == 20.0
+
+    def test_tolerance_prefers_shorter(self):
+        profile = [(10.0, 0.21), (20.0, 0.2), (40.0, 0.4)]
+        assert select_epoch_from_profile(profile, tolerance=0.10) == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_epoch_from_profile([])
+
+    def test_optimal_time_on_synthetic_mix(self):
+        """White noise + slow ramp-walk: the optimum is interior."""
+        rng = np.random.default_rng(5)
+        n = 20_000
+        white = rng.normal(0.0, 0.5, size=n)
+        walk = np.cumsum(rng.normal(0.0, 0.004, size=n))
+        series = 10.0 + white + walk
+        tau = optimal_averaging_time(series, 1.0)
+        assert 60.0 < tau < n / 4.0
+
+    def test_optimal_time_too_short_series(self):
+        with pytest.raises(ValueError):
+            optimal_averaging_time([1.0, 2.0], 1.0, taus_s=[100.0])

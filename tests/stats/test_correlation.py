@@ -1,0 +1,37 @@
+"""Tests for Pearson correlation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import pearson_correlation
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert pearson_correlation(x, [2 * v for v in x]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = [1.0, 2.0, 3.0]
+        assert pearson_correlation(x, [-v for v in x]) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert abs(pearson_correlation(list(x), list(y))) < 0.05
+
+    def test_degenerate_inputs(self):
+        assert pearson_correlation([1.0], [2.0]) == 0.0
+        assert pearson_correlation([1.0, 1.0], [2.0, 3.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [1.0, 2.0])
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = list(rng.normal(size=30))
+            y = list(rng.normal(size=30))
+            assert -1.0 <= pearson_correlation(x, y) <= 1.0

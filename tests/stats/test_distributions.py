@@ -1,0 +1,73 @@
+"""Tests for empirical CDFs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import EmpiricalCDF, cdf_points
+
+sample_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200
+)
+
+
+class TestEmpiricalCDF:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_cdf_step(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.cdf(0.5) == 0.0
+        assert cdf.cdf(2.0) == 0.5
+        assert cdf.cdf(10.0) == 1.0
+
+    @given(sample_lists)
+    @settings(max_examples=50)
+    def test_cdf_monotone(self, samples):
+        cdf = EmpiricalCDF(samples)
+        xs = sorted(samples)
+        values = [cdf.cdf(x) for x in xs]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    @given(sample_lists)
+    @settings(max_examples=50)
+    def test_quantile_within_range(self, samples):
+        cdf = EmpiricalCDF(samples)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert cdf.min <= cdf.quantile(q) <= cdf.max
+
+    def test_quantile_interpolates(self):
+        cdf = EmpiricalCDF([0.0, 10.0])
+        assert cdf.quantile(0.5) == pytest.approx(5.0)
+
+    def test_quantile_bounds_checked(self):
+        cdf = EmpiricalCDF([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_percentile_alias(self):
+        cdf = EmpiricalCDF(list(range(101)))
+        assert cdf.percentile(5) == pytest.approx(5.0)
+        assert cdf.percentile(95) == pytest.approx(95.0)
+
+    def test_median_and_mean(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0])
+        assert cdf.median() == 2.0
+        assert cdf.mean() == 2.0
+
+
+class TestCdfPoints:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_small_input_full_resolution(self):
+        pts = cdf_points([3.0, 1.0, 2.0])
+        assert pts == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_downsampling(self):
+        pts = cdf_points(list(range(10_000)), max_points=100)
+        assert len(pts) == 100
+        assert pts[-1][1] == pytest.approx(1.0)
+        fractions = [f for _, f in pts]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))

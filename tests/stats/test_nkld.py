@@ -1,0 +1,107 @@
+"""Tests for the symmetric normalized KL divergence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.nkld import (
+    empirical_pmf,
+    entropy,
+    kl_divergence,
+    nkld,
+    nkld_convergence_curve,
+    nkld_from_samples,
+    samples_until_similar,
+)
+
+pmfs = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=4, max_size=12
+).map(lambda xs: np.asarray(xs) / np.sum(xs))
+
+
+class TestEmpiricalPmf:
+    def test_sums_to_one(self):
+        p = empirical_pmf([1.0, 2.0, 3.0, 4.0], n_bins=4)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_strictly_positive(self):
+        p = empirical_pmf([1.0] * 100, n_bins=8, value_range=(0.0, 10.0))
+        assert (p > 0).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_pmf([], n_bins=4)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_pmf([1.0], n_bins=1)
+
+
+class TestDivergence:
+    @given(pmfs)
+    @settings(max_examples=50)
+    def test_zero_on_identical(self, p):
+        assert nkld(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    @given(pmfs)
+    @settings(max_examples=50)
+    def test_symmetric(self, p):
+        q = np.roll(p, 1)
+        assert nkld(p, q) == pytest.approx(nkld(q, p), rel=1e-9)
+
+    @given(pmfs)
+    @settings(max_examples=50)
+    def test_nonnegative(self, p):
+        q = np.roll(p, 1)
+        assert nkld(p, q) >= 0.0
+
+    def test_kl_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([0.5, 0.5]), np.array([0.3, 0.3, 0.4]))
+
+    def test_kl_rejects_zeros(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([1.0, 0.0]), np.array([0.5, 0.5]))
+
+    def test_entropy_uniform_max(self):
+        uniform = np.full(8, 1.0 / 8.0)
+        peaked = np.array([0.93] + [0.01] * 7)
+        assert entropy(uniform) > entropy(peaked)
+
+
+class TestFromSamples:
+    def test_same_distribution_small(self, rng):
+        a = rng.normal(10.0, 1.0, size=4000)
+        b = rng.normal(10.0, 1.0, size=4000)
+        assert nkld_from_samples(a, b) < 0.05
+
+    def test_different_distributions_large(self, rng):
+        a = rng.normal(10.0, 1.0, size=4000)
+        b = rng.normal(14.0, 1.0, size=4000)
+        assert nkld_from_samples(a, b) > 0.5
+
+    def test_more_samples_converge(self, rng):
+        ref = rng.normal(5.0, 1.0, size=20_000)
+        small = np.mean(
+            [nkld_from_samples(rng.choice(ref, 20), ref) for _ in range(20)]
+        )
+        large = np.mean(
+            [nkld_from_samples(rng.choice(ref, 400), ref) for _ in range(20)]
+        )
+        assert large < small
+
+
+class TestConvergenceCurve:
+    def test_curve_and_threshold(self, rng):
+        ref = rng.normal(5.0, 1.0, size=10_000)
+        draws = [rng.choice(ref, 500) for _ in range(30)]
+        curve = nkld_convergence_curve(ref, draws, [10, 50, 200, 450])
+        assert [n for n, _ in curve] == [10, 50, 200, 450]
+        values = [v for _, v in curve]
+        assert values[-1] < values[0]
+        crossing = samples_until_similar(curve, threshold=values[1])
+        assert crossing is not None and crossing >= 10
+
+    def test_no_crossing_returns_none(self):
+        assert samples_until_similar([(10, 0.5), (20, 0.4)], threshold=0.1) is None

@@ -1,0 +1,58 @@
+"""Tests for minimum-sample-count estimation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.sampling import estimation_error, min_samples_for_accuracy
+
+
+class TestEstimationError:
+    def test_exact(self):
+        assert estimation_error(100.0, 100.0) == 0.0
+
+    def test_relative(self):
+        assert estimation_error(97.0, 100.0) == pytest.approx(0.03)
+        assert estimation_error(103.0, 100.0) == pytest.approx(0.03)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            estimation_error(1.0, 0.0)
+
+
+class TestMinSamples:
+    def test_noisier_needs_more(self):
+        rng = np.random.default_rng(2)
+
+        def draw_factory(sigma):
+            return lambda n: rng.normal(100.0, sigma, size=n)
+
+        low = min_samples_for_accuracy(
+            draw_factory(10.0), 100.0, trials=40,
+            candidates=range(5, 305, 5),
+        )
+        high = min_samples_for_accuracy(
+            draw_factory(30.0), 100.0, trials=40,
+            candidates=range(5, 305, 5),
+        )
+        assert low is not None and high is not None
+        assert high > low
+
+    def test_zero_noise_needs_minimum(self):
+        result = min_samples_for_accuracy(
+            lambda n: [100.0] * n, 100.0, candidates=[1, 2, 3]
+        )
+        assert result == 1
+
+    def test_none_when_unreachable(self):
+        rng = np.random.default_rng(3)
+        result = min_samples_for_accuracy(
+            lambda n: rng.normal(100.0, 500.0, size=n),
+            100.0,
+            trials=10,
+            candidates=[5, 10],
+        )
+        assert result is None
+
+    def test_invalid_accuracy(self):
+        with pytest.raises(ValueError):
+            min_samples_for_accuracy(lambda n: [1.0] * n, 1.0, accuracy=1.5)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("world-info", "catalog", "generate", "map", "monitor"):
+            args = parser.parse_args(
+                [cmd] + (["standalone"] if cmd == "generate" else [])
+            )
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_world_info(self, capsys):
+        assert main(["world-info", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "NetA" in out and "NetB" in out and "NetC" in out
+        assert "km^2" in out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "standalone" in out and "wirover" in out
+
+    def test_generate_unknown_dataset(self, capsys):
+        assert main(["generate", "bogus"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_generate_writes_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "seg.jsonl"
+        code = main([
+            "generate", "short-segment", "--days", "1", "--out", str(out_path)
+        ])
+        assert code == 0
+        assert out_path.exists()
+        assert out_path.stat().st_size > 1000
+
+    def test_generate_writes_csv(self, tmp_path):
+        out_path = tmp_path / "seg.csv"
+        code = main([
+            "generate", "short-segment", "--days", "1", "--out", str(out_path)
+        ])
+        assert code == 0
+        header = out_path.read_text().splitlines()[0]
+        assert header.startswith("dataset,")
+
+    def test_monitor_runs(self, capsys):
+        code = main(["monitor", "--buses", "2", "--hours", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published estimates" in out

@@ -1,0 +1,138 @@
+"""Cross-module property-based tests on framework invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients.protocol import MeasurementType
+from repro.core.records import ZoneRecord
+from repro.core.scheduler import MeasurementScheduler
+from repro.radio.technology import NetworkId
+from repro.stats.distributions import EmpiricalCDF
+
+KEY = ((0, 0), NetworkId.NET_B, MeasurementType.UDP_TRAIN)
+
+finite_floats = st.floats(
+    min_value=1.0, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+
+
+class TestZoneRecordConservation:
+    @given(
+        st.lists(
+            st.tuples(st.lists(finite_floats, min_size=1, max_size=20),
+                      st.floats(min_value=0.0, max_value=10_000.0)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def test_no_samples_lost_across_epochs(self, batches):
+        """Every added (finite) sample lands in exactly one epoch."""
+        record = ZoneRecord(key=KEY, epoch_s=600.0, sample_budget=10)
+        total_added = 0
+        for values, at in sorted(batches, key=lambda b: b[1]):
+            record.maybe_close_epoch(at)
+            record.add_samples(values, at_s=at)
+            total_added += len(values)
+        record.maybe_close_epoch(1e9)
+        in_history = sum(e.n_samples for e in record.history)
+        assert in_history == total_added
+
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    @settings(max_examples=50)
+    def test_epoch_percentiles_bound_mean(self, values):
+        record = ZoneRecord(key=KEY, epoch_s=10.0, sample_budget=10)
+        record.add_samples(values, at_s=1.0)
+        est = record.maybe_close_epoch(10.0)
+        assert est.p5 <= est.mean + 1e-9 or est.p5 <= max(values)
+        assert min(values) <= est.p5 <= est.p95 <= max(values)
+
+
+class TestSchedulerInvariants:
+    @given(
+        st.integers(min_value=1, max_value=500),   # budget
+        st.integers(min_value=0, max_value=400),   # samples already in
+        st.integers(min_value=0, max_value=50),    # active clients
+        st.floats(min_value=0.0, max_value=1800.0),  # time into epoch
+    )
+    @settings(max_examples=100)
+    def test_probability_in_unit_interval(self, budget, got, clients, into):
+        scheduler = MeasurementScheduler(
+            tick_interval_s=60.0,
+            samples_per_task={MeasurementType.UDP_TRAIN: 50},
+            rng=np.random.default_rng(0),
+        )
+        record = ZoneRecord(key=KEY, epoch_s=1800.0, sample_budget=budget)
+        if got:
+            record.add_samples([1.0] * got, at_s=0.0)
+        p = scheduler.task_probability(
+            record, MeasurementType.UDP_TRAIN, clients, into
+        )
+        assert 0.0 <= p <= 1.0
+        if clients == 0 or got >= budget:
+            assert p == 0.0
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30)
+    def test_more_clients_never_raises_per_client_load(self, clients):
+        scheduler = MeasurementScheduler(
+            tick_interval_s=60.0,
+            samples_per_task={MeasurementType.UDP_TRAIN: 50},
+            rng=np.random.default_rng(0),
+        )
+        record = ZoneRecord(key=KEY, epoch_s=1800.0, sample_budget=100)
+        p1 = scheduler.task_probability(record, MeasurementType.UDP_TRAIN, 1, 0.0)
+        pn = scheduler.task_probability(record, MeasurementType.UDP_TRAIN, clients, 0.0)
+        assert pn <= p1 + 1e-12
+
+
+class TestCdfInverse:
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    @settings(max_examples=50)
+    def test_cdf_of_quantile_consistent(self, samples):
+        cdf = EmpiricalCDF(samples)
+        for q in (0.1, 0.5, 0.9):
+            # Evaluate just above the quantile: interpolation arithmetic
+            # can round the quantile a half-ulp below a stored sample.
+            x = math.nextafter(cdf.quantile(q), math.inf)
+            # At least q of the mass lies at or below the q-quantile
+            # (up to one sample of slack for the interpolation).
+            assert cdf.cdf(x) >= q - 1.0 / cdf.n - 1e-9
+
+
+class TestGoodputBounds:
+    @given(
+        st.integers(min_value=1, max_value=120),
+        st.floats(min_value=1e5, max_value=3.0e6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_throughput_never_exceeds_send_plus_jitter(self, n, rate):
+        """A paced train can never measure more than the send rate."""
+        from repro.network.channel import MeasurementChannel
+        from repro.radio.network import build_landscape
+
+        land = TestGoodputBounds._land()
+        channel = MeasurementChannel(land, NetworkId.NET_B, np.random.default_rng(1))
+        point = land.study_area.anchor
+        ipd = 1200 * 8.0 / rate
+        result = channel.udp_train(
+            point, 100.0, n_packets=n, inter_packet_delay_s=ipd
+        )
+        link = channel.link_at(point, 100.0)
+        ceiling = max(rate, link.downlink_bps) * 1.6
+        assert result.throughput_bps <= ceiling
+
+    _cached_land = None
+
+    @classmethod
+    def _land(cls):
+        if cls._cached_land is None:
+            from repro.radio.network import build_landscape
+
+            cls._cached_land = build_landscape(
+                seed=3, include_road=False, include_nj=False
+            )
+        return cls._cached_land
