@@ -1,0 +1,213 @@
+"""Standalone perf harness for the vectorized ground-truth path.
+
+Times the scalar reference implementations against the batched/cached
+ones and writes ``BENCH_perf.json`` at the repo root.  Run with::
+
+    PYTHONPATH=src python benchmarks/run_perf.py
+
+The two headline numbers (also asserted here so CI catches regressions):
+
+* ``link_state_batch`` over 10k points vs 10k scalar ``link_state``
+  calls — must be >= 10x;
+* ``udp_train_batch`` per-train cost vs the frozen per-packet
+  ``udp_train_reference`` — must be >= 5x.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.channel import MeasurementChannel
+from repro.radio.network import build_landscape
+from repro.radio.technology import NetworkId
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+N_POINTS = 10_000
+N_TRAINS = 50
+TRAIN_PACKETS = 100
+
+
+def _time(fn, repeat=5, warmup=1):
+    """Best-of-N wall time in seconds (min is the least noisy stat)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_link_state(landscape, points):
+    net = NetworkId.NET_B
+    t = 500.0
+
+    scalar_pts = points[:1000]  # 10k scalar calls would dominate the run
+    scalar_s = _time(
+        lambda: [landscape.link_state(net, p, t) for p in scalar_pts],
+        repeat=7,
+    )
+    per_point_scalar = scalar_s / len(scalar_pts)
+
+    batch_s = _time(
+        lambda: landscape.link_state_batch(net, points, t, use_cache=False),
+        repeat=9,
+        warmup=2,
+    )
+    landscape.warm_cache(points, nets=[net])
+    cached_s = _time(
+        lambda: landscape.link_state_batch(net, points, t, use_cache=True),
+        repeat=9,
+        warmup=2,
+    )
+    scalar_10k = per_point_scalar * N_POINTS
+    return {
+        "scalar_per_point_us": per_point_scalar * 1e6,
+        "batch_10k_ms": batch_s * 1e3,
+        "batch_10k_cached_ms": cached_s * 1e3,
+        "speedup_batch_vs_scalar": scalar_10k / batch_s,
+        "speedup_cached_vs_scalar": scalar_10k / cached_s,
+    }
+
+
+def bench_udp(landscape, point):
+    def fresh(seed):
+        return MeasurementChannel(
+            landscape, NetworkId.NET_B, np.random.default_rng(seed)
+        )
+
+    landscape.warm_cache([point])
+
+    # Each repetition simulates a NOVEL stretch of time.  Reusing one
+    # time list would let the temporal multiplier memo (one of the new
+    # optimizations, attached to the shared landscape) accelerate the
+    # frozen baseline from the second repeat on, understating the
+    # speedup a fresh workload sees.
+    epoch = iter(range(10**9))
+
+    def novel_times():
+        base = float(next(epoch)) * 1.0e6
+        return [base + 120.0 * k for k in range(N_TRAINS)]
+
+    def run_ref():
+        ch = fresh(1)
+        return [
+            ch.udp_train_reference(point, t, n_packets=TRAIN_PACKETS)
+            for t in novel_times()
+        ]
+
+    def run_scalar():
+        ch = fresh(2)
+        return [
+            ch.udp_train(point, t, n_packets=TRAIN_PACKETS)
+            for t in novel_times()
+        ]
+
+    def run_batch():
+        return fresh(3).udp_train_batch(
+            [point] * N_TRAINS, novel_times(), n_packets=TRAIN_PACKETS
+        )
+
+    ref_s = _time(run_ref, repeat=3)
+    scalar_s = _time(run_scalar, repeat=3)
+    batch_s = _time(run_batch, repeat=3)
+    return {
+        "reference_per_train_us": ref_s / N_TRAINS * 1e6,
+        "scalar_per_train_us": scalar_s / N_TRAINS * 1e6,
+        "batch_per_train_us": batch_s / N_TRAINS * 1e6,
+        "speedup_scalar_vs_reference": ref_s / scalar_s,
+        "speedup_batch_vs_reference": ref_s / batch_s,
+    }
+
+
+def bench_ping_tcp(landscape, point):
+    def fresh(seed):
+        return MeasurementChannel(
+            landscape, NetworkId.NET_B, np.random.default_rng(seed)
+        )
+
+    landscape.warm_cache([point])
+    ping_s = _time(
+        lambda: [
+            fresh(4).ping_series(point, 100.0 * k, count=20, interval_s=1.0)
+            for k in range(20)
+        ],
+        repeat=3,
+    )
+    tcp_s = _time(
+        lambda: [
+            fresh(5).tcp_download(point, 100.0 * k, size_bytes=1_000_000)
+            for k in range(20)
+        ],
+        repeat=3,
+    )
+    return {
+        "ping_series20_us": ping_s / 20 * 1e6,
+        "tcp_download_1mb_us": tcp_s / 20 * 1e6,
+    }
+
+
+def main():
+    print("building landscape ...")
+    landscape = build_landscape(seed=7)
+    point = landscape.study_area.anchor.offset(1200.0, -500.0)
+    rng = np.random.default_rng(3)
+    points = [
+        landscape.study_area.anchor.offset(
+            float(rng.uniform(-6000.0, 6000.0)),
+            float(rng.uniform(-6000.0, 6000.0)),
+        )
+        for _ in range(N_POINTS)
+    ]
+
+    print("timing link-state path ...")
+    link = bench_link_state(landscape, points)
+    print("timing udp trains ...")
+    udp = bench_udp(landscape, point)
+    print("timing ping/tcp ...")
+    other = bench_ping_tcp(landscape, point)
+
+    results = {
+        "n_points": N_POINTS,
+        "n_trains": N_TRAINS,
+        "train_packets": TRAIN_PACKETS,
+        "link_state": link,
+        "udp_train": udp,
+        "ping_tcp": other,
+    }
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {OUT_PATH}")
+
+    failures = []
+    if link["speedup_batch_vs_scalar"] < 10.0:
+        failures.append(
+            "link_state_batch(10k) speedup "
+            f"{link['speedup_batch_vs_scalar']:.1f}x < 10x"
+        )
+    if udp["speedup_batch_vs_reference"] < 5.0:
+        failures.append(
+            "udp_train_batch speedup "
+            f"{udp['speedup_batch_vs_reference']:.1f}x < 5x"
+        )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(
+        f"OK: link_state_batch {link['speedup_batch_vs_scalar']:.1f}x, "
+        f"udp_train_batch {udp['speedup_batch_vs_reference']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,78 @@ def test_perf_tcp_download(landscape, point, benchmark):
     assert result.duration_s > 0
 
 
+def test_perf_link_state_batch_10k(landscape, benchmark):
+    """The vectorized ground-truth query: 10k points in one call."""
+    rng = np.random.default_rng(3)
+    points = [
+        landscape.study_area.anchor.offset(
+            float(rng.uniform(-6000.0, 6000.0)),
+            float(rng.uniform(-6000.0, 6000.0)),
+        )
+        for _ in range(10_000)
+    ]
+
+    def query():
+        return landscape.link_state_batch(
+            NetworkId.NET_B, points, 500.0, use_cache=False
+        )
+
+    batch = benchmark(query)
+    assert len(batch) == 10_000
+
+
+def test_perf_link_state_fast(landscape, point, benchmark):
+    """Cached scalar lookup (what the measurement channels call)."""
+    landscape.warm_cache([point])
+
+    def query():
+        return landscape.link_state_fast(NetworkId.NET_B, point, 42.0)
+
+    result = benchmark(query)
+    assert result.downlink_bps > 0
+
+
+def test_perf_udp_train_batch_day(landscape, point, benchmark):
+    """A fleet-day chunk: 50 trains in one batched call."""
+    channel = MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(4))
+    times = [100.0 + 120.0 * k for k in range(50)]
+    pts = [point] * len(times)
+
+    def trains():
+        return channel.udp_train_batch(pts, times, n_packets=100)
+
+    results = benchmark(trains)
+    assert len(results) == 50
+
+
+def test_perf_udp_train_reference_100(landscape, point, benchmark):
+    """The frozen per-packet implementation: the speedup baseline."""
+    channel = MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(5))
+    counter = iter(range(10**9))
+
+    def train():
+        return channel.udp_train_reference(
+            point, 10.0 * next(counter), n_packets=100
+        )
+
+    result = benchmark(train)
+    assert result.throughput_bps > 0
+
+
+def test_perf_ping_series_20(landscape, point, benchmark):
+    """A 20-probe ping series (one WiRover minute)."""
+    channel = MeasurementChannel(landscape, NetworkId.NET_B, np.random.default_rng(6))
+    counter = iter(range(10**9))
+
+    def series():
+        return channel.ping_series(
+            point, 10.0 * next(counter), count=20, interval_s=1.0
+        )
+
+    result = benchmark(series)
+    assert len(result.rtts_s) + result.failures == 20
+
+
 def test_perf_zone_binning(landscape, benchmark):
     """GPS fix -> zone id, called for every report and every tick."""
     grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)

@@ -102,6 +102,24 @@ class DatasetGenerator:
             for k in range(per_day):
                 yield base + k * interval_s
 
+    def _warm(
+        self,
+        movement,
+        times: Sequence[float],
+        networks: Sequence[NetworkId],
+    ) -> None:
+        """Precompute point-cache entries along a client's trajectory.
+
+        Agents measure at their *true* positions (GPS noise only skews
+        the reported coordinates), so warming with ``movement.position``
+        samples makes every subsequent measurement a cache hit: the
+        expensive per-point spatial math for a whole day of driving runs
+        once, vectorized, up front.
+        """
+        pts = [movement.position(t) for t in times]
+        if pts:
+            self.landscape.warm_cache(pts, nets=networks)
+
     # -- Wide-area ----------------------------------------------------------
 
     def standalone(
@@ -130,7 +148,13 @@ class DatasetGenerator:
                 f"standalone-bus-{b}", bus, [NetworkId.NET_B],
                 category=DeviceCategory.SBC_PCMCIA,
             )
-            for t in self._day_times(days, interval_s, 6.0, 24.0):
+            times = list(self._day_times(days, interval_s, 6.0, 24.0))
+            self._warm(
+                bus,
+                times + [t + interval_s / 2.0 for t in times],
+                [NetworkId.NET_B],
+            )
+            for t in times:
                 rec = self._measure(
                     "standalone", agent, NetworkId.NET_B,
                     MeasurementType.TCP_DOWNLOAD, t, size_bytes=tcp_size_bytes,
@@ -195,7 +219,9 @@ class DatasetGenerator:
                 client_id, vehicle, list(BC_NETWORKS),
                 category=DeviceCategory.SBC_PCMCIA,
             )
-            for t in self._day_times(days, series_interval_s, 6.0, 24.0):
+            times = list(self._day_times(days, series_interval_s, 6.0, 24.0))
+            self._warm(vehicle, times, BC_NETWORKS)
+            for t in times:
                 for net in BC_NETWORKS:
                     rec = self._measure(
                         "wirover", agent, net, MeasurementType.PING, t,
@@ -225,6 +251,7 @@ class DatasetGenerator:
         paper's Table 4 and the Allan-deviation epochs of Fig 6.
         """
         agent = self._agent(f"static-{label}", StaticPosition(location), networks)
+        self.landscape.warm_cache([location], nets=list(networks))
         records: List[TraceRecord] = []
         for t in self._day_times(days, interval_s, 0.0, 24.0):
             slot = int(t // interval_s)
@@ -263,8 +290,10 @@ class DatasetGenerator:
             center, radius_m=200.0, seed=derive_seed(self.seed, f"prox:{label}")
         )
         agent = self._agent(f"proximate-{label}", loop, networks)
+        times = list(self._day_times(days, interval_s, 0.0, 24.0))
+        self._warm(loop, times, networks)
         records: List[TraceRecord] = []
-        for t in self._day_times(days, interval_s, 0.0, 24.0):
+        for t in times:
             for net in networks:
                 rec = self._measure(
                     f"proximate-{label}", agent, net,
@@ -300,8 +329,10 @@ class DatasetGenerator:
             seed=derive_seed(self.seed, "shortseg"),
         )
         agent = self._agent("shortseg-car", car, networks)
+        times = list(self._day_times(days, interval_s, 9.0, 18.0))
+        self._warm(car, times, networks)
         records: List[TraceRecord] = []
-        for t in self._day_times(days, interval_s, 9.0, 18.0):
+        for t in times:
             for net in networks:
                 rec = self._measure(
                     "short-segment", agent, net,

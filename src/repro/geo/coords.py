@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 EARTH_RADIUS_M = 6_371_000.0
 
 
@@ -58,6 +60,23 @@ def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
         + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
     )
     return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+def haversine_m_batch(lat1, lon1, lat2, lon2) -> np.ndarray:
+    """Vectorized :func:`haversine_m` over degree arrays (broadcasting).
+
+    Same formula as the scalar reference, so batch and scalar code paths
+    agree to floating-point noise.
+    """
+    phi1 = np.radians(np.asarray(lat1, dtype=float))
+    phi2 = np.radians(np.asarray(lat2, dtype=float))
+    dphi = np.radians(np.asarray(lat2, dtype=float) - np.asarray(lat1, dtype=float))
+    dlam = np.radians(np.asarray(lon2, dtype=float) - np.asarray(lon1, dtype=float))
+    h = (
+        np.sin(dphi / 2.0) ** 2
+        + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(h)))
 
 
 def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
@@ -156,6 +175,22 @@ class LocalProjection:
         )
         y = math.radians(point.lat - self.origin.lat) * EARTH_RADIUS_M
         return x, y
+
+    def to_xy_batch(self, lat, lon) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_xy` over degree arrays."""
+        lat = np.asarray(lat, dtype=float)
+        lon = np.asarray(lon, dtype=float)
+        x = np.radians(lon - self.origin.lon) * EARTH_RADIUS_M * self._cos_lat
+        y = np.radians(lat - self.origin.lat) * EARTH_RADIUS_M
+        return x, y
+
+    def to_geo_batch(self, x, y) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_geo`; returns (lat, lon) degree arrays."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        lat = self.origin.lat + np.degrees(y / EARTH_RADIUS_M)
+        lon = self.origin.lon + np.degrees(x / (EARTH_RADIUS_M * self._cos_lat))
+        return lat, lon
 
     def to_geo(self, x: float, y: float) -> GeoPoint:
         """Inverse of :meth:`to_xy`."""

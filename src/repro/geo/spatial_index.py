@@ -1,0 +1,132 @@
+"""Uniform-grid spatial index over circular regions.
+
+:class:`UniformGridIndex` answers "which circle (if any) contains this
+point" in O(candidates-per-cell) instead of O(circles): circles are
+rasterized into the cells of a uniform grid laid over a local
+projection, a query looks up its cell's candidate list, and the final
+containment check uses the exact great-circle distance — so query
+results are *identical* to a linear haversine scan in insertion order,
+just cheaper.
+
+Two details make this safe:
+
+* candidate lists are a superset: each circle is inserted with padding
+  that covers both the grid discretization and the worst-case
+  equirectangular projection distortion at continental offsets from the
+  projection origin (the NJ spot regions sit ~1500 km from the Madison
+  origin, where the x-scale is off by a few percent);
+* candidate lists preserve insertion order, so "first match wins"
+  semantics carry over from the linear scans this index replaces
+  (``CellularNetwork.binding_for`` / ``_patch_at``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint, LocalProjection, haversine_m_batch
+
+_EMPTY: Tuple[int, ...] = ()
+
+#: Relative + absolute padding applied when rasterizing a circle, to keep
+#: candidate lists a superset of true matches under projection distortion.
+_PAD_FRAC = 0.2
+_PAD_M = 250.0
+
+
+class UniformGridIndex:
+    """First-match point-in-circle queries over a uniform cell grid."""
+
+    def __init__(self, projection: LocalProjection, cell_m: float = 2000.0):
+        if cell_m <= 0:
+            raise ValueError("cell_m must be positive")
+        self.projection = projection
+        self.cell_m = float(cell_m)
+        self._cells: dict = {}  # (ix, iy) -> list of item ids, insertion order
+        self._centers: List[GeoPoint] = []
+        self._radii: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._centers)
+
+    def insert(self, center: GeoPoint, radius_m: float) -> int:
+        """Register a circle; returns its id (= insertion index)."""
+        if radius_m < 0:
+            raise ValueError("radius_m must be non-negative")
+        item_id = len(self._centers)
+        self._centers.append(center)
+        self._radii.append(float(radius_m))
+        cx, cy = self.projection.to_xy(center)
+        pad = radius_m * (1.0 + _PAD_FRAC) + _PAD_M + self.cell_m
+        ix0 = math.floor((cx - pad) / self.cell_m)
+        ix1 = math.floor((cx + pad) / self.cell_m)
+        iy0 = math.floor((cy - pad) / self.cell_m)
+        iy1 = math.floor((cy + pad) / self.cell_m)
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                self._cells.setdefault((ix, iy), []).append(item_id)
+        return item_id
+
+    def candidates(self, x: float, y: float) -> Sequence[int]:
+        """Candidate circle ids for a projected (x, y), insertion order."""
+        return self._cells.get(
+            (math.floor(x / self.cell_m), math.floor(y / self.cell_m)), _EMPTY
+        )
+
+    def query_point(self, point: GeoPoint) -> Optional[int]:
+        """Id of the first (insertion-order) circle containing ``point``."""
+        x, y = self.projection.to_xy(point)
+        for item_id in self.candidates(x, y):
+            if (
+                self._centers[item_id].distance_to(point)
+                <= self._radii[item_id]
+            ):
+                return item_id
+        return None
+
+    def query_batch(self, lat, lon, xy=None) -> np.ndarray:
+        """Vectorized :meth:`query_point` over degree arrays.
+
+        Returns an int64 array of first-match circle ids, -1 where no
+        circle contains the point.  ``xy`` may pass precomputed projected
+        coordinates (from :meth:`LocalProjection.to_xy_batch`) to avoid
+        re-projection.
+        """
+        lat = np.asarray(lat, dtype=float)
+        lon = np.asarray(lon, dtype=float)
+        out = np.full(lat.shape, -1, dtype=np.int64)
+        if not self._centers or lat.size == 0:
+            return out
+        if xy is None:
+            x, y = self.projection.to_xy_batch(lat, lon)
+        else:
+            x, y = xy
+        ix = np.floor(x / self.cell_m).astype(np.int64)
+        iy = np.floor(y / self.cell_m).astype(np.int64)
+        # Pack the cell coordinates into one sortable key per point.
+        key = (ix << 32) ^ (iy & np.int64(0xFFFFFFFF))
+        uniq, first, inverse = np.unique(
+            key, return_index=True, return_inverse=True
+        )
+        for k, fi in enumerate(first):
+            cand = self._cells.get((int(ix[fi]), int(iy[fi])))
+            if not cand:
+                continue
+            sel = np.nonzero(inverse == k)[0]
+            open_mask = np.ones(sel.shape, dtype=bool)
+            for item_id in cand:
+                if not open_mask.any():
+                    break
+                idx = sel[open_mask]
+                c = self._centers[item_id]
+                inside = (
+                    haversine_m_batch(lat[idx], lon[idx], c.lat, c.lon)
+                    <= self._radii[item_id]
+                )
+                hit = idx[inside]
+                out[hit] = item_id
+                open_mask[np.nonzero(open_mask)[0][inside]] = False
+        return out

@@ -8,22 +8,49 @@ the same functions would work on a real packet capture.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
 class PacketRecord:
     """One packet of a measurement transfer.
 
     ``recv_time_s`` is ``None`` for lost packets.  Times are simulation
     seconds; ``size_bytes`` is the application payload size.
+
+    A plain ``__slots__`` class rather than a dataclass: measurement
+    primitives construct one per simulated packet, so per-instance
+    overhead is on the hot path.  Treat instances as immutable.
     """
 
-    seq: int
-    send_time_s: float
-    recv_time_s: Optional[float]
-    size_bytes: int
+    __slots__ = ("seq", "send_time_s", "recv_time_s", "size_bytes")
+
+    def __init__(
+        self,
+        seq: int,
+        send_time_s: float,
+        recv_time_s: Optional[float],
+        size_bytes: int,
+    ):
+        self.seq = seq
+        self.send_time_s = send_time_s
+        self.recv_time_s = recv_time_s
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketRecord(seq={self.seq}, send_time_s={self.send_time_s}, "
+            f"recv_time_s={self.recv_time_s}, size_bytes={self.size_bytes})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PacketRecord):
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.send_time_s == other.send_time_s
+            and self.recv_time_s == other.recv_time_s
+            and self.size_bytes == other.size_bytes
+        )
 
     @property
     def lost(self) -> bool:

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
-from repro.geo.coords import GeoPoint
+import numpy as np
+
+from repro.geo.coords import GeoPoint, haversine_m_batch
 from repro.radio.technology import NetworkId
 from repro.sim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
@@ -79,6 +81,34 @@ class LoadEvent:
         divisor = self.capacity_divisor.get(net, 1.0)
         full = 1.0 / max(divisor, 1e-9)
         return 1.0 + (full - 1.0) * w
+
+    # -- batch path -------------------------------------------------------
+
+    def intensity_batch(self, lat, lon, t) -> np.ndarray:
+        """Vectorized :meth:`intensity` over degree/time arrays."""
+        t = np.asarray(t, dtype=float)
+        tw = np.clip(
+            np.minimum(
+                (t - (self.start_s - self.ramp_s)) / self.ramp_s,
+                ((self.end_s + self.ramp_s) - t) / self.ramp_s,
+            ),
+            0.0,
+            1.0,
+        )
+        d = haversine_m_batch(lat, lon, self.center.lat, self.center.lon)
+        half = self.radius_m / 2.0
+        sw = np.clip(1.0 - (d - half) / (self.radius_m - half), 0.0, 1.0)
+        return tw * sw
+
+    def factors_batch(
+        self, net: NetworkId, lat, lon, t
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized (latency_factor, capacity_factor) for one carrier."""
+        w = self.intensity_batch(lat, lon, t)
+        peak = self.latency_multiplier.get(net, 1.0)
+        divisor = self.capacity_divisor.get(net, 1.0)
+        full = 1.0 / max(divisor, 1e-9)
+        return 1.0 + (peak - 1.0) * w, 1.0 + (full - 1.0) * w
 
 
 def football_game_event(

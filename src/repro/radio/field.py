@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geo.coords import GeoPoint, LocalProjection
 from repro.radio.basestation import BaseStation
@@ -52,6 +54,48 @@ def value_noise(seed: int, x: float, y: float, scale_m: float) -> float:
     v10 = _hash01(seed, ix + 1, iy)
     v01 = _hash01(seed, ix, iy + 1)
     v11 = _hash01(seed, ix + 1, iy + 1)
+    top = v00 + (v10 - v00) * fu
+    bot = v01 + (v11 - v01) * fu
+    return 2.0 * (top + (bot - top) * fv) - 1.0
+
+
+def _hash01_batch(seed: int, ix: np.ndarray, iy) -> np.ndarray:
+    """Vectorized :func:`_hash01`; bit-exact against the scalar path.
+
+    All integer arithmetic stays within int64 (inputs are lattice
+    indices, |ix| << 2**31) and is masked to uint32 exactly as the
+    scalar hash does; the seed term is pre-masked in Python because a
+    63-bit seed times the mix constant would overflow int64.
+    """
+    seed_term = (int(seed) * 2246822519) & _UINT32
+    h = (ix * np.int64(374761393) + iy * np.int64(668265263) + seed_term) & np.int64(_UINT32)
+    h = ((h ^ (h >> 13)) * np.int64(1274126177)) & np.int64(_UINT32)
+    h = h ^ (h >> 16)
+    return h / float(_UINT32 + 1)
+
+
+def value_noise_batch(seed: int, x, y, scale_m: float) -> np.ndarray:
+    """Vectorized :func:`value_noise`: array-in, array-out hash lattice.
+
+    Broadcasts ``x`` against ``y`` and returns float64 noise in [-1, 1].
+    Uses the exact same lattice hashing and interpolation arithmetic as
+    the scalar function, so results are bit-identical elementwise.
+    """
+    u = np.asarray(x, dtype=float) / scale_m
+    v = np.asarray(y, dtype=float) / scale_m
+    u, v = np.broadcast_arrays(u, v)
+    iu = np.floor(u)
+    iv = np.floor(v)
+    tu = u - iu
+    tv = v - iv
+    fu = tu * tu * (3.0 - 2.0 * tu)
+    fv = tv * tv * (3.0 - 2.0 * tv)
+    ix = iu.astype(np.int64)
+    iy = iv.astype(np.int64)
+    v00 = _hash01_batch(seed, ix, iy)
+    v10 = _hash01_batch(seed, ix + 1, iy)
+    v01 = _hash01_batch(seed, ix, iy + 1)
+    v11 = _hash01_batch(seed, ix + 1, iy + 1)
     top = v00 + (v10 - v00) * fu
     bot = v01 + (v11 - v01) * fu
     return 2.0 * (top + (bot - top) * fv) - 1.0
@@ -102,6 +146,12 @@ class SpatialField:
             for s in self.stations
         ]
         self._q_ref = 1.0
+        # Precomputed station arrays for the vectorized batch path.
+        self._sx = np.array([s[0] for s in self._station_xy], dtype=float)
+        self._sy = np.array([s[1] for s in self._station_xy], dtype=float)
+        self._scap = np.array([s[2] for s in self._station_xy], dtype=float)
+        rng_m = np.array([s[3] for s in self._station_xy], dtype=float)
+        self._inv_two_r2 = 1.0 / (2.0 * rng_m * rng_m)
 
     def calibrate(self, sample_points: Sequence[GeoPoint]) -> None:
         """Set the coverage normalization from typical points in the region.
@@ -142,3 +192,37 @@ class SpatialField:
     def value(self, point: GeoPoint) -> float:
         """Full field value: smooth coverage times (1 + texture)."""
         return self.smooth(point) * (1.0 + self.texture(point))
+
+    # -- batch path -------------------------------------------------------
+
+    def project_batch(self, lat, lon) -> Tuple[np.ndarray, np.ndarray]:
+        """Project degree arrays into this field's local (x, y) meters."""
+        return self._proj.to_xy_batch(lat, lon)
+
+    def signal_batch(self, x, y) -> np.ndarray:
+        """Vectorized :meth:`_signal` over projected-xy arrays."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        dx = x[..., None] - self._sx
+        dy = y[..., None] - self._sy
+        return (
+            self._scap * np.exp(-(dx * dx + dy * dy) * self._inv_two_r2)
+        ).sum(axis=-1)
+
+    def smooth_batch(self, x, y) -> np.ndarray:
+        """Vectorized :meth:`smooth` over projected-xy arrays."""
+        q = self.signal_batch(x, y)
+        frac = q / (q + self._q_ref)
+        return self.value_floor + (self.value_ceil - self.value_floor) * frac
+
+    def texture_batch(self, x, y) -> np.ndarray:
+        """Vectorized :meth:`texture` over projected-xy arrays."""
+        n = 0.75 * value_noise_batch(self.seed, x, y, self.texture_scale_m)
+        n = n + 0.25 * value_noise_batch(
+            self.seed + 1, x, y, self.texture_scale_m / 3.0
+        )
+        return self.texture_amp * n
+
+    def value_batch(self, x, y) -> np.ndarray:
+        """Vectorized :meth:`value` over projected-xy arrays."""
+        return self.smooth_batch(x, y) * (1.0 + self.texture_batch(x, y))

@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.geo.coords import GeoPoint
+from repro.geo.coords import GeoPoint, LocalProjection
+from repro.geo.spatial_index import UniformGridIndex
 from repro.geo.regions import (
     RoadStretch,
     StudyArea,
@@ -34,7 +35,8 @@ from repro.radio.basestation import (
     place_base_stations,
 )
 from repro.radio.events import LoadEvent
-from repro.radio.field import SpatialField, value_noise
+from repro.radio.field import SpatialField, value_noise, value_noise_batch
+from repro.radio.pointcache import PointCache
 from repro.radio.technology import (
     EVDO_REV_A,
     HSPA,
@@ -62,6 +64,96 @@ class LinkState:
     jitter_std_s: float
     loss_rate: float
     available: bool = True
+
+
+@dataclass
+class LinkStateBatch:
+    """Struct-of-arrays ground truth for one carrier at N (point, time) pairs.
+
+    The array layout keeps the batch query path allocation-light and lets
+    measurement primitives (UDP trains, ping series) and dataset
+    generators consume whole vectors at once.  ``state(i)`` materializes
+    one row as a scalar :class:`LinkState` for legacy call sites.
+    """
+
+    network: NetworkId
+    downlink_bps: np.ndarray
+    uplink_bps: np.ndarray
+    rtt_s: np.ndarray
+    jitter_std_s: np.ndarray
+    loss_rate: np.ndarray
+    available: np.ndarray  # bool
+    binding_idx: Optional[np.ndarray] = None
+    patch_idx: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self.downlink_bps.shape[0])
+
+    def state(self, i: int) -> LinkState:
+        """Materialize row ``i`` as a scalar :class:`LinkState`."""
+        return LinkState(
+            network=self.network,
+            downlink_bps=float(self.downlink_bps[i]),
+            uplink_bps=float(self.uplink_bps[i]),
+            rtt_s=float(self.rtt_s[i]),
+            jitter_std_s=float(self.jitter_std_s[i]),
+            loss_rate=float(self.loss_rate[i]),
+            available=bool(self.available[i]),
+        )
+
+    def states(self) -> List[LinkState]:
+        """Materialize every row (convenience for tests/small batches)."""
+        return [self.state(i) for i in range(len(self))]
+
+    def scaled(self, rate_bias: float) -> "LinkStateBatch":
+        """A copy with down/uplink rates scaled by a client's rate bias."""
+        return LinkStateBatch(
+            network=self.network,
+            downlink_bps=self.downlink_bps * rate_bias,
+            uplink_bps=self.uplink_bps * rate_bias,
+            rtt_s=self.rtt_s,
+            jitter_std_s=self.jitter_std_s,
+            loss_rate=self.loss_rate,
+            available=self.available,
+            binding_idx=self.binding_idx,
+            patch_idx=self.patch_idx,
+        )
+
+
+def _as_latlon(points):
+    """Normalize a points argument to ``(lat, lon)`` float arrays.
+
+    Accepts a single :class:`GeoPoint`, a sequence of GeoPoints, a
+    ``(lat_array, lon_array)`` pair, or an ``(N, 2)`` array of lat/lon
+    rows.
+    """
+    if isinstance(points, GeoPoint):
+        return (
+            np.array([points.lat], dtype=float),
+            np.array([points.lon], dtype=float),
+        )
+    if isinstance(points, (list, tuple)) and len(points) == 0:
+        return np.empty(0, dtype=float), np.empty(0, dtype=float)
+    if isinstance(points, tuple) and len(points) == 2 and not isinstance(points[0], float):
+        lat = np.atleast_1d(np.asarray(points[0], dtype=float))
+        lon = np.atleast_1d(np.asarray(points[1], dtype=float))
+        if lat.shape != lon.shape:
+            raise ValueError("lat and lon arrays must have the same shape")
+        return lat, lon
+    arr = np.asarray(points)
+    if arr.dtype == object or arr.ndim == 1 and arr.size and isinstance(arr.flat[0], GeoPoint):
+        lat = np.array([p.lat for p in points], dtype=float)
+        lon = np.array([p.lon for p in points], dtype=float)
+        return lat, lon
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim == 2 and arr.shape[1] == 2:
+        return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+    if arr.ndim == 1 and arr.shape == (2,):
+        return np.array([arr[0]]), np.array([arr[1]])
+    raise TypeError(
+        "points must be a GeoPoint, a sequence of GeoPoints, a (lat, lon) "
+        "array pair, or an (N, 2) lat/lon array"
+    )
 
 
 @dataclass(frozen=True)
@@ -155,6 +247,25 @@ class CellularNetwork:
         self.events = list(events)
         self.seed = int(seed)
 
+        # Spatial acceleration: a local projection anchored at the first
+        # binding, uniform-grid indexes for region bindings and failure
+        # patches (replacing linear haversine scans), and a quantized-xy
+        # LRU cache for the time-invariant per-point quantities.
+        self._proj = LocalProjection(self.bindings[0].anchor)
+        self._fallback_idx = next(
+            i for i, b in enumerate(self.bindings) if b.radius_m is None
+        )
+        self._binding_index = UniformGridIndex(self._proj, cell_m=2500.0)
+        self._indexed_bindings: List[int] = []
+        for i, b in enumerate(self.bindings):
+            if b.radius_m is not None:
+                self._binding_index.insert(b.anchor, b.radius_m)
+                self._indexed_bindings.append(i)
+        self._patch_index = UniformGridIndex(self._proj, cell_m=1000.0)
+        for patch in self.failure_patches:
+            self._patch_index.insert(patch.center, patch.radius_m)
+        self.point_cache = PointCache()
+
     @property
     def network_id(self) -> NetworkId:
         return self.params.network
@@ -165,19 +276,23 @@ class CellularNetwork:
 
     def binding_for(self, point: GeoPoint) -> RegionBinding:
         """The region binding governing ``point``."""
-        for b in self.bindings:
-            if b.radius_m is not None and b.matches(point):
-                return b
-        for b in self.bindings:
-            if b.radius_m is None:
-                return b
-        return self.bindings[-1]  # pragma: no cover - guarded in __init__
+        return self.bindings[self._binding_idx_for(point)]
+
+    def _binding_idx_for(self, point: GeoPoint) -> int:
+        x, y = self._proj.to_xy(point)
+        for idx_id in self._binding_index.candidates(x, y):
+            i = self._indexed_bindings[idx_id]
+            if self.bindings[i].matches(point):
+                return i
+        return self._fallback_idx
 
     def _patch_at(self, point: GeoPoint) -> Optional[FailurePatch]:
-        for patch in self.failure_patches:
-            if patch.contains(point):
-                return patch
-        return None
+        i = self._patch_idx_at(point)
+        return self.failure_patches[i] if i >= 0 else None
+
+    def _patch_idx_at(self, point: GeoPoint) -> int:
+        i = self._patch_index.query_point(point)
+        return -1 if i is None else i
 
     def _event_factors(self, point: GeoPoint, t: float):
         lat = 1.0
@@ -188,10 +303,28 @@ class CellularNetwork:
         return lat, cap
 
     def link_state(self, point: GeoPoint, t: float) -> LinkState:
-        """Ground-truth link state for this carrier at ``point``, ``t``."""
+        """Ground-truth link state for this carrier at ``point``, ``t``.
+
+        This is the scalar reference path: it evaluates the spatial
+        fields at the exact point (no quantization).  The hot paths use
+        :meth:`link_state_fast` / :meth:`link_state_batch` instead.
+        """
         b = self.binding_for(point)
         spatial = b.spatial.value(point)
         smooth = b.spatial.smooth(point)
+        patch = self._patch_at(point)
+        return self._compose_state(b, point, t, smooth, spatial, patch)
+
+    def _compose_state(
+        self,
+        b: RegionBinding,
+        point: GeoPoint,
+        t: float,
+        smooth: float,
+        spatial: float,
+        patch: Optional[FailurePatch],
+    ) -> LinkState:
+        """Assemble a scalar LinkState from per-point quantities at ``t``."""
         temporal = b.temporal.multiplier(t)
         ev_lat, ev_cap = self._event_factors(point, t)
 
@@ -226,7 +359,6 @@ class CellularNetwork:
         loss = self.params.base_loss * (1.0 + 3.0 * (ev_lat - 1.0))
         available = True
 
-        patch = self._patch_at(point)
         if patch is not None:
             swing_bin = int(t // patch.swing_bin_s)
             swing = value_noise(
@@ -258,6 +390,232 @@ class CellularNetwork:
             available=available,
         )
 
+    # -- batch query path --------------------------------------------------
+
+    def _point_quantities(self, lat, lon):
+        """Time-invariant per-point quantities, computed vectorized.
+
+        Returns ``(binding_idx, smooth, value, patch_idx)`` arrays; the
+        spatial fields are evaluated at the exact coordinates given.
+        """
+        lat = np.asarray(lat, dtype=float)
+        lon = np.asarray(lon, dtype=float)
+        xy = self._proj.to_xy_batch(lat, lon)
+        raw = self._binding_index.query_batch(lat, lon, xy=xy)
+        bidx = np.full(lat.shape, self._fallback_idx, dtype=np.int64)
+        hit = raw >= 0
+        if hit.any():
+            remap = np.asarray(self._indexed_bindings, dtype=np.int64)
+            bidx[hit] = remap[raw[hit]]
+        if self.failure_patches:
+            pidx = self._patch_index.query_batch(lat, lon, xy=xy)
+        else:
+            pidx = np.full(lat.shape, -1, dtype=np.int64)
+        smooth = np.empty(lat.shape, dtype=float)
+        value = np.empty(lat.shape, dtype=float)
+        for bi in np.unique(bidx):
+            m = bidx == bi
+            f = self.bindings[int(bi)].spatial
+            fx, fy = f.project_batch(lat[m], lon[m])
+            s = f.smooth_batch(fx, fy)
+            smooth[m] = s
+            value[m] = s * (1.0 + f.texture_batch(fx, fy))
+        return bidx, smooth, value, pidx
+
+    def _point_quantities_cached(self, lat, lon):
+        """Cached :meth:`_point_quantities` keyed by quantized location.
+
+        Cache misses are evaluated at the quantization-cell *centers*, so
+        a result depends only on the quantized location — never on query
+        order or batch composition (see :mod:`repro.radio.pointcache`).
+        """
+        lat = np.asarray(lat, dtype=float)
+        lon = np.asarray(lon, dtype=float)
+        cache = self.point_cache
+        x, y = self._proj.to_xy_batch(lat, lon)
+        q = cache.quantum_m
+        kx = np.round(x / q).astype(np.int64).tolist()
+        ky = np.round(y / q).astype(np.int64).tolist()
+        n = lat.size
+        bidx = np.empty(n, dtype=np.int64)
+        smooth = np.empty(n, dtype=float)
+        value = np.empty(n, dtype=float)
+        pidx = np.empty(n, dtype=np.int64)
+        missing: Dict[tuple, List[int]] = {}
+        for i in range(n):
+            key = (kx[i], ky[i])
+            tup = cache.get(key)
+            if tup is None:
+                missing.setdefault(key, []).append(i)
+            else:
+                bidx[i], smooth[i], value[i], pidx[i] = tup
+        if missing:
+            keys = list(missing)
+            cx = np.array([k[0] for k in keys], dtype=float) * q
+            cy = np.array([k[1] for k in keys], dtype=float) * q
+            clat, clon = self._proj.to_geo_batch(cx, cy)
+            b2, s2, v2, p2 = self._point_quantities(clat, clon)
+            for j, key in enumerate(keys):
+                tup = (int(b2[j]), float(s2[j]), float(v2[j]), int(p2[j]))
+                cache.put(key, tup)
+                for i in missing[key]:
+                    bidx[i], smooth[i], value[i], pidx[i] = tup
+        return bidx, smooth, value, pidx
+
+    def warm_point_cache(self, points) -> int:
+        """Precompute cache entries for ``points``; returns entry count.
+
+        Dataset generators and the coordinator call this with a whole
+        day's (or tick's) worth of positions so the expensive per-point
+        field math runs once, vectorized, instead of per measurement.
+        """
+        lat, lon = _as_latlon(points)
+        self._point_quantities_cached(lat, lon)
+        return len(self.point_cache)
+
+    def link_state_fast(self, point: GeoPoint, t: float) -> LinkState:
+        """Scalar link state via the point cache (quantized location).
+
+        Matches :meth:`link_state` up to the cache's quantization error;
+        the per-point field evaluation is served from the cache after the
+        first visit to a location.
+        """
+        x, y = self._proj.to_xy(point)
+        cache = self.point_cache
+        key = cache.key_for(x, y)
+        tup = cache.get(key)
+        if tup is None:
+            cx, cy = cache.center_xy(key)
+            clat, clon = self._proj.to_geo_batch(
+                np.array([cx]), np.array([cy])
+            )
+            b2, s2, v2, p2 = self._point_quantities(clat, clon)
+            tup = (int(b2[0]), float(s2[0]), float(v2[0]), int(p2[0]))
+            cache.put(key, tup)
+        bi, smooth, value, pi = tup
+        patch = self.failure_patches[pi] if pi >= 0 else None
+        return self._compose_state(
+            self.bindings[bi], point, t, smooth, value, patch
+        )
+
+    def link_state_batch(self, points, times, use_cache: bool = True) -> LinkStateBatch:
+        """Vectorized ground truth over N (point, time) pairs.
+
+        ``points`` may be a single :class:`GeoPoint` (broadcast over
+        ``times``), a sequence of GeoPoints, a ``(lat, lon)`` array pair,
+        or an ``(N, 2)`` array of lat/lon rows; ``times`` a scalar or
+        array (broadcast against points).  With ``use_cache`` the
+        time-invariant per-point quantities go through the quantized
+        point cache; disable it to evaluate at exact coordinates (the
+        equivalence tests compare that against :meth:`link_state`).
+
+        Simulation times are assumed non-negative (the scalar path
+        truncates time bins toward zero, the batch path floors them).
+        """
+        lat, lon = _as_latlon(points)
+        t = np.atleast_1d(np.asarray(times, dtype=float))
+        if use_cache:
+            bidx, smooth, value, pidx = self._point_quantities_cached(lat, lon)
+        else:
+            bidx, smooth, value, pidx = self._point_quantities(lat, lon)
+        # Broadcast points against times.
+        if lat.size == 1 and t.size > 1:
+            n = t.size
+            lat = np.full(n, lat[0])
+            lon = np.full(n, lon[0])
+            bidx = np.full(n, bidx[0])
+            smooth = np.full(n, smooth[0])
+            value = np.full(n, value[0])
+            pidx = np.full(n, pidx[0])
+        elif t.size == 1 and lat.size != 1:
+            t = np.full(lat.size, t[0])
+        elif lat.size != t.size:
+            raise ValueError(
+                f"points ({lat.size}) and times ({t.size}) do not broadcast"
+            )
+        n = t.size
+        p = self.params
+
+        temporal = np.empty(n, dtype=float)
+        load = np.empty(n, dtype=float)
+        rate_scale = np.empty(n, dtype=float)
+        jitter_scale = np.empty(n, dtype=float)
+        for bi in np.unique(bidx):
+            m = bidx == bi
+            b = self.bindings[int(bi)]
+            temporal[m] = b.temporal.multiplier_batch(t[m])
+            load[m] = b.temporal.load_batch(t[m])
+            rate_scale[m] = b.rate_scale
+            jitter_scale[m] = b.jitter_scale
+
+        ev_lat = np.ones(n, dtype=float)
+        ev_cap = np.ones(n, dtype=float)
+        for ev in self.events:
+            l_f, c_f = ev.factors_batch(self.network_id, lat, lon, t)
+            ev_lat *= l_f
+            ev_cap *= c_f
+
+        capacity = p.base_downlink_bps * rate_scale * value * temporal * ev_cap
+        uplink = p.base_uplink_bps * rate_scale * value * temporal * ev_cap
+
+        rtt = (
+            p.base_rtt_s
+            * smooth ** (-p.rtt_spatial_exp)
+            * (0.7 + 0.3 * load)
+            * ev_lat
+        )
+        rtt_bin = np.floor(t / 5.0)
+        rtt = rtt * np.maximum(
+            0.5,
+            1.0
+            + p.rtt_fast_std
+            * value_noise_batch(self.seed ^ 0x5A5A, rtt_bin, 0.0, 1.0),
+        )
+
+        jitter = p.base_jitter_s * jitter_scale * (0.8 + 0.4 * load)
+        loss = p.base_loss * (1.0 + 3.0 * (ev_lat - 1.0))
+        available = np.ones(n, dtype=bool)
+
+        patched = pidx >= 0
+        if patched.any():
+            for pi in np.unique(pidx[patched]):
+                patch = self.failure_patches[int(pi)]
+                m = pidx == pi
+                tm = t[m]
+                swing = value_noise_batch(
+                    self.seed + patch.patch_id * 7919,
+                    np.floor(tm / patch.swing_bin_s),
+                    float(patch.patch_id),
+                    1.0,
+                )
+                capacity[m] *= np.maximum(
+                    0.15, 1.0 + patch.swing_amp * 1.6 * swing
+                )
+                loss[m] = np.minimum(0.05, loss[m] + 0.01)
+                u = (
+                    value_noise_batch(
+                        self.seed + patch.patch_id * 104729,
+                        np.floor(tm / patch.blackout_bin_s),
+                        1.0,
+                        1.0,
+                    )
+                    + 1.0
+                ) / 2.0
+                available[m] = u >= patch.blackout_prob
+
+        tech = p.technology
+        return LinkStateBatch(
+            network=self.network_id,
+            downlink_bps=np.clip(capacity, 0.0, tech.max_downlink_bps),
+            uplink_bps=np.clip(uplink, 0.0, tech.max_uplink_bps),
+            rtt_s=np.maximum(0.02, rtt),
+            jitter_std_s=np.maximum(1e-4, jitter),
+            loss_rate=np.clip(loss, 0.0, 0.10),
+            available=available,
+            binding_idx=bidx,
+            patch_idx=pidx,
+        )
+
 
 class Landscape:
     """The full synthetic world: three carriers plus shared geography."""
@@ -286,9 +644,29 @@ class Landscape:
         """Ground truth for carrier ``net`` at ``point`` and time ``t``."""
         return self.networks[net].link_state(point, t)
 
+    def link_state_fast(self, net: NetworkId, point: GeoPoint, t: float) -> LinkState:
+        """Cached-point ground truth for carrier ``net`` (hot path)."""
+        return self.networks[net].link_state_fast(point, t)
+
+    def link_state_batch(
+        self, net: NetworkId, points, times, use_cache: bool = True
+    ) -> LinkStateBatch:
+        """Vectorized ground truth for carrier ``net`` over N pairs."""
+        return self.networks[net].link_state_batch(points, times, use_cache=use_cache)
+
+    def warm_cache(self, points, nets: Optional[Sequence[NetworkId]] = None) -> None:
+        """Precompute per-point cache entries on some (default: all) carriers."""
+        for net in (self.network_ids() if nets is None else nets):
+            self.networks[net].warm_point_cache(points)
+
     def add_event(self, event: LoadEvent, nets: Optional[Sequence[NetworkId]] = None) -> None:
-        """Attach a load event to some (default: all) carriers."""
-        for net in nets or self.network_ids():
+        """Attach a load event to some (default: all) carriers.
+
+        ``nets`` distinguishes "not given" (None -> all carriers) from an
+        explicitly empty sequence (attach to none) — a ``nets or ...``
+        test here once silently broadcast events passed ``nets=[]``.
+        """
+        for net in (self.network_ids() if nets is None else nets):
             self.networks[net].add_event(event)
 
 

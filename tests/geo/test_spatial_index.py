@@ -1,0 +1,132 @@
+"""Unit and property tests for the uniform-grid spatial index.
+
+The index must behave exactly like the linear haversine scans it
+replaced: first-inserted circle containing the point wins, points in no
+circle report None/-1, and the batch query agrees elementwise with the
+scalar one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import GeoPoint, LocalProjection, destination_point
+from repro.geo.spatial_index import UniformGridIndex
+
+ANCHOR = GeoPoint(43.07, -89.40)
+
+
+def _linear_scan(circles, point):
+    """Reference: first circle (insertion order) containing the point."""
+    for i, (center, radius) in enumerate(circles):
+        if center.distance_to(point) <= radius:
+            return i
+    return None
+
+
+def _random_circles(rng, n, spread_m=20_000.0):
+    circles = []
+    for _ in range(n):
+        bearing = float(rng.uniform(0.0, 360.0))
+        dist = float(rng.uniform(0.0, spread_m))
+        center = destination_point(ANCHOR, bearing, dist)
+        circles.append((center, float(rng.uniform(100.0, 5_000.0))))
+    return circles
+
+
+class TestQueryPoint:
+    def test_matches_linear_scan(self):
+        rng = np.random.default_rng(42)
+        circles = _random_circles(rng, 25)
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=2500.0)
+        for center, radius in circles:
+            index.insert(center, radius)
+        for _ in range(500):
+            bearing = float(rng.uniform(0.0, 360.0))
+            dist = float(rng.uniform(0.0, 25_000.0))
+            p = destination_point(ANCHOR, bearing, dist)
+            assert index.query_point(p) == _linear_scan(circles, p)
+
+    def test_insertion_order_breaks_ties(self):
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=1000.0)
+        first = index.insert(ANCHOR, 2000.0)
+        index.insert(ANCHOR, 2000.0)  # identical circle, inserted later
+        assert index.query_point(ANCHOR) == first
+
+    def test_point_outside_everything(self):
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=1000.0)
+        index.insert(ANCHOR, 500.0)
+        far = destination_point(ANCHOR, 90.0, 50_000.0)
+        assert index.query_point(far) is None
+
+    def test_empty_index(self):
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=1000.0)
+        assert index.query_point(ANCHOR) is None
+
+
+class TestQueryBatch:
+    def test_matches_scalar_query(self):
+        rng = np.random.default_rng(7)
+        circles = _random_circles(rng, 15)
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=2000.0)
+        for center, radius in circles:
+            index.insert(center, radius)
+        points = [
+            destination_point(
+                ANCHOR,
+                float(rng.uniform(0.0, 360.0)),
+                float(rng.uniform(0.0, 25_000.0)),
+            )
+            for _ in range(300)
+        ]
+        lat = np.array([p.lat for p in points])
+        lon = np.array([p.lon for p in points])
+        got = index.query_batch(lat, lon)
+        for i, p in enumerate(points):
+            scalar = index.query_point(p)
+            assert got[i] == (-1 if scalar is None else scalar)
+
+    def test_empty_batch_input(self):
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=1000.0)
+        index.insert(ANCHOR, 500.0)
+        out = index.query_batch(np.array([]), np.array([]))
+        assert out.shape == (0,)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_batch_equals_scan(self, seed):
+        rng = np.random.default_rng(seed)
+        circles = _random_circles(rng, int(rng.integers(1, 10)))
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=1500.0)
+        for center, radius in circles:
+            index.insert(center, radius)
+        points = [
+            destination_point(
+                ANCHOR,
+                float(rng.uniform(0.0, 360.0)),
+                float(rng.uniform(0.0, 30_000.0)),
+            )
+            for _ in range(40)
+        ]
+        lat = np.array([p.lat for p in points])
+        lon = np.array([p.lon for p in points])
+        got = index.query_batch(lat, lon)
+        for i, p in enumerate(points):
+            want = _linear_scan(circles, p)
+            assert got[i] == (-1 if want is None else want)
+
+
+class TestFarFieldCandidates:
+    def test_distant_insertions_still_found(self):
+        """Circles far from the projection anchor (e.g. the NJ regions,
+        ~1500 km away, where equirectangular distortion is largest) must
+        still be rasterized into covering cells."""
+        index = UniformGridIndex(LocalProjection(ANCHOR), cell_m=2500.0)
+        nj = GeoPoint(40.50, -74.45)
+        idx = index.insert(nj, 5000.0)
+        assert index.query_point(nj) == idx
+        edge = destination_point(nj, 45.0, 4_990.0)
+        assert index.query_point(edge) == idx
+        outside = destination_point(nj, 45.0, 5_050.0)
+        assert index.query_point(outside) is None

@@ -1,0 +1,310 @@
+"""Batch/scalar equivalence and cache-safety properties.
+
+The vectorized ground-truth path (field batch noise, temporal batch
+multipliers, ``link_state_batch``, the quantized point cache) must stay
+faithful to the scalar reference implementations:
+
+* hash-lattice noise: bit-exact;
+* temporal/field batch math: float-reassociation tolerance only;
+* ``link_state_batch(use_cache=False)``: matches scalar ``link_state``
+  to 1e-9 relative, with identical discrete outcomes (availability,
+  binding, patch);
+* the point cache NEVER changes results as a function of query order or
+  batch split — cached values are pure functions of the quantized cell.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.events import football_game_event
+from repro.radio.field import value_noise, value_noise_batch
+from repro.radio.network import build_landscape
+from repro.radio.pointcache import PointCache
+from repro.radio.technology import NetworkId
+from repro.radio.temporal import TemporalParams, TemporalProcess
+
+coords_m = st.floats(
+    min_value=-8000.0, max_value=8000.0, allow_nan=False, allow_infinity=False
+)
+times_s = st.floats(
+    min_value=0.0, max_value=3.0e6, allow_nan=False, allow_infinity=False
+)
+
+
+# -- hash-lattice noise: bit-exact -------------------------------------------
+
+
+class TestValueNoiseBatch:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        xs=st.lists(coords_m, min_size=1, max_size=20),
+        ys=st.lists(coords_m, min_size=1, max_size=20),
+        scale=st.floats(min_value=10.0, max_value=5000.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bit_exact_vs_scalar(self, seed, xs, ys, scale):
+        n = min(len(xs), len(ys))
+        x = np.array(xs[:n])
+        y = np.array(ys[:n])
+        batch = value_noise_batch(seed, x, y, scale)
+        for i in range(n):
+            assert batch[i] == value_noise(seed, x[i], y[i], scale)
+
+
+# -- temporal processes -------------------------------------------------------
+
+
+class TestTemporalBatch:
+    @pytest.fixture(scope="class")
+    def proc(self):
+        return TemporalProcess(TemporalParams.madison_like(), seed=2024)
+
+    @given(ts=st.lists(times_s, min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_components_match_scalar(self, proc, ts):
+        t = np.array(ts)
+        slow = proc.slow_batch(t)
+        fast = proc.fast_batch(t)
+        load = proc.load_batch(t)
+        mult = proc.multiplier_batch(t)
+        for i, ti in enumerate(ts):
+            # Batch sums octaves with np.sum (pairwise); scalar adds
+            # sequentially — identical up to reassociation.
+            assert slow[i] == pytest.approx(proc.slow(ti), abs=1e-12)
+            assert fast[i] == pytest.approx(proc.fast(ti), abs=1e-12)
+            assert load[i] == pytest.approx(proc.load(ti), abs=1e-12)
+            assert mult[i] == pytest.approx(proc.multiplier(ti), rel=1e-12)
+
+    def test_multiplier_memo_is_transparent(self):
+        a = TemporalProcess(TemporalParams.madison_like(), seed=5)
+        b = TemporalProcess(TemporalParams.madison_like(), seed=5)
+        ts = [0.0, 17.5, 17.5, 86400.0, 17.5, 123456.789]
+        # a sees repeats (memo hits); b computes each time in a
+        # different order — results must be identical floats.
+        got_a = [a.multiplier(t) for t in ts]
+        got_b = [b.multiplier(t) for t in reversed(ts)]
+        assert got_a == list(reversed(got_b))
+
+
+# -- full link-state batch ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_landscape():
+    """A fresh landscape (not the shared session fixture) so the tests
+    below can mutate caches and attach events without cross-talk."""
+    return build_landscape(seed=31, include_road=False, include_nj=False)
+
+
+def _grid_points(landscape, n_side=7, span_m=5000.0):
+    anchor = landscape.study_area.anchor
+    offs = np.linspace(-span_m, span_m, n_side)
+    return [
+        anchor.offset(float(dx), float(dy)) for dx in offs for dy in offs
+    ]
+
+
+class TestLinkStateBatchEquivalence:
+    def test_matches_scalar_exactly(self, small_landscape):
+        pts = _grid_points(small_landscape)
+        for net in small_landscape.network_ids():
+            batch = small_landscape.link_state_batch(
+                net, pts, 4321.0, use_cache=False
+            )
+            for i, p in enumerate(pts):
+                ref = small_landscape.link_state(net, p, 4321.0)
+                assert batch.downlink_bps[i] == pytest.approx(
+                    ref.downlink_bps, rel=1e-9
+                )
+                assert batch.uplink_bps[i] == pytest.approx(
+                    ref.uplink_bps, rel=1e-9
+                )
+                assert batch.rtt_s[i] == pytest.approx(ref.rtt_s, rel=1e-9)
+                assert batch.jitter_std_s[i] == pytest.approx(
+                    ref.jitter_std_s, rel=1e-9
+                )
+                assert batch.loss_rate[i] == pytest.approx(
+                    ref.loss_rate, rel=1e-9
+                )
+                assert bool(batch.available[i]) == ref.available
+
+    def test_matches_scalar_with_event(self, small_landscape):
+        net = NetworkId.NET_B
+        event = football_game_event(
+            small_landscape.study_area.anchor.offset(500.0, 500.0)
+        )
+        network = small_landscape.network(net)
+        saved = list(network.events)
+        network.events.append(event)
+        try:
+            pts = _grid_points(small_landscape, n_side=5, span_m=2000.0)
+            t = event.start_s + 3600.0  # mid-event
+            batch = small_landscape.link_state_batch(
+                net, pts, t, use_cache=False
+            )
+            for i, p in enumerate(pts):
+                ref = small_landscape.link_state(net, p, t)
+                assert batch.downlink_bps[i] == pytest.approx(
+                    ref.downlink_bps, rel=1e-9
+                )
+                assert batch.rtt_s[i] == pytest.approx(ref.rtt_s, rel=1e-9)
+        finally:
+            network.events[:] = saved
+
+    def test_time_broadcast_single_point(self, small_landscape):
+        p = small_landscape.study_area.anchor.offset(750.0, -250.0)
+        times = [0.0, 60.0, 3600.0, 90000.0]
+        batch = small_landscape.link_state_batch(
+            NetworkId.NET_A, p, times, use_cache=False
+        )
+        assert len(batch) == len(times)
+        for i, t in enumerate(times):
+            ref = small_landscape.link_state(NetworkId.NET_A, p, t)
+            assert batch.downlink_bps[i] == pytest.approx(
+                ref.downlink_bps, rel=1e-9
+            )
+
+    def test_state_views_roundtrip(self, small_landscape):
+        pts = _grid_points(small_landscape, n_side=3, span_m=1000.0)
+        batch = small_landscape.link_state_batch(
+            NetworkId.NET_C, pts, 99.0, use_cache=False
+        )
+        states = batch.states()
+        assert len(states) == len(batch) == len(pts)
+        for i, s in enumerate(states):
+            assert s.downlink_bps == batch.downlink_bps[i]
+            assert s.network is NetworkId.NET_C
+
+    def test_scaled_applies_rate_bias(self, small_landscape):
+        pts = _grid_points(small_landscape, n_side=3, span_m=1000.0)
+        batch = small_landscape.link_state_batch(
+            NetworkId.NET_A, pts, 50.0, use_cache=False
+        )
+        scaled = batch.scaled(0.5)
+        np.testing.assert_allclose(
+            scaled.downlink_bps, batch.downlink_bps * 0.5
+        )
+        np.testing.assert_allclose(scaled.rtt_s, batch.rtt_s)
+
+
+class TestPointCacheSafety:
+    """Cached results are pure functions of the quantized cell, so no
+    sequence of queries can change what any later query returns."""
+
+    def test_order_independence(self):
+        land_a = build_landscape(seed=77, include_road=False, include_nj=False)
+        land_b = build_landscape(seed=77, include_road=False, include_nj=False)
+        pts = _grid_points(land_a, n_side=6, span_m=4000.0)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(len(pts))
+        t = 777.0
+        net = NetworkId.NET_B
+        # a: forward order, in one batch.  b: permuted order, split into
+        # odd-sized chunks.  Cache states diverge; results must not.
+        batch_a = land_a.link_state_batch(net, pts, t, use_cache=True)
+        got_b = np.empty(len(pts))
+        shuffled = [pts[i] for i in perm]
+        for lo in range(0, len(shuffled), 7):
+            chunk = shuffled[lo : lo + 7]
+            cb = land_b.link_state_batch(net, chunk, t, use_cache=True)
+            got_b[perm[lo : lo + 7]] = cb.downlink_bps
+        np.testing.assert_array_equal(batch_a.downlink_bps, got_b)
+
+    def test_warm_then_query_equals_cold_query(self):
+        land_a = build_landscape(seed=78, include_road=False, include_nj=False)
+        land_b = build_landscape(seed=78, include_road=False, include_nj=False)
+        pts = _grid_points(land_a, n_side=5, span_m=3000.0)
+        land_a.warm_cache(pts)
+        for net in land_a.network_ids():
+            warm = land_a.link_state_batch(net, pts, 123.0, use_cache=True)
+            cold = land_b.link_state_batch(net, pts, 123.0, use_cache=True)
+            np.testing.assert_array_equal(warm.downlink_bps, cold.downlink_bps)
+            np.testing.assert_array_equal(warm.rtt_s, cold.rtt_s)
+            np.testing.assert_array_equal(warm.available, cold.available)
+
+    def test_fast_path_bounded_deviation(self, small_landscape):
+        """link_state_fast evaluates at the quantized cell center
+        (0.25 m quantum) — continuous outputs deviate from the exact
+        scalar path by well under the model's own spatial variation."""
+        pts = _grid_points(small_landscape, n_side=6, span_m=4000.0)
+        for net in small_landscape.network_ids():
+            for p in pts:
+                exact = small_landscape.link_state(net, p, 55.0)
+                fast = small_landscape.link_state_fast(net, p, 55.0)
+                assert fast.downlink_bps == pytest.approx(
+                    exact.downlink_bps, rel=1e-3
+                )
+                assert fast.rtt_s == pytest.approx(exact.rtt_s, rel=1e-3)
+                assert fast.available == exact.available
+
+    def test_fast_path_exact_on_lattice(self, small_landscape):
+        """Offsets that are multiples of the 0.25 m quantum sit exactly
+        on cell centers, so the fast path reproduces the scalar path to
+        float tolerance (this is why the golden TCP pin survives)."""
+        p = small_landscape.study_area.anchor.offset(1234.0, -567.0)
+        exact = small_landscape.link_state(NetworkId.NET_B, p, 12345.0)
+        fast = small_landscape.link_state_fast(NetworkId.NET_B, p, 12345.0)
+        assert fast.downlink_bps == pytest.approx(exact.downlink_bps, rel=1e-9)
+        assert fast.rtt_s == pytest.approx(exact.rtt_s, rel=1e-9)
+
+
+class TestPointCacheUnit:
+    def test_lru_eviction(self):
+        cache = PointCache(quantum_m=1.0, maxsize=3)
+        for i in range(4):
+            cache.put((i, 0), (i,))
+        assert cache.get((0, 0)) is None  # evicted
+        assert cache.get((3, 0)) == (3,)
+        assert len(cache) == 3
+
+    def test_get_refreshes_recency(self):
+        cache = PointCache(quantum_m=1.0, maxsize=2)
+        cache.put((0, 0), (0,))
+        cache.put((1, 0), (1,))
+        cache.get((0, 0))  # (0,0) now most recent
+        cache.put((2, 0), (2,))  # evicts (1,0)
+        assert cache.get((0, 0)) == (0,)
+        assert cache.get((1, 0)) is None
+
+    def test_key_center_roundtrip(self):
+        cache = PointCache(quantum_m=0.25)
+        key = cache.key_for(10.13, -3.88)
+        cx, cy = cache.center_xy(key)
+        assert abs(cx - 10.13) <= 0.125 + 1e-12
+        assert abs(cy + 3.88) <= 0.125 + 1e-12
+        assert cache.key_for(cx, cy) == key
+
+    def test_hit_rate(self):
+        cache = PointCache(quantum_m=1.0)
+        cache.put((0, 0), (0,))
+        cache.get((0, 0))
+        cache.get((9, 9))
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestAddEventNets:
+    def test_empty_nets_attaches_nowhere(self):
+        land = build_landscape(seed=12, include_road=False, include_nj=False)
+        before = {
+            net: len(land.network(net).events) for net in land.network_ids()
+        }
+        event = football_game_event(land.study_area.anchor.offset(0.0, 0.0))
+        land.add_event(event, nets=[])  # explicit empty: no networks
+        for net in land.network_ids():
+            assert len(land.network(net).events) == before[net]
+
+    def test_default_attaches_everywhere(self):
+        land = build_landscape(seed=12, include_road=False, include_nj=False)
+        event = football_game_event(land.study_area.anchor.offset(0.0, 0.0))
+        land.add_event(event)
+        for net in land.network_ids():
+            assert event in land.network(net).events
+
+    def test_subset_attaches_only_there(self):
+        land = build_landscape(seed=12, include_road=False, include_nj=False)
+        event = football_game_event(land.study_area.anchor.offset(100.0, 0.0))
+        land.add_event(event, nets=[NetworkId.NET_A])
+        assert event in land.network(NetworkId.NET_A).events
+        assert event not in land.network(NetworkId.NET_B).events
