@@ -10,6 +10,10 @@ Two operator workflows on one screen:
    failures are flagged as candidates for a drive-by RF survey; their
    TCP throughput variability dwarfs the healthy zones'.
 
+The whole dashboard runs with telemetry enabled and closes with the
+shared ``repro.obs`` report renderer — the same summary ``repro obs
+report`` prints for a saved telemetry directory.
+
 Run:  python examples/operator_dashboard.py
 """
 
@@ -20,6 +24,7 @@ from repro.analysis.tables import TextTable
 from repro.apps.operator_tools import detect_latency_surges, variable_zone_report
 from repro.datasets.generator import DatasetGenerator
 from repro.geo.zones import ZoneGrid
+from repro.obs import RunManifest, Telemetry, render_live, use_telemetry
 from repro.sim.clock import format_sim_time
 
 GAME_DAY = 5  # first simulated Saturday
@@ -87,10 +92,17 @@ def variability_watch(landscape) -> None:
 
 
 def main() -> None:
-    print("Building the landscape...")
-    landscape = build_landscape(seed=7, include_road=False, include_nj=False)
-    stadium_watch(landscape)
-    variability_watch(landscape)
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        print("Building the landscape...")
+        landscape = build_landscape(seed=7, include_road=False, include_nj=False)
+        stadium_watch(landscape)
+        variability_watch(landscape)
+        landscape.publish_cache_metrics(telemetry)
+
+    print()
+    manifest = RunManifest(run_kind="operator-dashboard", seed=7, gen_seed=3)
+    print(render_live(telemetry, manifest, title="dashboard telemetry"))
 
 
 if __name__ == "__main__":

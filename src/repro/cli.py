@@ -10,12 +10,15 @@ writing code:
 * ``map``          — generate a quick trace and render the city
   throughput map as ASCII (a terminal Fig 1);
 * ``monitor``      — run the coordinator over a bus fleet for N sim
-  hours and print what WiScape learned.
+  hours and print what WiScape learned; ``--telemetry OUT_DIR``
+  additionally captures metrics/events/spans/manifest artifacts;
+* ``obs report``   — render a text summary of a telemetry directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -121,34 +124,73 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     from repro.geo.zones import ZoneGrid
     from repro.mobility.routes import city_bus_routes
     from repro.mobility.vehicles import TransitBus
+    from repro.obs import (
+        NULL_TELEMETRY,
+        RunManifest,
+        Telemetry,
+        use_telemetry,
+    )
     from repro.sim.engine import EventEngine
 
-    landscape = build_landscape(seed=args.seed, include_road=False, include_nj=False)
-    grid = ZoneGrid(landscape.study_area.anchor, radius_m=args.radius)
-    coordinator = MeasurementCoordinator(grid, seed=args.gen_seed)
-    routes = city_bus_routes(landscape.study_area, count=8)
-    nets = [NetworkId.NET_B, NetworkId.NET_C]
-    for b in range(args.buses):
-        bus = TransitBus(bus_id=b, routes=routes, seed=b)
-        device = Device(f"bus-{b}", DeviceCategory.SBC_PCMCIA, nets, seed=b)
-        coordinator.register_client(ClientAgent(f"bus-{b}", device, bus, landscape, seed=b))
+    telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+    with use_telemetry(telemetry):
+        landscape = build_landscape(
+            seed=args.seed, include_road=False, include_nj=False
+        )
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=args.radius)
+        coordinator = MeasurementCoordinator(
+            grid, seed=args.gen_seed, telemetry=telemetry
+        )
+        routes = city_bus_routes(landscape.study_area, count=8)
+        nets = [NetworkId.NET_B, NetworkId.NET_C]
+        for b in range(args.buses):
+            bus = TransitBus(bus_id=b, routes=routes, seed=b)
+            device = Device(f"bus-{b}", DeviceCategory.SBC_PCMCIA, nets, seed=b)
+            coordinator.register_client(
+                ClientAgent(f"bus-{b}", device, bus, landscape, seed=b)
+            )
 
-    start = 6.0 * 3600.0
-    engine = EventEngine()
-    engine.clock.reset(start)
-    until = start + args.hours * 3600.0
-    print(f"monitoring with {args.buses} buses for {args.hours} sim hours...")
-    coordinator.attach(engine, until=until)
-    engine.run(until=until)
+        start = 6.0 * 3600.0
+        engine = EventEngine()
+        engine.clock.reset(start)
+        until = start + args.hours * 3600.0
+        print(f"monitoring with {args.buses} buses for {args.hours} sim hours...")
+        coordinator.attach(engine, until=until)
+        engine.run(until=until)
 
-    s = coordinator.stats
-    streams = len(coordinator.store)
-    published = sum(1 for r in coordinator.store.records() if r.published)
-    print(
-        f"ticks={s.ticks} tasks={s.tasks_issued} reports={s.reports_ingested} "
-        f"epochs={s.epochs_closed} alerts={len(coordinator.alerts)}"
-    )
-    print(f"{streams} (zone,carrier,kind) streams; {published} published estimates")
+        s = coordinator.stats
+        streams = len(coordinator.store)
+        published = sum(1 for r in coordinator.store.records() if r.published)
+        print(
+            f"ticks={s.ticks} tasks={s.tasks_issued} reports={s.reports_ingested} "
+            f"epochs={s.epochs_closed} alerts={len(coordinator.alerts)}"
+        )
+        print(f"{streams} (zone,carrier,kind) streams; {published} published estimates")
+
+        if args.telemetry:
+            landscape.publish_cache_metrics(telemetry)
+            manifest = RunManifest(
+                run_kind="monitor",
+                seed=args.seed,
+                gen_seed=args.gen_seed,
+                config=coordinator.config,
+                zone_grid={"radius_m": args.radius},
+                extra={"buses": args.buses, "hours": args.hours},
+            )
+            paths = telemetry.write_artifacts(args.telemetry, manifest=manifest)
+            print(f"telemetry written to {Path(args.telemetry).resolve()} "
+                  f"({', '.join(sorted(paths))})")
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report_from_dir
+
+    out_dir = Path(args.dir)
+    if not out_dir.is_dir():
+        print(f"no such telemetry directory: {out_dir}", file=sys.stderr)
+        return 2
+    print(render_report_from_dir(out_dir))
     return 0
 
 
@@ -187,14 +229,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hours", type=float, default=4.0)
     p.add_argument("--radius", type=float, default=250.0)
     p.add_argument("--gen-seed", type=int, default=1)
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT_DIR",
+        help="capture metrics/events/spans/manifest artifacts to OUT_DIR",
+    )
     p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    pr = obs_sub.add_parser(
+        "report", help="summarize a telemetry directory (metrics/events/spans)"
+    )
+    pr.add_argument("dir", help="telemetry directory written by --telemetry")
+    pr.set_defaults(func=cmd_obs_report)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Report-style output piped into `head`/`less` that exits early;
+        # redirect stdout so the interpreter's final flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI

@@ -26,6 +26,7 @@ from repro.geo.coords import GeoPoint
 from repro.mobility.gps import GpsReader
 from repro.mobility.models import MovementModel
 from repro.network.channel import MeasurementChannel
+from repro.obs.telemetry import get_telemetry
 from repro.radio.network import Landscape
 from repro.radio.technology import NetworkId
 from repro.sim.rng import RngStreams
@@ -85,12 +86,15 @@ class ClientAgent:
         Refusal reasons: no modem for the carrier, client inactive, or
         task deadline already passed.
         """
+        tel = get_telemetry()
         if (
             not self.device.supports(task.network)
             or not self.is_active(t)
             or task.expired(t)
         ):
             self.tasks_refused += 1
+            if tel.enabled:
+                tel.metrics.counter("client.refusals").inc()
             return None
 
         fix = self.gps.fix(t)
@@ -101,7 +105,15 @@ class ClientAgent:
         }[task.kind]
         report = handler(task, t, fix.point, fix.speed_ms)
         self.reports_completed += 1
-        self.energy.record_transfer(max(0.0, report.duration_s))
+        duration = max(0.0, report.duration_s)
+        self.energy.record_transfer(duration)
+        if tel.enabled:
+            tel.metrics.counter("client.reports").inc()
+            tel.metrics.counter("client.energy_transfer_s").inc(duration)
+            tel.metrics.histogram(
+                "client.task_latency_s",
+                buckets=(0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 120.0, 300.0),
+            ).observe(duration)
         return report
 
     # -- task handlers ---------------------------------------------------
@@ -195,6 +207,18 @@ class ClientAgent:
         result = self.channel(task.network).ping_series(
             self.movement.position(t), t, count=count, interval_s=interval
         )
+        if result.failures > 0:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.metrics.counter("client.ping_failures").inc(result.failures)
+                tel.emit(
+                    "failure.blackout",
+                    t,
+                    client=self.client_id,
+                    network=task.network.value,
+                    failures=int(result.failures),
+                    count=count,
+                )
         mean_rtt = result.mean_rtt_s if result.rtts_s else float("nan")
         return MeasurementReport(
             task_id=task.task_id,

@@ -44,14 +44,26 @@ from repro.core.sampling import SampleBudgetPlanner
 from repro.core.scheduler import MeasurementScheduler
 from repro.core.validation import ReportValidator
 from repro.geo.zones import ZoneGrid, ZoneId
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.radio.technology import NetworkId
 from repro.sim.engine import EventEngine
 from repro.sim.rng import RngStreams
 
+#: Bucket bounds for the scheduler task-probability histogram.
+_PROBABILITY_BUCKETS = (0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+
 
 @dataclass
 class CoordinatorStats:
-    """Counters the overhead analysis reads."""
+    """Counters the overhead analysis reads.
+
+    Since the observability refactor this is a *view*: the live values
+    are the ``coordinator.*`` counters in the coordinator's metrics
+    registry, and :attr:`MeasurementCoordinator.stats` materializes one
+    of these on each access.  The dataclass shape (and the attribute
+    names existing code reads) is preserved for compatibility.
+    """
 
     ticks: int = 0
     tasks_issued: int = 0
@@ -60,6 +72,7 @@ class CoordinatorStats:
     reports_rejected: int = 0
     epochs_closed: int = 0
     recalibrations: int = 0
+    change_alerts: int = 0
 
 
 class MeasurementCoordinator:
@@ -70,9 +83,19 @@ class MeasurementCoordinator:
         grid: ZoneGrid,
         config: Optional[WiScapeConfig] = None,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.grid = grid
         self.config = config or WiScapeConfig()
+        #: Telemetry sink: injected, else the ambient one (no-op unless
+        #: a run installed an enabled telemetry via ``use_telemetry``).
+        self.obs = telemetry if telemetry is not None else get_telemetry()
+        #: The coordinator's counters must keep counting even with
+        #: telemetry disabled (``stats`` is a public API) — so fall back
+        #: to a private real registry when the sink is a no-op.
+        self.metrics: MetricsRegistry = (
+            self.obs.metrics if self.obs.enabled else MetricsRegistry()
+        )
         self.store = ZoneRecordStore(
             default_epoch_s=self.config.default_epoch_s,
             default_budget=self.config.default_sample_budget,
@@ -101,8 +124,28 @@ class MeasurementCoordinator:
         self.clients: Dict[str, ClientAgent] = {}
         self.validator = ReportValidator()
         self.alerts: List[ChangeAlert] = []
-        self.stats = CoordinatorStats()
         self._task_ids = itertools.count(1)
+
+    @property
+    def stats(self) -> CoordinatorStats:
+        """Snapshot of the coordinator counters as the legacy dataclass."""
+        m = self.metrics
+        return CoordinatorStats(
+            ticks=int(m.counter_value("coordinator.ticks")),
+            tasks_issued=int(m.counter_value("coordinator.tasks_issued")),
+            tasks_refused=int(m.counter_value("coordinator.tasks_refused")),
+            reports_ingested=int(
+                m.counter_value("coordinator.reports_ingested")
+            ),
+            reports_rejected=int(
+                m.counter_value("coordinator.reports_rejected")
+            ),
+            epochs_closed=int(m.counter_value("coordinator.epochs_closed")),
+            recalibrations=int(
+                m.counter_value("coordinator.recalibrations")
+            ),
+            change_alerts=int(m.counter_value("coordinator.change_alerts")),
+        )
 
     # -- registration ---------------------------------------------------
 
@@ -157,41 +200,68 @@ class MeasurementCoordinator:
         # All agents share one landscape; warm it once.
         first = next(iter(by_zone.values()))[0]
         first.landscape.warm_cache(points, nets=nets)
+        if self.obs.enabled:
+            self.metrics.counter("coordinator.cache_warms").inc()
+            self.metrics.histogram(
+                "coordinator.warm_batch_size"
+            ).observe(len(points))
+            self.obs.emit(
+                "cache.warm", now_s,
+                points=len(points), networks=[n.value for n in nets],
+            )
 
     def tick(self, now_s: float) -> List[MeasurementReport]:
         """One coordinator round; returns the reports it ingested."""
-        self.stats.ticks += 1
+        obs = self.obs
+        self.metrics.counter("coordinator.ticks").inc()
         reports: List[MeasurementReport] = []
-        by_zone = self._active_clients_by_zone(now_s)
-        self._warm_ground_truth(by_zone, now_s)
-        for zone_id, agents in by_zone.items():
-            for network in self._networks_present(agents):
-                eligible = [
-                    a for a in agents if a.device.supports(network)
-                ]
-                for kind in self.config.task_kinds:
-                    key: MetricKey = (zone_id, network, kind)
-                    record = self.store.get(key, now_s)
+        with obs.span("coordinator.tick"):
+            with obs.span("presence"):
+                by_zone = self._active_clients_by_zone(now_s)
+            with obs.span("warm"):
+                self._warm_ground_truth(by_zone, now_s)
+            with obs.span("schedule"):
+                for zone_id, agents in by_zone.items():
+                    for network in self._networks_present(agents):
+                        eligible = [
+                            a for a in agents if a.device.supports(network)
+                        ]
+                        for kind in self.config.task_kinds:
+                            key: MetricKey = (zone_id, network, kind)
+                            record = self.store.get(key, now_s)
+                            self._close_and_alert(record, now_s)
+                            decisions = self.scheduler.decide(
+                                record, kind,
+                                [a.client_id for a in eligible], now_s,
+                            )
+                            if obs.enabled and decisions:
+                                self.metrics.histogram(
+                                    "scheduler.task_probability",
+                                    _PROBABILITY_BUCKETS,
+                                ).observe(decisions[0].probability)
+                            for decision in decisions:
+                                if not decision.issue:
+                                    continue
+                                report = self._issue_task(
+                                    self.clients[decision.client_id],
+                                    network,
+                                    kind,
+                                    zone_id,
+                                    now_s,
+                                )
+                                if report is not None:
+                                    self.ingest(report)
+                                    reports.append(report)
+            # Epochs in zones with no clients this tick still need closing.
+            with obs.span("close_idle"):
+                for record in self.store.records():
                     self._close_and_alert(record, now_s)
-                    decisions = self.scheduler.decide(
-                        record, kind, [a.client_id for a in eligible], now_s
-                    )
-                    for decision in decisions:
-                        if not decision.issue:
-                            continue
-                        report = self._issue_task(
-                            self.clients[decision.client_id],
-                            network,
-                            kind,
-                            zone_id,
-                            now_s,
-                        )
-                        if report is not None:
-                            self.ingest(report)
-                            reports.append(report)
-        # Epochs in zones with no clients this tick still need closing.
-        for record in self.store.records():
-            self._close_and_alert(record, now_s)
+        if obs.enabled:
+            self.metrics.gauge("coordinator.active_zones").set(len(by_zone))
+            self.metrics.gauge("coordinator.streams").set(len(self.store))
+            self.metrics.histogram(
+                "coordinator.reports_per_tick"
+            ).observe(len(reports))
         return reports
 
     @staticmethod
@@ -222,10 +292,27 @@ class MeasurementCoordinator:
             deadline_s=now_s + self.config.tick_interval_s,
             params=params,
         )
-        self.stats.tasks_issued += 1
+        self.metrics.counter("coordinator.tasks_issued").inc()
+        if self.obs.enabled:
+            self.obs.emit(
+                "task.issue", now_s,
+                task_id=task.task_id, client=agent.client_id,
+                zone=list(zone_id), network=network.value, metric=kind.value,
+            )
         report = agent.execute(task, now_s)
         if report is None:
-            self.stats.tasks_refused += 1
+            self.metrics.counter("coordinator.tasks_refused").inc()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "task.refuse", now_s,
+                    task_id=task.task_id, client=agent.client_id,
+                    zone=list(zone_id), network=network.value,
+                    metric=kind.value,
+                )
+        elif self.obs.enabled:
+            self.metrics.histogram(
+                "coordinator.task_duration_s"
+            ).observe(max(0.0, report.end_s - report.start_s))
         return report
 
     # -- ingest -----------------------------------------------------------
@@ -237,10 +324,19 @@ class MeasurementCoordinator:
         reports are counted (per reason, see ``validator.rejections``)
         and never touch the records.  Returns True when ingested.
         """
-        if not self.validator.validate(
-            report, report.start_s if now_s is None else now_s
-        ).ok:
-            self.stats.reports_rejected += 1
+        at_s = report.start_s if now_s is None else now_s
+        result = self.validator.validate(report, at_s)
+        if not result.ok:
+            self.metrics.counter("coordinator.reports_rejected").inc()
+            if self.obs.enabled:
+                self.metrics.counter(
+                    f"validator.reject.{result.reason}"
+                ).inc()
+                self.obs.emit(
+                    "report.reject", at_s,
+                    client=report.client_id, network=report.network.value,
+                    metric=report.kind.value, reason=result.reason,
+                )
             return False
         zone_id = self.grid.zone_id_for(report.point)
         key: MetricKey = (zone_id, report.network, report.kind)
@@ -248,7 +344,11 @@ class MeasurementCoordinator:
         samples = report.samples if report.samples else [report.value]
         record.add_samples(list(samples), report.start_s)
         record.note_measurement(report.value, report.start_s)
-        self.stats.reports_ingested += 1
+        self.metrics.counter("coordinator.reports_ingested").inc()
+        if self.obs.enabled:
+            self.metrics.counter("coordinator.samples_ingested").inc(
+                len(samples)
+            )
         return True
 
     # -- epoch close / change detection ------------------------------------
@@ -257,7 +357,19 @@ class MeasurementCoordinator:
         estimate = record.maybe_close_epoch(now_s)
         if estimate is None:
             return
-        self.stats.epochs_closed += 1
+        self.metrics.counter("coordinator.epochs_closed").inc()
+        if self.obs.enabled:
+            zone_id, network, kind = record.key
+            self.obs.emit(
+                "epoch.close", now_s,
+                zone=list(zone_id), network=network.value,
+                metric=kind.value, epoch_index=estimate.epoch_index,
+                mean=estimate.mean, std=estimate.std,
+                n_samples=estimate.n_samples, budget=record.sample_budget,
+            )
+            self.metrics.histogram(
+                "coordinator.epoch_samples"
+            ).observe(estimate.n_samples)
         record.epochs_since_calibration += 1
         previous = record.published
         if previous is None:
@@ -266,14 +378,23 @@ class MeasurementCoordinator:
             moved = abs(estimate.mean - previous.mean)
             threshold = self.config.change_sigma * previous.std
             if previous.std > 0 and moved > threshold:
-                self.alerts.append(
-                    ChangeAlert(
-                        key=record.key,
-                        at_s=now_s,
-                        previous=previous,
-                        current=estimate,
-                    )
+                alert = ChangeAlert(
+                    key=record.key,
+                    at_s=now_s,
+                    previous=previous,
+                    current=estimate,
                 )
+                self.alerts.append(alert)
+                self.metrics.counter("coordinator.change_alerts").inc()
+                if self.obs.enabled:
+                    zone_id, network, kind = record.key
+                    self.obs.emit(
+                        "alert.change", now_s,
+                        zone=list(zone_id), network=network.value,
+                        metric=kind.value,
+                        magnitude_sigma=alert.magnitude_sigma,
+                        previous_mean=previous.mean, mean=estimate.mean,
+                    )
                 record.published = estimate
             elif previous.std == 0:
                 record.published = estimate
@@ -281,17 +402,40 @@ class MeasurementCoordinator:
             record.epochs_since_calibration
             >= self.config.epochs_between_recalibration
         ):
-            self._recalibrate(record)
+            self._recalibrate(record, now_s)
 
-    def _recalibrate(self, record: ZoneRecord) -> None:
+    def _recalibrate(self, record: ZoneRecord, now_s: float) -> None:
         """Refresh the zone's epoch duration and sample budget."""
         record.epochs_since_calibration = 0
-        self.stats.recalibrations += 1
-        new_epoch = self.epoch_estimator.estimate(
-            record.series_times, record.series_values, fallback_s=record.epoch_s
-        )
-        record.set_epoch_duration(new_epoch)
-        record.set_sample_budget(self.budget_planner.plan(record.sample_pool))
+        self.metrics.counter("coordinator.recalibrations").inc()
+        epoch_before = record.epoch_s
+        budget_before = record.sample_budget
+        with self.obs.span("coordinator.recalibrate"):
+            new_epoch = self.epoch_estimator.estimate(
+                record.series_times, record.series_values,
+                fallback_s=record.epoch_s,
+            )
+            record.set_epoch_duration(new_epoch)
+            record.set_sample_budget(
+                self.budget_planner.plan(record.sample_pool)
+            )
+        if self.obs.enabled:
+            zone_id, network, kind = record.key
+            self.obs.emit(
+                "calibration.recalibrate", now_s,
+                zone=list(zone_id), network=network.value,
+                metric=kind.value,
+                epoch_s_before=epoch_before, epoch_s=record.epoch_s,
+                budget_before=budget_before, budget=record.sample_budget,
+            )
+            self.metrics.histogram(
+                "calibration.epoch_s",
+                (300.0, 600.0, 1200.0, 1800.0, 3600.0, 7200.0, 14400.0),
+            ).observe(record.epoch_s)
+            self.metrics.histogram(
+                "calibration.budget",
+                (30.0, 50.0, 75.0, 100.0, 125.0, 150.0, 200.0),
+            ).observe(record.sample_budget)
 
     # -- queries ------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.telemetry import get_telemetry
 from repro.stats.allan import allan_deviation_profile, select_epoch_from_profile
 
 
@@ -101,14 +102,22 @@ class EpochEstimator:
         Falls back when history is too short for a trustworthy profile.
         The result is clamped to [min_epoch_s, max_epoch_s].
         """
+        tel = get_telemetry()
         series = self.regrid(times_s, values)
         if len(series) < self.min_history_points:
+            if tel.enabled:
+                tel.metrics.counter("epochs.estimate_fallbacks").inc()
             return float(min(max(fallback_s, self.min_epoch_s), self.max_epoch_s))
         span = len(series) * self.grid_s
-        profile = allan_deviation_profile(
-            series, self.grid_s, self.candidate_taus(span), normalize=True
-        )
+        with tel.span("epochs.allan_profile"):
+            profile = allan_deviation_profile(
+                series, self.grid_s, self.candidate_taus(span), normalize=True
+            )
         if not profile:
+            if tel.enabled:
+                tel.metrics.counter("epochs.estimate_fallbacks").inc()
             return float(min(max(fallback_s, self.min_epoch_s), self.max_epoch_s))
         best_tau = select_epoch_from_profile(profile, tolerance=self.tolerance)
+        if tel.enabled:
+            tel.metrics.counter("epochs.estimates").inc()
         return float(min(max(best_tau, self.min_epoch_s), self.max_epoch_s))

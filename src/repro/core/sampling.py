@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.telemetry import get_telemetry
 from repro.stats.nkld import nkld_from_samples
 
 
@@ -74,9 +75,18 @@ class SampleBudgetPlanner:
         pool beats the threshold, clamped to [min, max]; the default
         when history is insufficient or convergence never happens.
         """
+        tel = get_telemetry()
         if len(pool) < self.min_pool:
+            if tel.enabled:
+                tel.metrics.counter("sampling.plan_defaults").inc()
             return self.default_budget
-        for n, div in self.convergence_curve(pool):
+        with tel.span("sampling.nkld_convergence"):
+            curve = self.convergence_curve(pool)
+        for n, div in curve:
             if div < self.nkld_threshold:
+                if tel.enabled:
+                    tel.metrics.counter("sampling.plan_converged").inc()
                 return int(min(max(n, self.min_budget), self.max_budget))
+        if tel.enabled:
+            tel.metrics.counter("sampling.plan_unconverged").inc()
         return self.max_budget

@@ -10,6 +10,7 @@ benches fast, with the collection *pattern* preserved.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -22,6 +23,7 @@ from repro.geo.regions import madison_spot_locations, new_jersey_spots
 from repro.mobility.models import ProximateLoop, StaticPosition
 from repro.mobility.routes import Route, city_bus_routes
 from repro.mobility.vehicles import Car, IntercityBus, TransitBus
+from repro.obs.telemetry import get_telemetry
 from repro.radio.network import Landscape
 from repro.radio.technology import NetworkId
 from repro.sim.clock import SECONDS_PER_DAY
@@ -29,6 +31,18 @@ from repro.sim.rng import derive_seed
 
 ALL_NETWORKS = (NetworkId.NET_A, NetworkId.NET_B, NetworkId.NET_C)
 BC_NETWORKS = (NetworkId.NET_B, NetworkId.NET_C)
+
+
+def _traced(fn):
+    """Wrap a dataset builder in a ``datasets.<name>`` tracing span."""
+    span_name = f"datasets.{fn.__name__}"
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with get_telemetry().span(span_name):
+            return fn(*args, **kwargs)
+
+    return wrapper
 
 
 class DatasetGenerator:
@@ -87,8 +101,13 @@ class DatasetGenerator:
         **params: float,
     ) -> Optional[TraceRecord]:
         report = agent.execute(self._task(network, kind, t, **params), t)
+        tel = get_telemetry()
         if report is None:
+            if tel.enabled:
+                tel.metrics.counter("datasets.measurements_refused").inc()
             return None
+        if tel.enabled:
+            tel.metrics.counter("datasets.measurements").inc()
         return TraceRecord.from_report(dataset, report)
 
     @staticmethod
@@ -116,12 +135,17 @@ class DatasetGenerator:
         expensive per-point spatial math for a whole day of driving runs
         once, vectorized, up front.
         """
-        pts = [movement.position(t) for t in times]
-        if pts:
-            self.landscape.warm_cache(pts, nets=networks)
+        tel = get_telemetry()
+        with tel.span("datasets.warm"):
+            pts = [movement.position(t) for t in times]
+            if pts:
+                self.landscape.warm_cache(pts, nets=networks)
+        if tel.enabled:
+            tel.metrics.counter("datasets.warm_points").inc(len(times))
 
     # -- Wide-area ----------------------------------------------------------
 
+    @_traced
     def standalone(
         self,
         days: int = 12,
@@ -170,6 +194,7 @@ class DatasetGenerator:
                     records.append(rec)
         return records
 
+    @_traced
     def wirover(
         self,
         days: int = 7,
@@ -234,6 +259,7 @@ class DatasetGenerator:
 
     # -- Spot -----------------------------------------------------------------
 
+    @_traced
     def static_spot(
         self,
         location: GeoPoint,
@@ -272,6 +298,7 @@ class DatasetGenerator:
                     records.append(rec)
         return records
 
+    @_traced
     def proximate(
         self,
         center: GeoPoint,
@@ -306,6 +333,7 @@ class DatasetGenerator:
 
     # -- Region -----------------------------------------------------------------
 
+    @_traced
     def short_segment(
         self,
         networks: Sequence[NetworkId] = ALL_NETWORKS,

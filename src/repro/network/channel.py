@@ -30,6 +30,7 @@ import numpy as np
 from repro.geo.coords import GeoPoint
 from repro.network.metrics import goodput_bps, ipdv_jitter_s, loss_rate
 from repro.network.packet import PacketRecord
+from repro.obs.telemetry import get_telemetry
 from repro.radio.network import Landscape, LinkState, LinkStateBatch
 from repro.radio.technology import NetworkId
 
@@ -182,6 +183,9 @@ class MeasurementChannel:
             raise ValueError("n_packets must be >= 1")
         if direction not in ("down", "up"):
             raise ValueError("direction must be 'down' or 'up'")
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("channel.udp_trains").inc()
         link = self.link_at(point, t)
         n = n_packets
         u_slot = self.rng.uniform(size=n).tolist()
@@ -215,6 +219,13 @@ class MeasurementChannel:
             raise ValueError("n_packets must be >= 1")
         if direction not in ("down", "up"):
             raise ValueError("direction must be 'down' or 'up'")
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("channel.udp_train_batches").inc()
+            tel.metrics.histogram(
+                "channel.udp_trains_per_batch",
+                (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0),
+            ).observe(np.atleast_1d(np.asarray(times, dtype=float)).size)
         batch = self.link_at_batch(points, times)
         t_arr = np.broadcast_to(
             np.asarray(times, dtype=float), (len(batch),)
@@ -456,6 +467,9 @@ class MeasurementChannel:
         """
         if size_bytes < 1:
             raise ValueError("size_bytes must be >= 1")
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("channel.tcp_downloads").inc()
         # A bulk download lasting several seconds averages over the fast
         # fading; sample the link across the transfer window in one
         # batch query (the per-point quantities are computed once).
@@ -540,6 +554,9 @@ class MeasurementChannel:
         """
         if count < 1:
             raise ValueError("count must be >= 1")
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("channel.ping_series").inc()
         times = t + interval_s * np.arange(count)
         batch = self.link_at_batch(point, times)
         u_loss = self.rng.uniform(size=count)

@@ -1,0 +1,90 @@
+"""``repro.obs`` — metrics, tracing, and structured run telemetry.
+
+The observability layer for the whole stack: a dependency-free metrics
+registry (counters / gauges / fixed-bucket histograms), span-based
+timing, a deterministic JSONL event log stamped with *simulation* time,
+and run manifests recording provenance.  Disabled by default: the
+ambient telemetry is a shared no-op, so un-instrumented runs stay
+bit-identical and effectively free (see the overhead gate in
+``benchmarks/test_perf_microbench.py``).
+
+Typical use::
+
+    from repro import obs
+
+    tel = obs.Telemetry()
+    with obs.use_telemetry(tel):
+        ...  # run the coordinator / generators
+    tel.write_artifacts("out/", manifest)
+    print(obs.render_report_from_dir("out/"))
+"""
+
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    SCHEMA_VERSION,
+    EventLog,
+    NullEventLog,
+    read_events,
+)
+from repro.obs.manifest import RunManifest, config_hash
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.report import (
+    load_artifacts,
+    render_live,
+    render_report,
+    render_report_from_dir,
+)
+from repro.obs.telemetry import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    METRICS_FILENAME,
+    NULL_TELEMETRY,
+    SPANS_FILENAME,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, SpanStats, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "SpanStats",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "SCHEMA_VERSION",
+    "read_events",
+    "RunManifest",
+    "config_hash",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "METRICS_FILENAME",
+    "EVENTS_FILENAME",
+    "SPANS_FILENAME",
+    "MANIFEST_FILENAME",
+    "load_artifacts",
+    "render_report",
+    "render_report_from_dir",
+    "render_live",
+]

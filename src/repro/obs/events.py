@@ -1,0 +1,131 @@
+"""Structured run-event log (the JSONL side of telemetry).
+
+Every operationally meaningful state change in a run — an epoch closing,
+a change alert firing, a task being refused, a cache being warmed — is
+appended here as one flat JSON object.  The log is the replayable,
+diffable account of *why* a run behaved the way it did, and the
+substrate ``repro obs report`` summarizes.
+
+Schema (stable, versioned):
+
+* ``v``    — schema version (currently 1);
+* ``seq``  — monotonically increasing sequence number within the run
+  (ties in sim time keep their emission order);
+* ``t``    — simulation time in seconds (**never** wall-clock: records
+  must be byte-identical across identical seeded runs);
+* ``kind`` — dotted event name (``epoch.close``, ``task.issue``, ...);
+* remaining keys — event-specific fields, JSON scalars only.
+
+Serialization uses ``sort_keys`` and a compact separator so the bytes
+of ``events.jsonl`` are a pure function of the recorded tuples.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+__all__ = ["SCHEMA_VERSION", "EventLog", "NullEventLog", "NULL_EVENT_LOG",
+           "read_events"]
+
+SCHEMA_VERSION = 1
+
+
+class EventLog:
+    """In-memory ordered list of structured events."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        """``capacity`` bounds retained events (oldest dropped), None = unbounded."""
+        self._events: List[dict] = []
+        self._seq = 0
+        self.capacity = capacity
+        self.dropped = 0
+
+    def emit(self, kind: str, t: float, **fields) -> None:
+        """Append one event at sim time ``t`` with flat JSON fields."""
+        record = {"v": SCHEMA_VERSION, "seq": self._seq, "t": float(t),
+                  "kind": kind}
+        self._seq += 1
+        for k, v in fields.items():
+            record[k] = v
+        self._events.append(record)
+        if self.capacity is not None and len(self._events) > self.capacity:
+            del self._events[0]
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        """All events, optionally filtered by exact ``kind``."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e["kind"] == kind]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e["kind"]] = out.get(e["kind"], 0) + 1
+        return out
+
+    def to_jsonl(self) -> str:
+        """Canonical JSONL rendering: one sorted-key compact line each."""
+        buf = io.StringIO()
+        for e in self._events:
+            buf.write(json.dumps(e, sort_keys=True, separators=(",", ":")))
+            buf.write("\n")
+        return buf.getvalue()
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+
+class NullEventLog:
+    """Event log twin that records nothing."""
+
+    capacity = None
+    dropped = 0
+
+    def emit(self, kind: str, t: float, **fields) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(())
+
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        return []
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        return {}
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def write_jsonl(self, path) -> None:
+        pass
+
+
+NULL_EVENT_LOG = NullEventLog()
+
+
+def read_events(source: Union[str, "io.TextIOBase", Iterable[str]]) -> List[dict]:
+    """Parse an events.jsonl file (path, file object, or line iterable)."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            lines: Iterable[str] = fh.readlines()
+    else:
+        lines = source
+    out = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

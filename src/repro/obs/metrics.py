@@ -1,0 +1,303 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the single mutable sink every instrumented
+layer writes to.  Three deliberate constraints keep it fit for the hot
+paths it instruments:
+
+* **Dependency-free and allocation-light** — metric objects are plain
+  Python objects created once and cached by name; the steady-state cost
+  of ``registry.counter("x").inc()`` is a dict lookup plus an int add
+  (both atomic under the GIL, hence lock-free in the common case).
+* **No wall-clock anywhere** — snapshots are pure functions of what was
+  recorded, so two identical seeded runs produce byte-identical
+  ``metrics.json`` files.
+* **A true no-op twin** — :class:`NullMetricsRegistry` hands out shared
+  do-nothing metric objects, so instrumentation left in a hot loop costs
+  one method call when telemetry is disabled and golden outputs stay
+  bit-identical (no RNG draw, no state, no I/O).
+
+Histograms use fixed bucket boundaries chosen at creation time (the
+first caller wins; later callers with different boundaries get the
+existing histogram).  Fixed buckets make merged/streamed aggregation
+trivial and keep ``observe`` O(log n_buckets) via bisection.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram boundaries: log-ish spread covering probabilities,
+#: latencies in seconds, and small counts alike.  Callers with a known
+#: scale should pass explicit ``buckets``.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (float increments allowed)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move either way."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (high-water-mark gauges)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary bucketed distribution with sum/min/max.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    is the overflow bucket (``> bounds[-1]``).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.total += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) from bucket boundaries.
+
+        Returns the upper bound of the bucket containing the quantile
+        (the observed max for the overflow bucket) — the usual
+        fixed-bucket estimate: exact ordering is gone, the bound is a
+        guaranteed over-estimate by at most one bucket width.
+        """
+        if self.total == 0:
+            return float("nan")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        rank = q * self.total
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+            "min": self.min if self.total else None,
+            "max": self.max if self.total else None,
+        }
+
+
+class MetricsRegistry:
+    """Named metric store; the write side of the telemetry layer."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access (create on first use) ----------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return h
+
+    # -- read side -------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        c = self._counters.get(name)
+        return c.value if c is not None else 0.0
+
+    def gauge_value(self, name: str) -> float:
+        g = self._gauges.get(name)
+        return g.value if g is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """Deterministic (sorted-key) dict of every metric's state."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {
+                k: self._gauges[k].value for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: self._histograms[k].snapshot()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Canonical JSON rendering (byte-stable across identical runs)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    value = 0.0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def max(self, value: float) -> None:
+        pass
+
+    value = 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    total = 0
+    sum = 0.0
+    mean = 0.0
+
+    def percentile(self, q: float) -> float:
+        return float("nan")
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Do-nothing registry: every handle is a shared no-op singleton.
+
+    This is what disabled telemetry hands to instrumentation sites, so
+    the per-call cost is one attribute lookup and one no-op call — the
+    overhead the ``benchmarks/test_perf_microbench.py`` gate bounds.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counter_value(self, name: str) -> float:
+        return 0.0
+
+    def gauge_value(self, name: str) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+#: Shared no-op registry instance (stateless, safe to share globally).
+NULL_REGISTRY = NullMetricsRegistry()

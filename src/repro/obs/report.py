@@ -1,0 +1,270 @@
+"""Render telemetry artifacts as an operator-readable text report.
+
+``repro obs report out/`` reads the artifacts a telemetry-enabled run
+wrote (``metrics.json``, ``events.jsonl``, ``spans.json``, optionally
+``manifest.json``) and prints the run's story: headline counters, the
+hottest spans, histogram percentiles, event volume by kind, and how
+each zone's sample budget and epoch duration converged across
+recalibrations.  :func:`render_report` also accepts a live
+:class:`~repro.obs.telemetry.Telemetry` (plus manifest) directly, which
+is how ``examples/operator_dashboard.py`` embeds the same rendering
+without a round-trip through files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import read_events
+from repro.obs.telemetry import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    METRICS_FILENAME,
+    SPANS_FILENAME,
+    Telemetry,
+)
+
+__all__ = [
+    "load_artifacts",
+    "render_live",
+    "render_report",
+    "render_report_from_dir",
+]
+
+#: Percentiles rendered for every histogram.
+REPORT_QUANTILES = (0.50, 0.90, 0.99)
+
+
+def _table(headers):
+    """Lazily import the shared table renderer.
+
+    ``repro.analysis`` imports core/radio modules that themselves import
+    ``repro.obs`` for instrumentation; deferring the import to render
+    time (a cold path) keeps the obs package import-light and cycle-free.
+    """
+    from repro.analysis.tables import TextTable
+
+    return TextTable(headers)
+
+
+def load_artifacts(out_dir: str) -> dict:
+    """Read whichever artifact files exist under ``out_dir``."""
+    artifacts: dict = {
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "events": [],
+        "spans": {},
+        "manifest": None,
+    }
+    metrics_path = os.path.join(out_dir, METRICS_FILENAME)
+    if os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as fh:
+            artifacts["metrics"] = json.load(fh)
+    events_path = os.path.join(out_dir, EVENTS_FILENAME)
+    if os.path.exists(events_path):
+        artifacts["events"] = read_events(events_path)
+    spans_path = os.path.join(out_dir, SPANS_FILENAME)
+    if os.path.exists(spans_path):
+        with open(spans_path, "r", encoding="utf-8") as fh:
+            artifacts["spans"] = json.load(fh)
+    manifest_path = os.path.join(out_dir, MANIFEST_FILENAME)
+    if os.path.exists(manifest_path):
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            artifacts["manifest"] = json.load(fh)
+    return artifacts
+
+
+def _histogram_quantile(snapshot: dict, q: float) -> float:
+    """Fixed-bucket quantile from a serialized histogram snapshot."""
+    total = snapshot.get("count", 0)
+    if not total:
+        return float("nan")
+    rank = q * total
+    seen = 0
+    bounds = snapshot["buckets"]
+    for i, c in enumerate(snapshot["counts"]):
+        seen += c
+        if seen >= rank and c:
+            if i < len(bounds):
+                return bounds[i]
+            return snapshot.get("max") or float("nan")
+    return snapshot.get("max") or float("nan")
+
+
+def _section(title: str) -> str:
+    return f"\n-- {title} " + "-" * max(1, 60 - len(title)) + "\n"
+
+
+def _render_manifest(manifest: Optional[dict], lines: List[str]) -> None:
+    if not manifest:
+        return
+    lines.append(_section("run manifest"))
+    bits = [f"kind={manifest.get('run_kind', '?')}",
+            f"seed={manifest.get('seed', '?')}"]
+    if "gen_seed" in manifest:
+        bits.append(f"gen_seed={manifest['gen_seed']}")
+    if "config_hash" in manifest:
+        bits.append(f"config={manifest['config_hash']}")
+    lines.append("  " + " ".join(bits))
+    versions = manifest.get("versions", {})
+    if versions:
+        lines.append(
+            "  versions: "
+            + " ".join(f"{k}={v}" for k, v in sorted(versions.items()))
+        )
+    grid = manifest.get("zone_grid")
+    if grid:
+        lines.append(
+            "  zone grid: "
+            + " ".join(f"{k}={v}" for k, v in sorted(grid.items()))
+        )
+
+
+def _render_counters(metrics: dict, lines: List[str]) -> None:
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    if not counters and not gauges:
+        return
+    lines.append(_section("counters & gauges"))
+    table = _table(["metric", "value"])
+    for name in sorted(counters):
+        value = counters[name]
+        rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+        table.add_row(name, rendered)
+    for name in sorted(gauges):
+        table.add_row(f"{name} (gauge)", f"{gauges[name]:.6g}")
+    lines.append(table.render(indent="  "))
+
+
+def _render_histograms(metrics: dict, lines: List[str]) -> None:
+    histograms = metrics.get("histograms", {})
+    if not histograms:
+        return
+    lines.append(_section("histogram percentiles"))
+    headers = ["histogram", "count", "mean"] + [
+        f"p{int(q * 100)}" for q in REPORT_QUANTILES
+    ]
+    table = _table(headers)
+    for name in sorted(histograms):
+        snap = histograms[name]
+        count = snap.get("count", 0)
+        mean = (snap.get("sum", 0.0) / count) if count else float("nan")
+        row = [name, str(count), f"{mean:.4g}"]
+        for q in REPORT_QUANTILES:
+            row.append(f"{_histogram_quantile(snap, q):.4g}")
+        table.add_row(*row)
+    lines.append(table.render(indent="  "))
+
+
+def _render_spans(spans: dict, lines: List[str], top_n: int = 12) -> None:
+    if not spans:
+        return
+    lines.append(_section(f"top spans (by total wall time, max {top_n})"))
+    ranked = sorted(
+        spans.items(), key=lambda kv: (-kv[1].get("wall_s", 0.0), kv[0])
+    )[:top_n]
+    table = _table(
+        ["span", "count", "total wall s", "mean ms", "cpu s"]
+    )
+    for key, s in ranked:
+        count = s.get("count", 0)
+        table.add_row(
+            key,
+            str(count),
+            f"{s.get('wall_s', 0.0):.4f}",
+            f"{s.get('mean_wall_s', 0.0) * 1e3:.3f}",
+            f"{s.get('cpu_s', 0.0):.4f}",
+        )
+    lines.append(table.render(indent="  "))
+
+
+def _render_event_volume(events: List[dict], lines: List[str]) -> None:
+    if not events:
+        return
+    counts: Dict[str, int] = {}
+    for e in events:
+        counts[e.get("kind", "?")] = counts.get(e.get("kind", "?"), 0) + 1
+    lines.append(_section("event volume"))
+    table = _table(["kind", "events"])
+    for kind in sorted(counts):
+        table.add_row(kind, str(counts[kind]))
+    lines.append(table.render(indent="  "))
+    t_first = events[0].get("t", 0.0)
+    t_last = events[-1].get("t", 0.0)
+    lines.append(
+        f"  {len(events)} events over sim t=[{t_first:.0f}, {t_last:.0f}] s"
+    )
+
+
+def _render_budget_convergence(events: List[dict], lines: List[str]) -> None:
+    """Per-stream sample-budget/epoch trajectory from recalibrate events."""
+    recals = [e for e in events if e.get("kind") == "calibration.recalibrate"]
+    if not recals:
+        return
+    streams: Dict[Tuple, List[dict]] = {}
+    for e in recals:
+        zone = e.get("zone")
+        if isinstance(zone, list):  # JSON arrays are unhashable
+            zone = tuple(zone)
+        key = (zone, e.get("network"), e.get("metric"))
+        streams.setdefault(key, []).append(e)
+    lines.append(_section("sample-budget convergence (per recalibrated stream)"))
+    table = _table(
+        ["zone", "net", "metric", "recals", "budget", "epoch s"]
+    )
+    for key in sorted(streams, key=str):
+        series = streams[key]
+        first, last = series[0], series[-1]
+        budget = f"{first.get('budget_before', '?')}->{last.get('budget', '?')}"
+        epoch = (
+            f"{first.get('epoch_s_before', 0.0):.0f}->{last.get('epoch_s', 0.0):.0f}"
+        )
+        zone, net, metric = key
+        table.add_row(
+            str(zone), str(net), str(metric), str(len(series)), budget, epoch
+        )
+    lines.append(table.render(indent="  "))
+
+
+def render_report(
+    metrics: dict,
+    events: List[dict],
+    spans: dict,
+    manifest: Optional[dict] = None,
+    title: str = "telemetry report",
+) -> str:
+    """Assemble the full text report from artifact dicts."""
+    lines = [f"== {title} " + "=" * max(1, 64 - len(title))]
+    _render_manifest(manifest, lines)
+    _render_counters(metrics, lines)
+    _render_histograms(metrics, lines)
+    _render_spans(spans, lines)
+    _render_event_volume(events, lines)
+    _render_budget_convergence(events, lines)
+    if len(lines) == 1:
+        lines.append("  (no telemetry recorded)")
+    return "\n".join(lines)
+
+
+def render_report_from_dir(out_dir: str, title: Optional[str] = None) -> str:
+    """Load artifacts from ``out_dir`` and render the report."""
+    artifacts = load_artifacts(out_dir)
+    return render_report(
+        artifacts["metrics"],
+        artifacts["events"],
+        artifacts["spans"],
+        artifacts["manifest"],
+        title=title or f"telemetry report: {out_dir}",
+    )
+
+
+def render_live(telemetry: Telemetry, manifest=None, title: str = "telemetry report") -> str:
+    """Render directly from a live Telemetry (no files involved)."""
+    return render_report(
+        telemetry.metrics.snapshot(),
+        telemetry.events.events(),
+        telemetry.tracer.snapshot(),
+        manifest.to_dict() if manifest is not None else None,
+        title=title,
+    )

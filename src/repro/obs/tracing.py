@@ -1,0 +1,189 @@
+"""Span-based tracing: where does a run spend its time?
+
+``tracer.span("coordinator.tick")`` opens a named span as a context
+manager (or wraps a function via :meth:`SpanTracer.traced`); on exit the
+wall and CPU time are folded into that span's aggregate statistics.
+Nesting is tracked with a plain stack, and a child span's key is its
+dotted path under its parent (``coordinator.tick/schedule``), so the
+rendered report shows both the flat hot list and the call structure.
+
+Spans measure *host* time (``perf_counter``/``process_time``), which is
+inherently non-deterministic — therefore span data lives only in
+``spans.json`` and never leaks into the deterministic artifacts
+(``events.jsonl``, ``metrics.json``).  The determinism tests rely on
+this separation.
+
+The null tracer's ``span()`` returns one shared reusable context
+manager whose ``__enter__``/``__exit__`` do nothing, keeping disabled
+overhead to a dict-free constant.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["SpanStats", "SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+class SpanStats:
+    """Aggregate timing for one span key."""
+
+    __slots__ = ("key", "count", "wall_s", "cpu_s", "min_wall_s", "max_wall_s")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.count = 0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.min_wall_s = float("inf")
+        self.max_wall_s = 0.0
+
+    def record(self, wall_s: float, cpu_s: float) -> None:
+        self.count += 1
+        self.wall_s += wall_s
+        self.cpu_s += cpu_s
+        if wall_s < self.min_wall_s:
+            self.min_wall_s = wall_s
+        if wall_s > self.max_wall_s:
+            self.max_wall_s = wall_s
+
+    @property
+    def mean_wall_s(self) -> float:
+        return self.wall_s / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "mean_wall_s": self.mean_wall_s,
+            "min_wall_s": self.min_wall_s if self.count else None,
+            "max_wall_s": self.max_wall_s,
+        }
+
+
+class _Span:
+    """One active span; re-entered per ``with`` (not shared)."""
+
+    __slots__ = ("_tracer", "_name", "_t0", "_c0")
+
+    def __init__(self, tracer: "SpanTracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self._name)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        self._tracer._pop(wall, cpu)
+
+
+class SpanTracer:
+    """Collects nested span timings into per-key aggregates."""
+
+    def __init__(self):
+        self._stats: Dict[str, SpanStats] = {}
+        self._stack: List[str] = []
+
+    # -- span lifecycle (driven by _Span) ------------------------------
+
+    def _push(self, name: str) -> None:
+        parent = self._stack[-1] if self._stack else ""
+        key = f"{parent}/{name}" if parent else name
+        self._stack.append(key)
+
+    def _pop(self, wall_s: float, cpu_s: float) -> None:
+        key = self._stack.pop()
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = SpanStats(key)
+        stats.record(wall_s, cpu_s)
+
+    # -- public API -----------------------------------------------------
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one occurrence of ``name``."""
+        return _Span(self, name)
+
+    def traced(self, name: Optional[str] = None) -> Callable:
+        """Decorator form: ``@tracer.traced("radio.batch")``."""
+
+        def wrap(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def inner(*args, **kwargs):
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return inner
+
+        return wrap
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    def stats(self) -> Dict[str, SpanStats]:
+        return dict(self._stats)
+
+    def top(self, n: int = 10) -> List[SpanStats]:
+        """The ``n`` spans with the largest total wall time."""
+        ranked = sorted(
+            self._stats.values(), key=lambda s: (-s.wall_s, s.key)
+        )
+        return ranked[:n]
+
+    def snapshot(self) -> dict:
+        """Sorted-key dict of every span's aggregate stats."""
+        return {k: self._stats[k].snapshot() for k in sorted(self._stats)}
+
+
+class _NullSpan:
+    """Shared do-nothing context manager (re-entrant, stateless)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer twin that times nothing and aggregates nothing."""
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def traced(self, name: Optional[str] = None) -> Callable:
+        def wrap(fn: Callable) -> Callable:
+            return fn
+
+        return wrap
+
+    depth = 0
+
+    def stats(self) -> Dict[str, SpanStats]:
+        return {}
+
+    def top(self, n: int = 10) -> List[SpanStats]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+NULL_TRACER = NullTracer()

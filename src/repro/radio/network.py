@@ -34,6 +34,7 @@ from repro.radio.basestation import (
     place_along_road,
     place_base_stations,
 )
+from repro.obs.telemetry import get_telemetry
 from repro.radio.events import LoadEvent
 from repro.radio.field import SpatialField, value_noise, value_noise_batch
 from repro.radio.pointcache import PointCache
@@ -470,7 +471,12 @@ class CellularNetwork:
         field math runs once, vectorized, instead of per measurement.
         """
         lat, lon = _as_latlon(points)
-        self._point_quantities_cached(lat, lon)
+        tel = get_telemetry()
+        with tel.span("radio.warm_point_cache"):
+            self._point_quantities_cached(lat, lon)
+        if tel.enabled:
+            tel.metrics.counter("radio.cache_warms").inc()
+            tel.metrics.counter("radio.cache_warm_points").inc(lat.size)
         return len(self.point_cache)
 
     def link_state_fast(self, point: GeoPoint, t: float) -> LinkState:
@@ -512,7 +518,14 @@ class CellularNetwork:
         Simulation times are assumed non-negative (the scalar path
         truncates time bins toward zero, the batch path floors them).
         """
+        tel = get_telemetry()
         lat, lon = _as_latlon(points)
+        if tel.enabled:
+            tel.metrics.counter("radio.batch_queries").inc()
+            tel.metrics.histogram(
+                "radio.batch_size",
+                (1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0),
+            ).observe(lat.size)
         t = np.atleast_1d(np.asarray(times, dtype=float))
         if use_cache:
             bidx, smooth, value, pidx = self._point_quantities_cached(lat, lon)
@@ -658,6 +671,23 @@ class Landscape:
         """Precompute per-point cache entries on some (default: all) carriers."""
         for net in (self.network_ids() if nets is None else nets):
             self.networks[net].warm_point_cache(points)
+
+    def publish_cache_metrics(self, telemetry=None) -> None:
+        """Export per-carrier point-cache statistics as gauges.
+
+        Called at the end of a telemetry-enabled run (cache counters are
+        cumulative, so a final snapshot captures the whole run).
+        """
+        tel = telemetry if telemetry is not None else get_telemetry()
+        if not tel.enabled:
+            return
+        for net in self.network_ids():
+            cache = self.networks[net].point_cache
+            prefix = f"radio.pointcache.{net.value}"
+            tel.metrics.gauge(f"{prefix}.hits").set(cache.hits)
+            tel.metrics.gauge(f"{prefix}.misses").set(cache.misses)
+            tel.metrics.gauge(f"{prefix}.entries").set(len(cache))
+            tel.metrics.gauge(f"{prefix}.hit_rate").set(cache.hit_rate)
 
     def add_event(self, event: LoadEvent, nets: Optional[Sequence[NetworkId]] = None) -> None:
         """Attach a load event to some (default: all) carriers.

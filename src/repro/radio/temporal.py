@@ -274,7 +274,22 @@ class TemporalProcess:
         return self.params.fast_std * ((total - 1.5) / 0.5)
 
     def multiplier_batch(self, t) -> np.ndarray:
-        """Vectorized :meth:`multiplier` over time arrays."""
+        """Vectorized :meth:`multiplier` over time arrays.
+
+        Snapshot batches evaluate many points at few distinct times; the
+        process is a pure function of ``t``, so each distinct time is
+        computed once and gathered back — exact, elementwise-identical
+        output (the scalar path memoizes per-``t`` for the same reason).
+        """
         t = np.asarray(t, dtype=float)
+        if t.size > 64:
+            uniq, inv = np.unique(t, return_inverse=True)
+            if uniq.size * 2 <= t.size:
+                m = (
+                    self.load_batch(uniq)
+                    * (1.0 + self.slow_batch(uniq))
+                    * (1.0 + self.fast_batch(uniq))
+                )
+                return np.maximum(0.05, m)[inv.reshape(t.shape)]
         m = self.load_batch(t) * (1.0 + self.slow_batch(t)) * (1.0 + self.fast_batch(t))
         return np.maximum(0.05, m)

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.telemetry import get_telemetry
 from repro.sim.clock import SimClock, SimTime
 
 
@@ -41,6 +42,9 @@ class EventEngine:
         self._cancelled: set = set()
         self._seq = itertools.count()
         self._events_run = 0
+        self._events_cancelled = 0
+        self._max_pending = 0
+        self._last_dequeued: Tuple[SimTime, int] = (float("-inf"), -1)
 
     @property
     def now(self) -> SimTime:
@@ -50,6 +54,21 @@ class EventEngine:
     def events_run(self) -> int:
         """Number of event handlers executed so far."""
         return self._events_run
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of events retired without running because of a cancel.
+
+        Counts events actually consumed off the queue as cancelled —
+        the companion to :attr:`events_run`, so
+        ``events_run + events_cancelled`` equals events dequeued.
+        """
+        return self._events_cancelled
+
+    @property
+    def max_pending(self) -> int:
+        """High-water mark of the pending-event queue depth."""
+        return self._max_pending
 
     def pending(self) -> int:
         """Number of scheduled, not-yet-run, not-cancelled events."""
@@ -65,6 +84,9 @@ class EventEngine:
             )
         event = Event(time=t, seq=next(self._seq), name=name)
         heapq.heappush(self._heap, (t, event.seq, event, handler))
+        depth = len(self._heap) - len(self._cancelled)
+        if depth > self._max_pending:
+            self._max_pending = depth
         return event
 
     def schedule_in(
@@ -102,15 +124,25 @@ class EventEngine:
             self.schedule_at(first, tick, name=name)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (no-op if already run)."""
+        """Cancel a previously scheduled event (no-op if already run).
+
+        Events are consumed in (time, seq) order, so anything at or
+        before the last dequeued key has already run (or been retired);
+        ignoring those keeps the cancelled set free of stale entries
+        that would otherwise skew :meth:`pending` forever.
+        """
+        if (event.time, event.seq) <= self._last_dequeued:
+            return
         self._cancelled.add((event.time, event.seq))
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
         while self._heap:
             t, seq, event, handler = heapq.heappop(self._heap)
+            self._last_dequeued = (t, seq)
             if (t, seq) in self._cancelled:
                 self._cancelled.discard((t, seq))
+                self._events_cancelled += 1
                 continue
             self.clock.advance_to(t)
             self._events_run += 1
@@ -126,16 +158,30 @@ class EventEngine:
         """
         executed = 0
         try:
-            while self._heap:
-                if max_events is not None and executed >= max_events:
-                    return
-                t = self._heap[0][0]
-                if until is not None and t > until:
-                    break
-                if not self.step():
-                    break
-                executed += 1
+            with get_telemetry().span("sim.run"):
+                while self._heap:
+                    if max_events is not None and executed >= max_events:
+                        return
+                    t = self._heap[0][0]
+                    if until is not None and t > until:
+                        break
+                    if not self.step():
+                        break
+                    executed += 1
         except StopSimulation:
             return
+        finally:
+            self._publish_loop_stats()
         if until is not None and until > self.clock.now:
             self.clock.advance_to(until)
+
+    def _publish_loop_stats(self) -> None:
+        """Expose event-loop counters as gauges on the ambient telemetry."""
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        metrics = tel.metrics
+        metrics.gauge("sim.events_run").set(self._events_run)
+        metrics.gauge("sim.events_cancelled").set(self._events_cancelled)
+        metrics.gauge("sim.pending").set(self.pending())
+        metrics.gauge("sim.max_pending").max(self._max_pending)

@@ -84,13 +84,17 @@ class TestTick:
         assert coord.stats.tasks_issued == 0
 
 
+def _make_report(point, value, t, kind=MeasurementType.UDP_TRAIN):
+    return MeasurementReport(
+        task_id=0, client_id="x", network=NetworkId.NET_B, kind=kind,
+        start_s=t, end_s=t + 1.0, point=point, speed_ms=0.0,
+        value=value, samples=[value * (1 + 0.01 * k) for k in range(-2, 3)],
+    )
+
+
 class TestIngestAndChangeDetection:
     def _report(self, point, value, t, kind=MeasurementType.UDP_TRAIN):
-        return MeasurementReport(
-            task_id=0, client_id="x", network=NetworkId.NET_B, kind=kind,
-            start_s=t, end_s=t + 1.0, point=point, speed_ms=0.0,
-            value=value, samples=[value * (1 + 0.01 * k) for k in range(-2, 3)],
-        )
+        return _make_report(point, value, t, kind)
 
     def test_ingest_routes_to_zone(self, landscape):
         coord = _coordinator(landscape)
@@ -172,3 +176,55 @@ class TestEngineIntegration:
         coord.attach(engine, until=3600.0)
         engine.run(until=3600.0)
         assert coord.stats.ticks == 12
+
+
+class TestStatsView:
+    """CoordinatorStats is a view over the metrics registry."""
+
+    def _shift_regime(self, coord, p):
+        for k in range(10):
+            coord.ingest(_make_report(p, 1e6 + 1e3 * k, 10.0 + k))
+        key = (coord.grid.zone_id_for(p), NetworkId.NET_B, MeasurementType.UDP_TRAIN)
+        coord._close_and_alert(coord.store.get(key), 600.0)
+        for k in range(10):
+            coord.ingest(_make_report(p, 2.5e5 + 1e3 * k, 610.0 + k))
+        coord._close_and_alert(coord.store.get(key), 1200.0)
+
+    def test_stats_counts_change_alerts(self, landscape):
+        coord = _coordinator(landscape, default_epoch_s=600.0)
+        self._shift_regime(coord, landscape.study_area.anchor)
+        assert len(coord.alerts) == 1
+        assert coord.stats.change_alerts == 1
+        assert coord.stats.epochs_closed == 2
+
+    def test_stats_backed_by_registry_counters(self, landscape):
+        coord = _coordinator(landscape)
+        coord.register_client(_static_client(landscape, "c1"))
+        for k in range(1, 6):
+            coord.tick(k * 60.0)
+        s = coord.stats
+        assert s.ticks == coord.metrics.counter_value("coordinator.ticks")
+        assert s.tasks_issued == coord.metrics.counter_value(
+            "coordinator.tasks_issued"
+        )
+
+    def test_enabled_telemetry_collects_events(self, landscape):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        coord = MeasurementCoordinator(
+            grid, config=WiScapeConfig(default_epoch_s=600.0),
+            seed=1, telemetry=telemetry,
+        )
+        assert coord.metrics is telemetry.metrics
+        coord.register_client(_static_client(landscape, "c1"))
+        for k in range(1, 6):
+            coord.tick(k * 60.0)
+        self._shift_regime(coord, landscape.study_area.anchor)
+        kinds = telemetry.events.counts_by_kind()
+        assert kinds.get("task.issue", 0) >= 1
+        assert kinds.get("epoch.close", 0) == 2
+        assert kinds.get("alert.change", 0) == 1
+        alert = telemetry.events.events("alert.change")[0]
+        assert alert["magnitude_sigma"] > 2.0

@@ -1,0 +1,77 @@
+"""Telemetry determinism: identical seeded runs, identical artifacts.
+
+The observability layer must never perturb or be perturbed by the
+simulation: two runs with the same seeds produce byte-identical
+``events.jsonl``/``metrics.json``/``manifest.json`` (span timings are
+host-dependent by nature and live only in ``spans.json``), and running
+with telemetry enabled must not change what the simulation computes.
+"""
+
+from repro.clients.agent import ClientAgent
+from repro.clients.device import Device, DeviceCategory
+from repro.core.controller import MeasurementCoordinator
+from repro.geo.zones import ZoneGrid
+from repro.mobility.routes import city_bus_routes
+from repro.mobility.vehicles import TransitBus
+from repro.obs import RunManifest, Telemetry, use_telemetry
+from repro.radio.network import build_landscape
+from repro.radio.technology import NetworkId
+from repro.sim.engine import EventEngine
+
+
+def _monitor_run(out_dir, hours=0.5, telemetry_enabled=True):
+    """One small seeded monitor run; returns the coordinator."""
+    telemetry = Telemetry(enabled=telemetry_enabled)
+    with use_telemetry(telemetry):
+        landscape = build_landscape(seed=7, include_road=False, include_nj=False)
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        coordinator = MeasurementCoordinator(grid, seed=1, telemetry=telemetry)
+        routes = city_bus_routes(landscape.study_area, count=8)
+        nets = [NetworkId.NET_B, NetworkId.NET_C]
+        for b in range(2):
+            bus = TransitBus(bus_id=b, routes=routes, seed=b)
+            device = Device(f"bus-{b}", DeviceCategory.SBC_PCMCIA, nets, seed=b)
+            coordinator.register_client(
+                ClientAgent(f"bus-{b}", device, bus, landscape, seed=b)
+            )
+        start = 6.0 * 3600.0
+        engine = EventEngine()
+        engine.clock.reset(start)
+        until = start + hours * 3600.0
+        coordinator.attach(engine, until=until)
+        engine.run(until=until)
+        if out_dir is not None:
+            landscape.publish_cache_metrics(telemetry)
+            manifest = RunManifest(
+                "monitor", seed=7, gen_seed=1, config=coordinator.config,
+                zone_grid={"radius_m": 250.0},
+            )
+            telemetry.write_artifacts(out_dir, manifest=manifest)
+    return coordinator
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_artifacts(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.mkdir()
+        _monitor_run(a)
+        _monitor_run(b)
+        for name in ("events.jsonl", "metrics.json", "manifest.json"):
+            assert (a / name).read_bytes() == (b / name).read_bytes(), name
+
+    def test_telemetry_does_not_perturb_simulation(self, tmp_path):
+        """Enabled vs disabled telemetry: same simulation outcome."""
+        out = tmp_path / "tel"
+        out.mkdir()
+        with_tel = _monitor_run(out, telemetry_enabled=True)
+        without = _monitor_run(None, telemetry_enabled=False)
+        assert with_tel.stats == without.stats
+        assert len(with_tel.store) == len(without.store)
+        assert len(with_tel.alerts) == len(without.alerts)
+
+    def test_disabled_run_still_exposes_stats_view(self):
+        coordinator = _monitor_run(None, telemetry_enabled=False)
+        assert coordinator.stats.ticks > 0
+        assert coordinator.stats.reports_ingested > 0

@@ -1,0 +1,71 @@
+"""Tests for the structured JSONL event log."""
+
+import json
+
+from repro.obs.events import (
+    NULL_EVENT_LOG,
+    SCHEMA_VERSION,
+    EventLog,
+    read_events,
+)
+
+
+class TestEmit:
+    def test_record_shape_and_sequence(self):
+        log = EventLog()
+        log.emit("epoch.close", 120.0, zone=[1, 2], n=5)
+        log.emit("task.issue", 180.0, client="bus-0")
+        records = log.events()
+        assert records[0]["v"] == SCHEMA_VERSION
+        assert records[0]["seq"] == 0 and records[1]["seq"] == 1
+        assert records[0]["t"] == 120.0
+        assert records[0]["zone"] == [1, 2]
+        assert len(log) == 2
+
+    def test_filter_by_kind_and_counts(self):
+        log = EventLog()
+        log.emit("a", 1.0)
+        log.emit("b", 2.0)
+        log.emit("a", 3.0)
+        assert len(log.events("a")) == 2
+        assert log.counts_by_kind() == {"a": 2, "b": 1}
+
+    def test_capacity_drops_oldest(self):
+        log = EventLog(capacity=2)
+        for k in range(4):
+            log.emit("e", float(k))
+        assert len(log) == 2
+        assert log.dropped == 2
+        assert [e["t"] for e in log.events()] == [2.0, 3.0]
+
+
+class TestSerialization:
+    def test_jsonl_is_canonical(self):
+        log = EventLog()
+        log.emit("z.kind", 5.0, b=1, a=2)
+        line = log.to_jsonl().strip()
+        # keys sorted, compact separators: byte-stable representation
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+        assert line.index('"a"') < line.index('"b"')
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        log = EventLog()
+        log.emit("x", 1.0, v2=True)
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(path)
+        back = read_events(str(path))
+        assert back == log.events()
+
+    def test_read_from_iterable(self):
+        lines = ['{"kind":"a","t":1.0}', "", '{"kind":"b","t":2.0}']
+        assert [e["kind"] for e in read_events(lines)] == ["a", "b"]
+
+
+class TestNullEventLog:
+    def test_records_nothing(self):
+        NULL_EVENT_LOG.emit("x", 1.0, field=3)
+        assert len(NULL_EVENT_LOG) == 0
+        assert NULL_EVENT_LOG.events() == []
+        assert NULL_EVENT_LOG.to_jsonl() == ""

@@ -1,0 +1,116 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import json
+import math
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_same_name_same_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc()
+        assert reg.counter_value("x") == 2.0
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value == 4.0
+
+    def test_max_keeps_high_water(self):
+        g = MetricsRegistry().gauge("hw")
+        g.max(3.0)
+        g.max(1.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observe_counts_into_buckets(self):
+        h = Histogram("h", (1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.total == 4
+        assert h.counts == [1, 1, 1, 1]  # last slot is overflow
+        assert h.sum == 555.5
+
+    def test_mean_and_extremes(self):
+        h = Histogram("h", (10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+        assert h.min == 2.0
+        assert h.max == 4.0
+
+    def test_percentile_on_bucket_boundaries(self):
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(3.0)
+        assert h.percentile(0.5) == 1.0
+        assert h.percentile(0.999) == 4.0
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram("h", (1.0,)).percentile(0.5))
+
+    def test_snapshot_shape(self):
+        h = Histogram("h", (1.0, 2.0))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["buckets"] == [1.0, 2.0]
+        assert snap["count"] == 1
+        assert len(snap["counts"]) == 3
+
+
+class TestRegistry:
+    def test_snapshot_is_sorted_and_json_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        again = json.loads(reg.to_json())
+        assert again == json.loads(reg.to_json())
+
+    def test_histogram_default_buckets(self):
+        h = MetricsRegistry().histogram("h")
+        assert tuple(h.bounds) == tuple(DEFAULT_BUCKETS)
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        NULL_REGISTRY.counter("x").inc(5)
+        NULL_REGISTRY.gauge("g").set(2.0)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.counter_value("x") == 0.0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_handles_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")

@@ -1,0 +1,79 @@
+"""Tests for the text report renderer."""
+
+from repro.obs.manifest import RunManifest
+from repro.obs.report import (
+    _histogram_quantile,
+    load_artifacts,
+    render_live,
+    render_report,
+    render_report_from_dir,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def _sample_telemetry() -> Telemetry:
+    tel = Telemetry()
+    tel.counter("coordinator.ticks").inc(10)
+    tel.gauge("coordinator.streams").set(4)
+    h = tel.histogram("coordinator.epoch_samples", buckets=(10.0, 50.0, 100.0))
+    for v in (5.0, 30.0, 70.0):
+        h.observe(v)
+    with tel.span("sim.run"):
+        with tel.span("coordinator.tick"):
+            pass
+    tel.emit("epoch.close", 100.0, zone=[0, 0], network="NetB", metric="ping")
+    tel.emit(
+        "calibration.recalibrate", 200.0,
+        zone=[0, 0], network="NetB", metric="ping",
+        epoch_s_before=1800.0, epoch_s=900.0,
+        budget_before=100, budget=60,
+    )
+    return tel
+
+
+class TestHistogramQuantile:
+    def test_boundary_estimate(self):
+        snap = {"buckets": [1.0, 2.0, 4.0], "counts": [50, 49, 1, 0],
+                "count": 100, "sum": 0.0, "max": 3.0}
+        assert _histogram_quantile(snap, 0.5) == 1.0
+        assert _histogram_quantile(snap, 0.99) == 2.0
+
+    def test_empty_is_nan(self):
+        snap = {"buckets": [1.0], "counts": [0, 0], "count": 0}
+        assert _histogram_quantile(snap, 0.5) != _histogram_quantile(snap, 0.5)
+
+
+class TestRender:
+    def test_render_live_contains_all_sections(self):
+        tel = _sample_telemetry()
+        manifest = RunManifest("monitor", 7, gen_seed=1)
+        text = render_live(tel, manifest)
+        assert "run manifest" in text
+        assert "coordinator.ticks" in text
+        assert "histogram percentiles" in text
+        assert "sim.run/coordinator.tick" in text
+        assert "event volume" in text
+        assert "sample-budget convergence" in text
+        assert "100->60" in text  # budget trajectory
+        assert "1800->900" in text  # epoch trajectory
+
+    def test_empty_report_degrades_gracefully(self):
+        text = render_report(
+            {"counters": {}, "gauges": {}, "histograms": {}}, [], {}
+        )
+        assert "no telemetry recorded" in text
+
+    def test_roundtrip_through_files(self, tmp_path):
+        tel = _sample_telemetry()
+        tel.write_artifacts(tmp_path, manifest=RunManifest("monitor", 7))
+        arts = load_artifacts(str(tmp_path))
+        assert arts["metrics"]["counters"]["coordinator.ticks"] == 10.0
+        assert arts["manifest"]["seed"] == 7
+        text = render_report_from_dir(str(tmp_path))
+        assert "coordinator.ticks" in text
+        assert "epoch.close" in text
+
+    def test_load_artifacts_missing_dir_contents(self, tmp_path):
+        arts = load_artifacts(str(tmp_path))
+        assert arts["events"] == []
+        assert arts["manifest"] is None

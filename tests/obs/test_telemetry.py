@@ -1,0 +1,86 @@
+"""Tests for the Telemetry bundle and the ambient global."""
+
+import json
+
+from repro.obs.events import NULL_EVENT_LOG
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.telemetry import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    METRICS_FILENAME,
+    NULL_TELEMETRY,
+    SPANS_FILENAME,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.obs.manifest import RunManifest
+
+
+class TestBundle:
+    def test_enabled_bundle_has_real_parts(self):
+        tel = Telemetry()
+        assert tel.enabled
+        tel.counter("c").inc()
+        tel.gauge("g").set(1.0)
+        tel.histogram("h").observe(2.0)
+        tel.emit("k", 1.0)
+        with tel.span("s"):
+            pass
+        assert tel.metrics.counter_value("c") == 1.0
+        assert len(tel.events) == 1
+        assert "s" in tel.tracer.snapshot()
+
+    def test_disabled_bundle_uses_shared_nulls(self):
+        tel = Telemetry(enabled=False)
+        assert not tel.enabled
+        assert tel.metrics is NULL_REGISTRY
+        assert tel.events is NULL_EVENT_LOG
+
+    def test_write_artifacts(self, tmp_path):
+        tel = Telemetry()
+        tel.counter("c").inc()
+        tel.emit("k", 2.0, note="x")
+        with tel.span("s"):
+            pass
+        manifest = RunManifest("test", 1)
+        paths = tel.write_artifacts(tmp_path, manifest=manifest)
+        for name in (METRICS_FILENAME, EVENTS_FILENAME, SPANS_FILENAME,
+                     MANIFEST_FILENAME):
+            assert (tmp_path / name).exists()
+        metrics = json.loads((tmp_path / METRICS_FILENAME).read_text())
+        assert metrics["counters"]["c"] == 1.0
+        assert set(paths) == {"metrics", "events", "spans", "manifest"}
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_set_returns_previous(self):
+        tel = Telemetry()
+        prev = set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            set_telemetry(prev)
+        assert get_telemetry() is prev
+
+    def test_use_telemetry_restores_on_exit(self):
+        tel = Telemetry()
+        with use_telemetry(tel):
+            assert get_telemetry() is tel
+            with use_telemetry(NULL_TELEMETRY):
+                assert get_telemetry() is NULL_TELEMETRY
+            assert get_telemetry() is tel
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_use_telemetry_restores_on_exception(self):
+        tel = Telemetry()
+        try:
+            with use_telemetry(tel):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert get_telemetry() is NULL_TELEMETRY

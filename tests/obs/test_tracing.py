@@ -1,0 +1,84 @@
+"""Tests for span-based tracing."""
+
+from repro.obs.tracing import NULL_TRACER, SpanTracer
+
+
+class TestSpans:
+    def test_span_records_count_and_time(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            pass
+        stats = tracer.stats()["work"]
+        assert stats.count == 1
+        assert stats.wall_s >= 0.0
+        assert stats.cpu_s >= 0.0
+
+    def test_nested_spans_get_path_keys(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+        assert set(tracer.stats()) == {"outer", "outer/inner"}
+
+    def test_span_closed_on_exception(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert tracer.depth == 0
+        assert tracer.stats()["boom"].count == 1
+
+    def test_traced_decorator(self):
+        tracer = SpanTracer()
+
+        @tracer.traced("fn")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+        assert tracer.stats()["fn"].count == 1
+
+    def test_top_ranks_by_total_wall(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("a"):
+                pass
+        with tracer.span("b"):
+            pass
+        top = tracer.top(10)
+        assert [s.key for s in top][0] in ("a", "b")
+        assert len(top) == 2
+
+    def test_snapshot_keys_sorted(self):
+        tracer = SpanTracer()
+        with tracer.span("z"):
+            pass
+        with tracer.span("a"):
+            pass
+        assert list(tracer.snapshot()) == ["a", "z"]
+        snap = tracer.snapshot()["a"]
+        assert snap["count"] == 1
+        assert "mean_wall_s" in snap
+
+
+class TestNullTracer:
+    def test_null_span_is_shared_and_inert(self):
+        s1 = NULL_TRACER.span("a")
+        s2 = NULL_TRACER.span("b")
+        assert s1 is s2
+        with s1:
+            with s2:
+                pass
+        assert NULL_TRACER.stats() == {}
+        assert NULL_TRACER.snapshot() == {}
+        assert NULL_TRACER.depth == 0
+
+    def test_traced_returns_function_unwrapped(self):
+        def fn():
+            return 7
+
+        assert NULL_TRACER.traced("x")(fn) is fn

@@ -130,3 +130,61 @@ class TestPeriodic:
         assert engine.pending() == 2
         engine.cancel(e1)
         assert engine.pending() == 1
+
+
+class TestAccounting:
+    def test_cancelled_events_counted(self):
+        engine = EventEngine()
+        ev = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.cancel(ev)
+        engine.run()
+        assert engine.events_run == 1
+        assert engine.events_cancelled == 1
+
+    def test_cancel_after_run_does_not_skew_pending(self):
+        engine = EventEngine()
+        ev = engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        # Cancelling an event that already fired must be a no-op: it
+        # previously left a stale cancellation entry that made
+        # ``pending()`` go negative against later scheduled events.
+        engine.cancel(ev)
+        engine.schedule_at(5.0, lambda: None)
+        assert engine.pending() == 1
+        engine.run()
+        assert engine.events_run == 2
+        assert engine.events_cancelled == 0
+
+    def test_double_cancel_counts_once(self):
+        engine = EventEngine()
+        ev = engine.schedule_at(1.0, lambda: None)
+        engine.cancel(ev)
+        engine.cancel(ev)
+        assert engine.pending() == 0
+        engine.run()
+        assert engine.events_cancelled == 1
+
+    def test_max_pending_high_water_mark(self):
+        engine = EventEngine()
+        for i in range(5):
+            engine.schedule_at(float(i + 1), lambda: None)
+        engine.run()
+        assert engine.max_pending == 5
+        assert engine.pending() == 0
+
+    def test_loop_gauges_published_when_enabled(self):
+        from repro.obs import Telemetry, use_telemetry
+
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            engine = EventEngine()
+            ev = engine.schedule_at(1.0, lambda: None)
+            engine.schedule_at(2.0, lambda: None)
+            engine.cancel(ev)
+            engine.run()
+        gauges = telemetry.metrics.snapshot()["gauges"]
+        assert gauges["sim.events_run"] == 1
+        assert gauges["sim.events_cancelled"] == 1
+        assert gauges["sim.max_pending"] == 2
+        assert gauges["sim.pending"] == 0

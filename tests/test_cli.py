@@ -58,3 +58,25 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "published estimates" in out
+
+    def test_monitor_with_telemetry_then_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "tel"
+        code = main([
+            "monitor", "--buses", "2", "--hours", "0.5",
+            "--telemetry", str(out_dir),
+        ])
+        assert code == 0
+        for name in ("metrics.json", "events.jsonl", "spans.json",
+                     "manifest.json"):
+            assert (out_dir / name).exists(), name
+        capsys.readouterr()
+
+        assert main(["obs", "report", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "coordinator.ticks" in out
+        assert "event volume" in out
+
+    def test_obs_report_missing_dir(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope")]) == 2
+        assert "no such telemetry directory" in capsys.readouterr().err
