@@ -1,0 +1,142 @@
+"""Perf-regression guard: fresh BENCH_perf.json vs BENCH_history.jsonl.
+
+``run_perf.py`` asserts absolute speedup floors (10x / 5x), which catch
+catastrophic regressions but not slow erosion — a change that drops a
+35x speedup to 20x sails through the floor.  This guard compares the
+fresh run's headline speedups against the recent history tail::
+
+    PYTHONPATH=src python benchmarks/run_perf.py
+    python benchmarks/check_regression.py
+
+* drop of more than ``WARN_DROP`` (15%) vs the baseline -> warning
+  (``::warning`` annotation under GitHub Actions);
+* drop of more than ``FAIL_DROP`` (30%) -> exit 1.
+
+The baseline is the median of the last ``BASELINE_RUNS`` history
+entries, excluding any trailing entries produced by the fresh run
+itself (``run_perf.py`` appends its own result to the history before
+this guard runs).  With no usable history the guard passes — the first
+run on a new machine seeds the baseline instead of judging against
+another machine's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PERF_PATH = REPO_ROOT / "BENCH_perf.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+#: (section, key) pairs guarded, matching run_perf.py's hard floors.
+TRACKED = (
+    ("link_state", "speedup_batch_vs_scalar"),
+    ("udp_train", "speedup_batch_vs_reference"),
+)
+
+WARN_DROP = 0.15
+FAIL_DROP = 0.30
+BASELINE_RUNS = 5
+
+
+def _speedups(entry: dict) -> Optional[Tuple[float, ...]]:
+    """The tracked speedup tuple of one result dict (None if malformed)."""
+    out = []
+    for section, key in TRACKED:
+        value = entry.get(section, {}).get(key)
+        if not isinstance(value, (int, float)):
+            return None
+        out.append(float(value))
+    return tuple(out)
+
+
+def load_history(path) -> List[dict]:
+    """Parse history lines tolerantly (a truncated tail line is skipped)."""
+    entries: List[dict] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(row, dict) and _speedups(row) is not None:
+                entries.append(row)
+    return entries
+
+
+def check(fresh: dict, history: List[dict]) -> Tuple[List[str], List[str]]:
+    """Compare a fresh result against history; returns (warnings, failures)."""
+    fresh_speedups = _speedups(fresh)
+    if fresh_speedups is None:
+        return [], ["fresh BENCH_perf.json is missing the tracked speedups"]
+    # run_perf.py appends the fresh run to the history before this guard
+    # runs; a self-comparison would hide every regression.
+    past = list(history)
+    while past and _speedups(past[-1]) == fresh_speedups:
+        past.pop()
+    past = past[-BASELINE_RUNS:]
+    if not past:
+        return [], []
+    warnings: List[str] = []
+    failures: List[str] = []
+    for i, (section, key) in enumerate(TRACKED):
+        baseline = statistics.median(_speedups(e)[i] for e in past)
+        current = fresh_speedups[i]
+        if baseline <= 0:
+            continue
+        drop = (baseline - current) / baseline
+        label = (
+            f"{section}.{key}: {current:.1f}x vs baseline "
+            f"{baseline:.1f}x (median of {len(past)} run(s), "
+            f"{drop:+.0%} drop)"
+        )
+        if drop > FAIL_DROP:
+            failures.append(label)
+        elif drop > WARN_DROP:
+            warnings.append(label)
+    return warnings, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--perf", default=str(PERF_PATH),
+                        help="fresh BENCH_perf.json path")
+    parser.add_argument("--history", default=str(HISTORY_PATH),
+                        help="BENCH_history.jsonl path")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.perf, "r", encoding="utf-8") as fh:
+            fresh = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.perf}: {exc}", file=sys.stderr)
+        return 1
+    history = load_history(args.history)
+    warnings, failures = check(fresh, history)
+    for w in warnings:
+        print(f"::warning title=perf regression::{w}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    if failures:
+        return 1
+    if not warnings:
+        print(
+            "perf guard OK"
+            + ("" if history else " (no history baseline yet)")
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ Two operator workflows on one screen:
    failures are flagged as candidates for a drive-by RF survey; their
    TCP throughput variability dwarfs the healthy zones'.
 
+3. **Live coverage watch** — a short coordinator run streamed through
+   the live telemetry pipeline: periodic snapshots feed the default
+   zone-coverage SLO alert rules, and the alert timeline prints as it
+   would in a NOC.
+
 The whole dashboard runs with telemetry enabled and closes with the
 shared ``repro.obs`` report renderer — the same summary ``repro obs
 report`` prints for a saved telemetry directory.
@@ -91,6 +96,67 @@ def variability_watch(landscape) -> None:
         print("no failing zones this period")
 
 
+def live_coverage_watch(landscape) -> None:
+    from repro.clients.agent import ClientAgent
+    from repro.clients.device import Device, DeviceCategory
+    from repro.core.controller import MeasurementCoordinator
+    from repro.mobility.routes import city_bus_routes
+    from repro.mobility.vehicles import TransitBus
+    from repro.obs import (
+        AlertEngine,
+        SnapshotStreamer,
+        Telemetry,
+        default_slo_rules,
+        use_telemetry,
+    )
+    from repro.sim.engine import EventEngine
+
+    print()
+    print("=" * 64)
+    print("3. Live coverage watch (streamed snapshots + SLO alerts)")
+    print("=" * 64)
+    print("One bus, one hour, a 20-minute radio blackout mid-run...")
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
+        from repro.core.config import WiScapeConfig
+
+        config = WiScapeConfig(default_epoch_s=300.0)
+        coordinator = MeasurementCoordinator(
+            grid, config=config, seed=1, telemetry=telemetry
+        )
+        routes = city_bus_routes(landscape.study_area, count=4)
+        start = 6.0 * 3600.0
+        bus = TransitBus(bus_id=0, routes=routes, seed=0)
+        device = Device(
+            "bus-0", DeviceCategory.SBC_PCMCIA, [NetworkId.NET_B], seed=0
+        )
+        agent = ClientAgent("bus-0", device, bus, landscape, seed=0)
+        agent.add_blackout(start + 900.0, start + 2100.0)
+        coordinator.register_client(agent)
+
+        engine = EventEngine()
+        engine.clock.reset(start)
+        until = start + 3600.0
+        coordinator.attach(engine, until=until)
+        streamer = SnapshotStreamer(telemetry, interval_s=300.0)
+        streamer.add_provider(lambda t: engine.publish_loop_stats())
+        alerts = AlertEngine(default_slo_rules(), telemetry)
+        streamer.subscribe(alerts.evaluate)
+        streamer.attach(engine, until=until)
+        engine.run(until=until)
+        streamer.close()
+
+    print(f"{streamer.snapshots_taken} snapshots streamed")
+    if not alerts.transitions:
+        print("  no alert transitions")
+    for t, transition, rule, metric, value in alerts.transitions:
+        print(
+            f"  {format_sim_time(t)} {transition.upper():8s} {rule} "
+            f"on {metric} (value={value:g})"
+        )
+
+
 def main() -> None:
     telemetry = Telemetry()
     with use_telemetry(telemetry):
@@ -99,6 +165,8 @@ def main() -> None:
         stadium_watch(landscape)
         variability_watch(landscape)
         landscape.publish_cache_metrics(telemetry)
+
+    live_coverage_watch(landscape)
 
     print()
     manifest = RunManifest(run_kind="operator-dashboard", seed=7, gen_seed=3)

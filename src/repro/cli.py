@@ -11,8 +11,13 @@ writing code:
   throughput map as ASCII (a terminal Fig 1);
 * ``monitor``      — run the coordinator over a bus fleet for N sim
   hours and print what WiScape learned; ``--telemetry OUT_DIR``
-  additionally captures metrics/events/spans/manifest artifacts;
-* ``obs report``   — render a text summary of a telemetry directory.
+  additionally captures metrics/events/spans/manifest artifacts, and
+  ``--snapshot-every N`` streams periodic metric snapshots through the
+  alert/SLO pipeline (``--alerts RULES_FILE``, ``--serve-metrics PORT``);
+* ``obs report``   — summarize a telemetry directory (text or
+  ``--format json``);
+* ``obs watch``    — compact live status of a (running) telemetry dir;
+* ``obs diff``     — compare two runs' final counters and alerts.
 """
 
 from __future__ import annotations
@@ -117,20 +122,85 @@ def cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_blackout(spec: str) -> Optional[tuple]:
+    """Parse ``H1-H2`` (sim hours after run start) into floats."""
+    try:
+        lo_s, hi_s = spec.split("-", 1)
+        lo, hi = float(lo_s), float(hi_s)
+    except ValueError:
+        return None
+    if hi <= lo or lo < 0:
+        return None
+    return lo, hi
+
+
 def cmd_monitor(args: argparse.Namespace) -> int:
     from repro.clients.agent import ClientAgent
     from repro.clients.device import Device, DeviceCategory
+    from repro.core.config import WiScapeConfig
     from repro.core.controller import MeasurementCoordinator
     from repro.geo.zones import ZoneGrid
     from repro.mobility.routes import city_bus_routes
     from repro.mobility.vehicles import TransitBus
     from repro.obs import (
         NULL_TELEMETRY,
+        AlertEngine,
+        MetricsHTTPServer,
+        PROM_FILENAME,
+        PromFileWriter,
         RunManifest,
+        SNAPSHOTS_FILENAME,
+        SnapshotStreamer,
         Telemetry,
+        default_slo_rules,
+        load_rules,
         use_telemetry,
     )
     from repro.sim.engine import EventEngine
+
+    if args.snapshot_every is not None and args.snapshot_every <= 0:
+        print("--snapshot-every must be positive", file=sys.stderr)
+        return 2
+    if args.snapshot_every and not args.telemetry:
+        print("--snapshot-every requires --telemetry OUT_DIR", file=sys.stderr)
+        return 2
+    if args.alerts and not args.snapshot_every:
+        print("--alerts requires --snapshot-every (alerts are judged on "
+              "streamed snapshots)", file=sys.stderr)
+        return 2
+    if args.serve_metrics is not None and not args.snapshot_every:
+        print("--serve-metrics requires --snapshot-every", file=sys.stderr)
+        return 2
+    blackout = None
+    if args.blackout:
+        blackout = _parse_blackout(args.blackout)
+        if blackout is None:
+            print(f"bad --blackout {args.blackout!r} (expected H1-H2 sim "
+                  "hours, H2 > H1 >= 0)", file=sys.stderr)
+            return 2
+
+    config = None
+    if args.epoch_mins is not None:
+        if args.epoch_mins <= 0:
+            print("--epoch-mins must be positive", file=sys.stderr)
+            return 2
+        epoch_s = args.epoch_mins * 60.0
+        defaults = WiScapeConfig()
+        config = WiScapeConfig(
+            default_epoch_s=epoch_s,
+            min_epoch_s=min(defaults.min_epoch_s, epoch_s),
+            max_epoch_s=max(defaults.max_epoch_s, epoch_s),
+        )
+
+    rules = None
+    if args.snapshot_every:
+        rules = default_slo_rules()
+        if args.alerts:
+            try:
+                rules += load_rules(args.alerts)
+            except (OSError, ValueError, RuntimeError) as exc:
+                print(f"cannot load alert rules: {exc}", file=sys.stderr)
+                return 2
 
     telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
     with use_telemetry(telemetry):
@@ -139,24 +209,58 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         )
         grid = ZoneGrid(landscape.study_area.anchor, radius_m=args.radius)
         coordinator = MeasurementCoordinator(
-            grid, seed=args.gen_seed, telemetry=telemetry
+            grid, config=config, seed=args.gen_seed, telemetry=telemetry
         )
         routes = city_bus_routes(landscape.study_area, count=8)
         nets = [NetworkId.NET_B, NetworkId.NET_C]
+        start = 6.0 * 3600.0
         for b in range(args.buses):
             bus = TransitBus(bus_id=b, routes=routes, seed=b)
             device = Device(f"bus-{b}", DeviceCategory.SBC_PCMCIA, nets, seed=b)
-            coordinator.register_client(
-                ClientAgent(f"bus-{b}", device, bus, landscape, seed=b)
-            )
+            agent = ClientAgent(f"bus-{b}", device, bus, landscape, seed=b)
+            if blackout is not None:
+                agent.add_blackout(
+                    start + blackout[0] * 3600.0, start + blackout[1] * 3600.0
+                )
+            coordinator.register_client(agent)
 
-        start = 6.0 * 3600.0
         engine = EventEngine()
         engine.clock.reset(start)
         until = start + args.hours * 3600.0
         print(f"monitoring with {args.buses} buses for {args.hours} sim hours...")
         coordinator.attach(engine, until=until)
-        engine.run(until=until)
+        streamer = None
+        alert_engine = None
+        http_server = None
+        if args.snapshot_every:
+            streamer = SnapshotStreamer(
+                telemetry,
+                interval_s=args.snapshot_every,
+                out_path=os.path.join(args.telemetry, SNAPSHOTS_FILENAME),
+            )
+            streamer.add_provider(lambda t: engine.publish_loop_stats())
+            streamer.add_provider(
+                lambda t: landscape.publish_cache_metrics(telemetry)
+            )
+            alert_engine = AlertEngine(rules, telemetry)
+            streamer.subscribe(alert_engine.evaluate)
+            streamer.subscribe(
+                PromFileWriter(os.path.join(args.telemetry, PROM_FILENAME))
+            )
+            if args.serve_metrics is not None:
+                http_server = MetricsHTTPServer(port=args.serve_metrics)
+                streamer.subscribe(http_server)
+                http_server.start()
+                print(f"serving metrics on "
+                      f"http://{http_server.host}:{http_server.port}/metrics")
+            streamer.attach(engine, until=until)
+        try:
+            engine.run(until=until)
+        finally:
+            if streamer is not None:
+                streamer.close()
+            if http_server is not None:
+                http_server.stop()
 
         s = coordinator.stats
         streams = len(coordinator.store)
@@ -166,16 +270,29 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             f"epochs={s.epochs_closed} alerts={len(coordinator.alerts)}"
         )
         print(f"{streams} (zone,carrier,kind) streams; {published} published estimates")
+        if alert_engine is not None:
+            fired = sum(1 for tr in alert_engine.transitions if tr[1] == "fired")
+            resolved = len(alert_engine.transitions) - fired
+            print(f"snapshots={streamer.snapshots_taken} "
+                  f"alerts fired={fired} resolved={resolved}")
+            for t, transition, rule, metric, value in alert_engine.transitions:
+                print(f"  t={t:.0f}s {transition} {rule} on {metric} "
+                      f"(value={value:.6g})")
 
         if args.telemetry:
             landscape.publish_cache_metrics(telemetry)
+            extra = {"buses": args.buses, "hours": args.hours}
+            if args.snapshot_every:
+                extra["snapshot_every_s"] = args.snapshot_every
+            if blackout is not None:
+                extra["blackout_hours"] = list(blackout)
             manifest = RunManifest(
                 run_kind="monitor",
                 seed=args.seed,
                 gen_seed=args.gen_seed,
                 config=coordinator.config,
                 zone_grid={"radius_m": args.radius},
-                extra={"buses": args.buses, "hours": args.hours},
+                extra=extra,
             )
             paths = telemetry.write_artifacts(args.telemetry, manifest=manifest)
             print(f"telemetry written to {Path(args.telemetry).resolve()} "
@@ -184,13 +301,47 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
-    from repro.obs.report import render_report_from_dir
+    import json
+
+    from repro.obs.report import render_report_from_dir, summary_from_dir
 
     out_dir = Path(args.dir)
     if not out_dir.is_dir():
         print(f"no such telemetry directory: {out_dir}", file=sys.stderr)
         return 2
-    print(render_report_from_dir(out_dir))
+    if args.format == "json":
+        print(json.dumps(summary_from_dir(str(out_dir)), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_report_from_dir(out_dir))
+    return 0
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.report import render_watch
+
+    out_dir = Path(args.dir)
+    if not out_dir.is_dir():
+        print(f"no such telemetry directory: {out_dir}", file=sys.stderr)
+        return 2
+    updates = max(1, args.max_updates) if args.follow else 1
+    for i in range(updates):
+        print(render_watch(str(out_dir)))
+        if args.follow and i < updates - 1:
+            time.sleep(args.interval)
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_diff
+
+    for d in (args.dir_a, args.dir_b):
+        if not Path(d).is_dir():
+            print(f"no such telemetry directory: {d}", file=sys.stderr)
+            return 2
+    print(render_diff(args.dir_a, args.dir_b))
     return 0
 
 
@@ -234,6 +385,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT_DIR",
         help="capture metrics/events/spans/manifest artifacts to OUT_DIR",
     )
+    p.add_argument(
+        "--snapshot-every",
+        type=float,
+        metavar="SECONDS",
+        help="stream a metrics snapshot every N sim seconds to "
+             "snapshots.jsonl (requires --telemetry)",
+    )
+    p.add_argument(
+        "--alerts",
+        metavar="RULES_FILE",
+        help="extra alert rules (.json, or .toml on Python >= 3.11) "
+             "evaluated on every snapshot, on top of the default SLO rules",
+    )
+    p.add_argument(
+        "--serve-metrics",
+        type=int,
+        metavar="PORT",
+        help="serve the latest snapshot at http://127.0.0.1:PORT/metrics "
+             "(Prometheus text format; 0 picks a free port)",
+    )
+    p.add_argument(
+        "--blackout",
+        metavar="H1-H2",
+        help="fault injection: all buses go radio-dark (present but "
+             "refusing tasks) between sim hours H1 and H2 after run start",
+    )
+    p.add_argument(
+        "--epoch-mins",
+        type=float,
+        metavar="MINUTES",
+        help="override the default epoch duration (shorter epochs make "
+             "coverage SLO demos fast)",
+    )
     p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("obs", help="observability utilities")
@@ -242,7 +426,33 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarize a telemetry directory (metrics/events/spans)"
     )
     pr.add_argument("dir", help="telemetry directory written by --telemetry")
+    pr.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json dumps the same summary model the text "
+             "report renders)",
+    )
     pr.set_defaults(func=cmd_obs_report)
+    pw = obs_sub.add_parser(
+        "watch", help="compact status of a (possibly running) telemetry dir"
+    )
+    pw.add_argument("dir", help="telemetry directory written by --telemetry")
+    pw.add_argument(
+        "--follow", action="store_true",
+        help="re-render every --interval seconds",
+    )
+    pw.add_argument("--interval", type=float, default=2.0,
+                    help="seconds between --follow updates")
+    pw.add_argument("--max-updates", type=int, default=5,
+                    help="stop --follow after this many renders")
+    pw.set_defaults(func=cmd_obs_watch)
+    pd = obs_sub.add_parser(
+        "diff", help="compare two runs' final counters/gauges and alerts"
+    )
+    pd.add_argument("dir_a", help="baseline telemetry directory")
+    pd.add_argument("dir_b", help="comparison telemetry directory")
+    pd.set_defaults(func=cmd_obs_diff)
 
     return parser
 

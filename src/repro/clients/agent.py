@@ -11,7 +11,7 @@ reality the coordinator's scheduler has to work around.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,8 +56,14 @@ class ClientAgent:
         )
         self.reports_completed = 0
         self.tasks_refused = 0
+        self.blackout_refusals = 0
         self.bytes_transferred = 0
         self.energy = EnergyMeter()
+        #: Radio-dark windows: the client stays present (``is_active``
+        #: and position unchanged) but refuses every task.  This is the
+        #: fault-injection hook the coverage-SLO tests use — presence
+        #: without data is exactly what an under-coverage alert watches.
+        self._blackouts: List[Tuple[float, float]] = []
 
     def channel(self, network: NetworkId) -> MeasurementChannel:
         """The (cached) measurement channel for one carrier."""
@@ -75,6 +81,21 @@ class ClientAgent:
     def is_active(self, t: float) -> bool:
         """Whether the client can run tasks right now."""
         return self.movement.is_active(t)
+
+    def add_blackout(self, start_s: float, end_s: float) -> None:
+        """Make the radio dark over ``[start_s, end_s)`` sim seconds.
+
+        The client keeps moving and keeps reporting presence — only
+        :meth:`execute` refuses.  Models a coverage hole / modem fault
+        rather than a powered-off device.
+        """
+        if end_s <= start_s:
+            raise ValueError("blackout end must be after start")
+        self._blackouts.append((float(start_s), float(end_s)))
+
+    def in_blackout(self, t: float) -> bool:
+        """Whether ``t`` falls inside any injected radio-dark window."""
+        return any(start <= t < end for start, end in self._blackouts)
 
     def position(self, t: float) -> GeoPoint:
         """Ground-truth position (the coordinator only ever sees GPS)."""
@@ -95,6 +116,13 @@ class ClientAgent:
             self.tasks_refused += 1
             if tel.enabled:
                 tel.metrics.counter("client.refusals").inc()
+            return None
+        if self.in_blackout(t):
+            self.tasks_refused += 1
+            self.blackout_refusals += 1
+            if tel.enabled:
+                tel.metrics.counter("client.refusals").inc()
+                tel.metrics.counter("client.blackout_refusals").inc()
             return None
 
         fix = self.gps.fix(t)

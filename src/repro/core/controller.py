@@ -45,6 +45,7 @@ from repro.core.scheduler import MeasurementScheduler
 from repro.core.validation import ReportValidator
 from repro.geo.zones import ZoneGrid, ZoneId
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloPolicy, SloTracker
 from repro.obs.telemetry import Telemetry, get_telemetry
 from repro.radio.technology import NetworkId
 from repro.sim.engine import EventEngine
@@ -84,6 +85,7 @@ class MeasurementCoordinator:
         config: Optional[WiScapeConfig] = None,
         seed: int = 0,
         telemetry: Optional[Telemetry] = None,
+        slo_policy: Optional[SloPolicy] = None,
     ):
         self.grid = grid
         self.config = config or WiScapeConfig()
@@ -125,6 +127,11 @@ class MeasurementCoordinator:
         self.validator = ReportValidator()
         self.alerts: List[ChangeAlert] = []
         self._task_ids = itertools.count(1)
+        #: Coverage/staleness SLO bookkeeping (see repro.obs.slo).  The
+        #: tracker always exists (tests may drive it directly) but the
+        #: per-tick hooks only run with telemetry enabled, keeping the
+        #: disabled-overhead gate honest.
+        self.slo = SloTracker(slo_policy)
 
     @property
     def stats(self) -> CoordinatorStats:
@@ -230,6 +237,8 @@ class MeasurementCoordinator:
                             key: MetricKey = (zone_id, network, kind)
                             record = self.store.get(key, now_s)
                             self._close_and_alert(record, now_s)
+                            if obs.enabled and eligible:
+                                self.slo.note_demand(key, now_s)
                             decisions = self.scheduler.decide(
                                 record, kind,
                                 [a.client_id for a in eligible], now_s,
@@ -262,6 +271,7 @@ class MeasurementCoordinator:
             self.metrics.histogram(
                 "coordinator.reports_per_tick"
             ).observe(len(reports))
+            self.slo.update_gauges(self.metrics, now_s)
         return reports
 
     @staticmethod
@@ -349,12 +359,30 @@ class MeasurementCoordinator:
             self.metrics.counter("coordinator.samples_ingested").inc(
                 len(samples)
             )
+            self.slo.note_samples(key, len(samples), at_s)
         return True
 
     # -- epoch close / change detection ------------------------------------
 
     def _close_and_alert(self, record: ZoneRecord, now_s: float) -> None:
+        track_slo = self.obs.enabled
+        index_before = record.epoch_index if track_slo else 0
         estimate = record.maybe_close_epoch(now_s)
+        if track_slo:
+            # maybe_close_epoch may sweep several epoch windows at once:
+            # at most one carries samples (the estimate); the rest closed
+            # empty and count as zero-sample closes for the SLO tracker.
+            closed = record.epoch_index - index_before
+            if closed > 0:
+                if estimate is not None:
+                    self.slo.note_epoch_close(
+                        record.key, estimate.n_samples, now_s
+                    )
+                    closed -= 1
+                if closed > 0:
+                    self.slo.note_epoch_close(
+                        record.key, 0, now_s, n_epochs=closed
+                    )
         if estimate is None:
             return
         self.metrics.counter("coordinator.epochs_closed").inc()

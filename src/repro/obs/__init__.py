@@ -8,6 +8,13 @@ ambient telemetry is a shared no-op, so un-instrumented runs stay
 bit-identical and effectively free (see the overhead gate in
 ``benchmarks/test_perf_microbench.py``).
 
+On top of the artifact layer sits the live pipeline: a
+:class:`SnapshotStreamer` captures periodic sim-time-stamped registry
+snapshots (``snapshots.jsonl``), an :class:`AlertEngine` judges each
+snapshot against declarative rules, :class:`~repro.obs.slo.SloTracker`
+feeds zone-coverage SLO gauges from the coordinator, and the
+exposition helpers publish snapshots in Prometheus text format.
+
 Typical use::
 
     from repro import obs
@@ -19,12 +26,21 @@ Typical use::
     print(obs.render_report_from_dir("out/"))
 """
 
+from repro.obs.alerts import AlertEngine, AlertRule, load_rules, parse_rules
 from repro.obs.events import (
+    DEFAULT_CAPACITY,
     NULL_EVENT_LOG,
     SCHEMA_VERSION,
     EventLog,
     NullEventLog,
     read_events,
+    read_jsonl_tolerant,
+)
+from repro.obs.exposition import (
+    PROM_FILENAME,
+    MetricsHTTPServer,
+    PromFileWriter,
+    render_prometheus,
 )
 from repro.obs.manifest import RunManifest, config_hash
 from repro.obs.metrics import (
@@ -35,12 +51,24 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    quantile_from_snapshot,
 )
 from repro.obs.report import (
+    build_summary,
     load_artifacts,
+    render_diff,
     render_live,
     render_report,
     render_report_from_dir,
+    render_watch,
+    summary_from_dir,
+)
+from repro.obs.slo import SloPolicy, SloTracker, default_slo_rules
+from repro.obs.snapshots import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SNAPSHOTS_FILENAME,
+    SnapshotStreamer,
+    read_snapshots,
 )
 from repro.obs.telemetry import (
     EVENTS_FILENAME,
@@ -87,4 +115,26 @@ __all__ = [
     "render_report",
     "render_report_from_dir",
     "render_live",
+    "DEFAULT_CAPACITY",
+    "read_jsonl_tolerant",
+    "quantile_from_snapshot",
+    "SnapshotStreamer",
+    "SNAPSHOTS_FILENAME",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "read_snapshots",
+    "AlertRule",
+    "AlertEngine",
+    "load_rules",
+    "parse_rules",
+    "SloPolicy",
+    "SloTracker",
+    "default_slo_rules",
+    "PromFileWriter",
+    "MetricsHTTPServer",
+    "PROM_FILENAME",
+    "render_prometheus",
+    "build_summary",
+    "summary_from_dir",
+    "render_watch",
+    "render_diff",
 ]

@@ -24,23 +24,38 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["SCHEMA_VERSION", "EventLog", "NullEventLog", "NULL_EVENT_LOG",
-           "read_events"]
+__all__ = ["SCHEMA_VERSION", "DEFAULT_CAPACITY", "EventLog", "NullEventLog",
+           "NULL_EVENT_LOG", "read_events", "read_jsonl_tolerant"]
 
 SCHEMA_VERSION = 1
 
+#: Default bound on retained events.  Live runs with snapshots enabled
+#: can emit events for hours; an unbounded log would grow without limit,
+#: so the default keeps a generous in-memory window and counts what it
+#: sheds (``dropped``, surfaced as the ``obs.events_dropped`` counter
+#: and flagged by ``repro obs report``).  Pass ``capacity=None`` for the
+#: old unbounded behavior.
+DEFAULT_CAPACITY = 200_000
+
 
 class EventLog:
-    """In-memory ordered list of structured events."""
+    """In-memory ordered, bounded deque of structured events."""
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY):
         """``capacity`` bounds retained events (oldest dropped), None = unbounded."""
-        self._events: List[dict] = []
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._events: "deque[dict]" = deque(maxlen=capacity)
         self._seq = 0
         self.capacity = capacity
-        self.dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events shed because of the capacity bound."""
+        return self._seq - len(self._events)
 
     def emit(self, kind: str, t: float, **fields) -> None:
         """Append one event at sim time ``t`` with flat JSON fields."""
@@ -50,9 +65,6 @@ class EventLog:
         for k, v in fields.items():
             record[k] = v
         self._events.append(record)
-        if self.capacity is not None and len(self._events) > self.capacity:
-            del self._events[0]
-            self.dropped += 1
 
     def __len__(self) -> int:
         return len(self._events)
@@ -129,3 +141,30 @@ def read_events(source: Union[str, "io.TextIOBase", Iterable[str]]) -> List[dict
         if line:
             out.append(json.loads(line))
     return out
+
+
+def read_jsonl_tolerant(path) -> Tuple[List[dict], int]:
+    """Parse a JSONL file, skipping unparseable lines instead of raising.
+
+    A live run killed mid-write leaves a truncated trailing line in
+    ``events.jsonl``/``snapshots.jsonl``; report/watch tooling must
+    degrade with a warning, never traceback.  Returns ``(records,
+    n_bad_lines)``.
+    """
+    records: List[dict] = []
+    bad = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                bad += 1
+    return records, bad

@@ -36,6 +36,7 @@ __all__ = [
     "NullMetricsRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "quantile_from_snapshot",
 ]
 
 #: Default histogram boundaries: log-ish spread covering probabilities,
@@ -125,19 +126,29 @@ class Histogram:
         Returns the upper bound of the bucket containing the quantile
         (the observed max for the overflow bucket) — the usual
         fixed-bucket estimate: exact ordering is gone, the bound is a
-        guaranteed over-estimate by at most one bucket width.
+        guaranteed over-estimate by at most one bucket width.  The
+        extremes are exact: ``q=0`` is the observed min and ``q=1`` the
+        observed max, which also clamps every estimate into
+        ``[min, max]`` so percentiles are monotone in ``q``.
         """
-        if self.total == 0:
-            return float("nan")
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
+        if self.total == 0:
+            return float("nan")
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * self.total
         seen = 0
         for i, c in enumerate(self.counts):
             seen += c
             if seen >= rank and c:
                 if i < len(self.bounds):
-                    return self.bounds[i]
+                    # Clamp to the observed range: a one-bucket histogram
+                    # (or one whose samples all land below a wide bound)
+                    # would otherwise report a bound no sample reached.
+                    return min(max(self.bounds[i], self.min), self.max)
                 return self.max
         return self.max
 
@@ -150,6 +161,39 @@ class Histogram:
             "min": self.min if self.total else None,
             "max": self.max if self.total else None,
         }
+
+
+def quantile_from_snapshot(snapshot: dict, q: float) -> float:
+    """Fixed-bucket q-quantile from a serialized histogram snapshot.
+
+    The file-side twin of :meth:`Histogram.percentile`, with the same
+    edge-case contract (NaN when empty, exact min/max at q=0/q=1,
+    estimates clamped into the observed range), so reports rendered
+    from ``metrics.json``/``snapshots.jsonl`` agree with live queries.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    total = snapshot.get("count", 0)
+    if not total:
+        return float("nan")
+    lo = snapshot.get("min")
+    hi = snapshot.get("max")
+    lo = float("-inf") if lo is None else lo
+    hi = float("inf") if hi is None else hi
+    if q == 0.0 and lo > float("-inf"):
+        return lo
+    if q == 1.0 and hi < float("inf"):
+        return hi
+    rank = q * total
+    seen = 0
+    bounds = snapshot.get("buckets", [])
+    for i, c in enumerate(snapshot.get("counts", [])):
+        seen += c
+        if seen >= rank and c:
+            if i < len(bounds):
+                return min(max(bounds[i], lo), hi)
+            return hi if hi < float("inf") else float("nan")
+    return hi if hi < float("inf") else float("nan")
 
 
 class MetricsRegistry:

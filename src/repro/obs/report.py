@@ -2,22 +2,33 @@
 
 ``repro obs report out/`` reads the artifacts a telemetry-enabled run
 wrote (``metrics.json``, ``events.jsonl``, ``spans.json``, optionally
-``manifest.json``) and prints the run's story: headline counters, the
-hottest spans, histogram percentiles, event volume by kind, and how
-each zone's sample budget and epoch duration converged across
+``manifest.json`` and ``snapshots.jsonl``) and prints the run's story:
+headline counters, the hottest spans, histogram percentiles, event
+volume by kind, alert activity, zone-coverage SLO status, and how each
+zone's sample budget and epoch duration converged across
 recalibrations.  :func:`render_report` also accepts a live
 :class:`~repro.obs.telemetry.Telemetry` (plus manifest) directly, which
 is how ``examples/operator_dashboard.py`` embeds the same rendering
 without a round-trip through files.
+
+Both the text report and ``repro obs report --format json`` are views
+over one :func:`build_summary` model, so the two formats can never
+disagree about what a run did.  Loading is tolerant by design: missing
+or corrupt artifact files degrade into entries in the summary's
+``warnings`` list rather than tracebacks — a run you had to kill
+mid-flight must still be inspectable.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.events import read_events
+from repro.obs.events import read_jsonl_tolerant
+from repro.obs.metrics import quantile_from_snapshot
+from repro.obs.snapshots import SNAPSHOTS_FILENAME
 from repro.obs.telemetry import (
     EVENTS_FILENAME,
     MANIFEST_FILENAME,
@@ -27,14 +38,21 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "build_summary",
     "load_artifacts",
+    "render_diff",
     "render_live",
     "render_report",
     "render_report_from_dir",
+    "render_watch",
+    "summary_from_dir",
 ]
 
 #: Percentiles rendered for every histogram.
 REPORT_QUANTILES = (0.50, 0.90, 0.99)
+
+#: Alert transitions shown in the text report (most recent last).
+MAX_ALERT_ROWS = 20
 
 
 def _table(headers):
@@ -50,50 +68,192 @@ def _table(headers):
 
 
 def load_artifacts(out_dir: str) -> dict:
-    """Read whichever artifact files exist under ``out_dir``."""
+    """Read whichever artifact files exist under ``out_dir``.
+
+    Never raises on a partial or corrupt directory: unreadable files
+    and unparseable JSONL lines become entries in the returned
+    ``warnings`` list and the affected artifact keeps its empty default.
+    """
     artifacts: dict = {
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
         "events": [],
         "spans": {},
         "manifest": None,
+        "snapshots": [],
+        "warnings": [],
     }
-    metrics_path = os.path.join(out_dir, METRICS_FILENAME)
-    if os.path.exists(metrics_path):
-        with open(metrics_path, "r", encoding="utf-8") as fh:
-            artifacts["metrics"] = json.load(fh)
-    events_path = os.path.join(out_dir, EVENTS_FILENAME)
-    if os.path.exists(events_path):
-        artifacts["events"] = read_events(events_path)
-    spans_path = os.path.join(out_dir, SPANS_FILENAME)
-    if os.path.exists(spans_path):
-        with open(spans_path, "r", encoding="utf-8") as fh:
-            artifacts["spans"] = json.load(fh)
-    manifest_path = os.path.join(out_dir, MANIFEST_FILENAME)
-    if os.path.exists(manifest_path):
-        with open(manifest_path, "r", encoding="utf-8") as fh:
-            artifacts["manifest"] = json.load(fh)
+    warnings: List[str] = artifacts["warnings"]
+
+    def _json_file(filename: str) -> Optional[dict]:
+        path = os.path.join(out_dir, filename)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as exc:
+            warnings.append(f"unreadable {filename}: {exc}")
+            return None
+
+    def _jsonl_file(filename: str) -> List[dict]:
+        path = os.path.join(out_dir, filename)
+        if not os.path.exists(path):
+            return []
+        try:
+            rows, n_bad = read_jsonl_tolerant(path)
+        except OSError as exc:
+            warnings.append(f"unreadable {filename}: {exc}")
+            return []
+        if n_bad:
+            warnings.append(
+                f"{filename}: skipped {n_bad} unparseable line(s)"
+            )
+        return rows
+
+    metrics = _json_file(METRICS_FILENAME)
+    if metrics is not None:
+        artifacts["metrics"] = metrics
+    elif not os.path.exists(os.path.join(out_dir, METRICS_FILENAME)):
+        warnings.append(f"no {METRICS_FILENAME} found")
+    artifacts["events"] = _jsonl_file(EVENTS_FILENAME)
+    spans = _json_file(SPANS_FILENAME)
+    if spans is not None:
+        artifacts["spans"] = spans
+    elif not os.path.exists(os.path.join(out_dir, SPANS_FILENAME)):
+        warnings.append(f"no {SPANS_FILENAME} found")
+    artifacts["manifest"] = _json_file(MANIFEST_FILENAME)
+    artifacts["snapshots"] = _jsonl_file(SNAPSHOTS_FILENAME)
     return artifacts
 
 
 def _histogram_quantile(snapshot: dict, q: float) -> float:
-    """Fixed-bucket quantile from a serialized histogram snapshot."""
-    total = snapshot.get("count", 0)
-    if not total:
-        return float("nan")
-    rank = q * total
-    seen = 0
-    bounds = snapshot["buckets"]
-    for i, c in enumerate(snapshot["counts"]):
-        seen += c
-        if seen >= rank and c:
-            if i < len(bounds):
-                return bounds[i]
-            return snapshot.get("max") or float("nan")
-    return snapshot.get("max") or float("nan")
+    """Fixed-bucket quantile estimate (see ``quantile_from_snapshot``)."""
+    return quantile_from_snapshot(snapshot, q)
+
+
+# -- the summary model ------------------------------------------------------
+
+
+def _finite_or_none(value: Optional[float]) -> Optional[float]:
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def build_summary(artifacts: dict) -> dict:
+    """Distill loaded artifacts into one JSON-able summary model.
+
+    This is the single source both renderers consume: ``obs report``
+    prints it as text, ``obs report --format json`` dumps it verbatim.
+    """
+    metrics = artifacts.get("metrics") or {}
+    events = artifacts.get("events") or []
+    spans = artifacts.get("spans") or {}
+    snapshots = artifacts.get("snapshots") or []
+    counters: Dict[str, float] = dict(metrics.get("counters") or {})
+    gauges: Dict[str, float] = dict(metrics.get("gauges") or {})
+
+    histograms: Dict[str, dict] = {}
+    for name in sorted(metrics.get("histograms") or {}):
+        snap = metrics["histograms"][name]
+        count = snap.get("count", 0)
+        entry = {
+            "count": count,
+            "mean": _finite_or_none(
+                (snap.get("sum", 0.0) / count) if count else None
+            ),
+        }
+        for q in REPORT_QUANTILES:
+            entry[f"p{int(q * 100)}"] = _finite_or_none(
+                quantile_from_snapshot(snap, q)
+            )
+        histograms[name] = entry
+
+    event_volume: Dict[str, int] = {}
+    for e in events:
+        kind = e.get("kind", "?")
+        event_volume[kind] = event_volume.get(kind, 0) + 1
+
+    # Replay alert transitions to recover the fired/resolved/active view.
+    transitions: List[dict] = []
+    firing: Dict[Tuple[str, str], dict] = {}
+    for e in events:
+        kind = e.get("kind")
+        if kind not in ("alert.fired", "alert.resolved"):
+            continue
+        key = (str(e.get("rule")), str(e.get("metric")))
+        transitions.append(
+            {
+                "t": e.get("t", 0.0),
+                "transition": "fired" if kind == "alert.fired" else "resolved",
+                "rule": key[0],
+                "metric": key[1],
+                "severity": e.get("severity", "?"),
+                "value": e.get("value"),
+            }
+        )
+        if kind == "alert.fired":
+            firing[key] = e
+        else:
+            firing.pop(key, None)
+    alerts = {
+        "fired": event_volume.get("alert.fired", 0),
+        "resolved": event_volume.get("alert.resolved", 0),
+        "active": [
+            {
+                "rule": rule,
+                "metric": metric,
+                "severity": e.get("severity", "?"),
+                "since_t": e.get("t", 0.0),
+            }
+            for (rule, metric), e in sorted(firing.items())
+        ],
+        "transitions": transitions,
+    }
+
+    slo = {
+        name: gauges[name] for name in sorted(gauges) if name.startswith("slo.")
+    }
+
+    snap_info = {"count": len(snapshots)}
+    if snapshots:
+        snap_info["first_t"] = snapshots[0].get("t")
+        snap_info["last_t"] = snapshots[-1].get("t")
+
+    return {
+        "manifest": artifacts.get("manifest"),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans": spans,
+        "events_total": len(events),
+        "event_volume": event_volume,
+        "alerts": alerts,
+        "slo": slo,
+        "snapshots": snap_info,
+        "events_dropped": int(counters.get("obs.events_dropped", 0)),
+        "warnings": list(artifacts.get("warnings") or []),
+    }
+
+
+def summary_from_dir(out_dir: str) -> dict:
+    """Tolerantly load ``out_dir`` and build its summary model."""
+    return build_summary(load_artifacts(out_dir))
+
+
+# -- text rendering ---------------------------------------------------------
 
 
 def _section(title: str) -> str:
     return f"\n-- {title} " + "-" * max(1, 60 - len(title)) + "\n"
+
+
+def _render_warnings(warnings: List[str], lines: List[str]) -> None:
+    if not warnings:
+        return
+    lines.append(_section("warnings"))
+    for w in warnings:
+        lines.append(f"  ! {w}")
 
 
 def _render_manifest(manifest: Optional[dict], lines: List[str]) -> None:
@@ -137,8 +297,8 @@ def _render_counters(metrics: dict, lines: List[str]) -> None:
     lines.append(table.render(indent="  "))
 
 
-def _render_histograms(metrics: dict, lines: List[str]) -> None:
-    histograms = metrics.get("histograms", {})
+def _render_histograms(summary: dict, lines: List[str]) -> None:
+    histograms = summary.get("histograms", {})
     if not histograms:
         return
     lines.append(_section("histogram percentiles"))
@@ -146,13 +306,15 @@ def _render_histograms(metrics: dict, lines: List[str]) -> None:
         f"p{int(q * 100)}" for q in REPORT_QUANTILES
     ]
     table = _table(headers)
+
+    def _num(value: Optional[float]) -> str:
+        return "nan" if value is None else f"{value:.4g}"
+
     for name in sorted(histograms):
-        snap = histograms[name]
-        count = snap.get("count", 0)
-        mean = (snap.get("sum", 0.0) / count) if count else float("nan")
-        row = [name, str(count), f"{mean:.4g}"]
+        entry = histograms[name]
+        row = [name, str(entry.get("count", 0)), _num(entry.get("mean"))]
         for q in REPORT_QUANTILES:
-            row.append(f"{_histogram_quantile(snap, q):.4g}")
+            row.append(_num(entry.get(f"p{int(q * 100)}")))
         table.add_row(*row)
     lines.append(table.render(indent="  "))
 
@@ -179,21 +341,78 @@ def _render_spans(spans: dict, lines: List[str], top_n: int = 12) -> None:
     lines.append(table.render(indent="  "))
 
 
-def _render_event_volume(events: List[dict], lines: List[str]) -> None:
-    if not events:
+def _render_event_volume(summary: dict, lines: List[str]) -> None:
+    counts = summary.get("event_volume", {})
+    if not counts:
         return
-    counts: Dict[str, int] = {}
-    for e in events:
-        counts[e.get("kind", "?")] = counts.get(e.get("kind", "?"), 0) + 1
     lines.append(_section("event volume"))
     table = _table(["kind", "events"])
     for kind in sorted(counts):
         table.add_row(kind, str(counts[kind]))
     lines.append(table.render(indent="  "))
-    t_first = events[0].get("t", 0.0)
-    t_last = events[-1].get("t", 0.0)
+    lines.append(f"  {summary.get('events_total', 0)} events recorded")
+    dropped = summary.get("events_dropped", 0)
+    if dropped:
+        lines.append(
+            f"  ! {dropped} event(s) dropped at the log's capacity limit "
+            "(events.jsonl is truncated)"
+        )
+
+
+def _render_alerts(summary: dict, lines: List[str]) -> None:
+    alerts = summary.get("alerts", {})
+    if not alerts.get("fired") and not alerts.get("resolved"):
+        return
+    lines.append(_section("alerts"))
     lines.append(
-        f"  {len(events)} events over sim t=[{t_first:.0f}, {t_last:.0f}] s"
+        f"  fired={alerts.get('fired', 0)}"
+        f" resolved={alerts.get('resolved', 0)}"
+        f" active={len(alerts.get('active', []))}"
+    )
+    for a in alerts.get("active", []):
+        lines.append(
+            f"  ACTIVE [{a.get('severity')}] {a.get('rule')}"
+            f" on {a.get('metric')} since t={a.get('since_t', 0.0):.0f}s"
+        )
+    transitions = alerts.get("transitions", [])
+    shown = transitions[-MAX_ALERT_ROWS:]
+    if len(transitions) > len(shown):
+        lines.append(
+            f"  (showing last {len(shown)} of {len(transitions)} transitions)"
+        )
+    table = _table(["t (s)", "transition", "rule", "metric", "value"])
+    for tr in shown:
+        value = tr.get("value")
+        table.add_row(
+            f"{tr.get('t', 0.0):.0f}",
+            tr.get("transition", "?"),
+            tr.get("rule", "?"),
+            tr.get("metric", "?"),
+            "-" if value is None else f"{value:.6g}",
+        )
+    lines.append(table.render(indent="  "))
+
+
+def _render_slo(summary: dict, lines: List[str]) -> None:
+    slo = summary.get("slo", {})
+    if not slo:
+        return
+    lines.append(_section("zone-coverage SLO (final tick)"))
+    table = _table(["gauge", "value"])
+    for name in sorted(slo):
+        table.add_row(name, f"{slo[name]:.6g}")
+    lines.append(table.render(indent="  "))
+
+
+def _render_snapshots(summary: dict, lines: List[str]) -> None:
+    info = summary.get("snapshots", {})
+    if not info.get("count"):
+        return
+    lines.append(_section("streaming snapshots"))
+    lines.append(
+        f"  {info['count']} snapshots over sim"
+        f" t=[{info.get('first_t', 0.0):.0f},"
+        f" {info.get('last_t', 0.0):.0f}] s"
     )
 
 
@@ -233,14 +452,30 @@ def render_report(
     spans: dict,
     manifest: Optional[dict] = None,
     title: str = "telemetry report",
+    snapshots: Optional[List[dict]] = None,
+    warnings: Optional[List[str]] = None,
 ) -> str:
     """Assemble the full text report from artifact dicts."""
+    summary = build_summary(
+        {
+            "metrics": metrics,
+            "events": events,
+            "spans": spans,
+            "manifest": manifest,
+            "snapshots": snapshots or [],
+            "warnings": warnings or [],
+        }
+    )
     lines = [f"== {title} " + "=" * max(1, 64 - len(title))]
+    _render_warnings(summary["warnings"], lines)
     _render_manifest(manifest, lines)
     _render_counters(metrics, lines)
-    _render_histograms(metrics, lines)
+    _render_histograms(summary, lines)
     _render_spans(spans, lines)
-    _render_event_volume(events, lines)
+    _render_event_volume(summary, lines)
+    _render_alerts(summary, lines)
+    _render_slo(summary, lines)
+    _render_snapshots(summary, lines)
     _render_budget_convergence(events, lines)
     if len(lines) == 1:
         lines.append("  (no telemetry recorded)")
@@ -256,6 +491,8 @@ def render_report_from_dir(out_dir: str, title: Optional[str] = None) -> str:
         artifacts["spans"],
         artifacts["manifest"],
         title=title or f"telemetry report: {out_dir}",
+        snapshots=artifacts["snapshots"],
+        warnings=artifacts["warnings"],
     )
 
 
@@ -268,3 +505,111 @@ def render_live(telemetry: Telemetry, manifest=None, title: str = "telemetry rep
         manifest.to_dict() if manifest is not None else None,
         title=title,
     )
+
+
+# -- watch / diff -----------------------------------------------------------
+
+
+def render_watch(out_dir: str) -> str:
+    """One compact status block from a (possibly still-running) run dir.
+
+    Reads tolerantly — a run mid-write may have a truncated trailing
+    snapshot line, which is skipped, not fatal.
+    """
+    artifacts = load_artifacts(out_dir)
+    summary = build_summary(artifacts)
+    snapshots = artifacts["snapshots"]
+    latest = snapshots[-1] if snapshots else None
+    source = latest if latest is not None else artifacts["metrics"]
+    counters = source.get("counters", {})
+    gauges = source.get("gauges", {})
+
+    lines = [f"watch {out_dir}"]
+    bits = []
+    if latest is not None:
+        bits.append(f"t={latest.get('t', 0.0):.0f}s")
+        bits.append(f"snapshots={len(snapshots)}")
+    else:
+        bits.append("no snapshots.jsonl (final artifacts only)")
+    bits.append(f"ticks={counters.get('coordinator.ticks', 0):.0f}")
+    bits.append(f"reports={counters.get('coordinator.reports_ingested', 0):.0f}")
+    bits.append(f"epochs={counters.get('coordinator.epochs_closed', 0):.0f}")
+    lines.append("  " + " ".join(bits))
+    if any(name.startswith("slo.") for name in gauges):
+        lines.append(
+            "  slo:"
+            f" covered={gauges.get('slo.covered_fraction', 1.0):.2f}"
+            f" demanded={gauges.get('slo.demanded_streams', 0):.0f}"
+            f" under={gauges.get('slo.under_covered_streams', 0):.0f}"
+            f" worst_under_epochs="
+            f"{gauges.get('slo.worst_consecutive_under_epochs', 0):.0f}"
+        )
+    active = summary["alerts"]["active"]
+    if active:
+        for a in active:
+            lines.append(
+                f"  ALERT [{a['severity']}] {a['rule']} on {a['metric']}"
+                f" since t={a['since_t']:.0f}s"
+            )
+    elif summary["alerts"]["fired"]:
+        lines.append(
+            f"  alerts: none active"
+            f" ({summary['alerts']['fired']} fired,"
+            f" {summary['alerts']['resolved']} resolved this run)"
+        )
+    if summary["events_dropped"]:
+        lines.append(f"  ! {summary['events_dropped']} event(s) dropped")
+    for w in summary["warnings"]:
+        lines.append(f"  ! {w}")
+    return "\n".join(lines)
+
+
+def render_diff(dir_a: str, dir_b: str) -> str:
+    """Compare two runs' final counters/gauges and alert activity."""
+    a = summary_from_dir(dir_a)
+    b = summary_from_dir(dir_b)
+    lines = [f"diff {dir_a} vs {dir_b}"]
+    for w in a["warnings"]:
+        lines.append(f"  ! A: {w}")
+    for w in b["warnings"]:
+        lines.append(f"  ! B: {w}")
+
+    for label, kind in (("counters", "counters"), ("gauges", "gauges")):
+        va: Dict[str, float] = a.get(kind, {})
+        vb: Dict[str, float] = b.get(kind, {})
+        names = sorted(set(va) | set(vb))
+        rows = []
+        for name in names:
+            x, y = va.get(name), vb.get(name)
+            if x == y:
+                continue
+            delta = (
+                f"{y - x:+.6g}" if x is not None and y is not None else "-"
+            )
+            rows.append(
+                (
+                    name,
+                    "-" if x is None else f"{x:.6g}",
+                    "-" if y is None else f"{y:.6g}",
+                    delta,
+                )
+            )
+        if not rows:
+            continue
+        lines.append(_section(f"{label} differing ({len(rows)})"))
+        table = _table(["metric", "A", "B", "delta"])
+        for row in rows:
+            table.add_row(*row)
+        lines.append(table.render(indent="  "))
+
+    counts_a = (a["alerts"]["fired"], a["alerts"]["resolved"])
+    counts_b = (b["alerts"]["fired"], b["alerts"]["resolved"])
+    if counts_a != counts_b:
+        lines.append(_section("alerts"))
+        lines.append(
+            f"  A: fired={counts_a[0]} resolved={counts_a[1]}"
+            f" | B: fired={counts_b[0]} resolved={counts_b[1]}"
+        )
+    if len(lines) == 1 + len(a["warnings"]) + len(b["warnings"]):
+        lines.append("  (no differences in final counters/gauges)")
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Zone-coverage SLOs: is WiScape actually hearing its zones?
+
+The paper's central operational requirement is that every (zone, epoch)
+cell accumulate *enough* samples to publish a trustworthy estimate —
+around n≈10 usable samples is the floor the zone-map analyses demand
+(PAPER.md §3.3, §4.1) — and that the coordinator notice when a cell goes
+quiet.  :class:`SloTracker` turns the coordinator's per-tick bookkeeping
+into two service-level signals per stream:
+
+* **coverage** — did the epoch that just closed collect at least
+  ``min_epoch_samples`` while clients were actually present in the zone
+  ("demanded")?  Consecutive demanded-but-under-covered epochs are the
+  paper-grounded breach condition ("zone under-covered for 2
+  consecutive epochs").
+* **staleness** — sim seconds since the stream last accepted a sample,
+  again scoped to demanded streams: a zone no bus visits cannot be
+  measured at all (that is opportunistic reality, not an SLO breach),
+  but a zone with clients present and no data is a blackout.
+
+Demand scoping is what lets a blackout alert *resolve*: when clients
+leave a zone for good its stream drops out of the demanded set and
+stops holding the worst-case gauges hostage; when clients are present
+and sampling resumes, one covered epoch resets the breach streak.
+
+The tracker exposes aggregates as plain gauges (``slo.*``) so the alert
+engine needs no special SLO knowledge — :func:`default_slo_rules`
+returns threshold rules over those gauges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.alerts import AlertRule
+
+__all__ = ["SloPolicy", "SloTracker", "StreamSlo", "default_slo_rules"]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Targets the coverage/staleness judgments are made against."""
+
+    #: Minimum accepted samples a (zone, epoch) needs to count as
+    #: covered — the paper's n≈10 floor for a usable cell estimate.
+    min_epoch_samples: int = 10
+    #: Consecutive demanded-but-under-covered epochs before the stream
+    #: counts as in breach (the default under-coverage alert).
+    under_epochs: int = 2
+    #: Demanded-stream staleness beyond this is an outage signal.
+    staleness_limit_s: float = 3600.0
+
+    def __post_init__(self):
+        if self.min_epoch_samples < 1:
+            raise ValueError("min_epoch_samples must be >= 1")
+        if self.under_epochs < 1:
+            raise ValueError("under_epochs must be >= 1")
+        if self.staleness_limit_s <= 0:
+            raise ValueError("staleness_limit_s must be positive")
+
+
+class StreamSlo:
+    """Per-(zone, network, metric) coverage state."""
+
+    __slots__ = (
+        "first_demand_s",
+        "last_sample_s",
+        "consecutive_under",
+        "demanded",
+        "epochs_closed",
+        "epochs_under",
+    )
+
+    def __init__(self):
+        self.first_demand_s: Optional[float] = None
+        self.last_sample_s: Optional[float] = None
+        self.consecutive_under = 0
+        self.demanded = False
+        self.epochs_closed = 0
+        self.epochs_under = 0
+
+    def staleness_s(self, now_s: float) -> float:
+        """Sim time since the last accepted sample (or first demand)."""
+        anchor = self.last_sample_s
+        if anchor is None:
+            anchor = self.first_demand_s
+        return max(0.0, now_s - anchor) if anchor is not None else 0.0
+
+
+class SloTracker:
+    """Coverage/staleness bookkeeping the coordinator drives per tick."""
+
+    def __init__(self, policy: Optional[SloPolicy] = None):
+        self.policy = policy or SloPolicy()
+        self._streams: Dict[object, StreamSlo] = {}
+
+    def _stream(self, key) -> StreamSlo:
+        s = self._streams.get(key)
+        if s is None:
+            s = self._streams[key] = StreamSlo()
+        return s
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def stream(self, key) -> Optional[StreamSlo]:
+        """Introspection: the state for one stream (None if never seen)."""
+        return self._streams.get(key)
+
+    # -- bookkeeping hooks (called by the coordinator) -------------------
+
+    def note_demand(self, key, now_s: float) -> None:
+        """Clients are present in the stream's zone this tick."""
+        s = self._stream(key)
+        s.demanded = True
+        if s.first_demand_s is None:
+            s.first_demand_s = now_s
+
+    def note_samples(self, key, n: int, now_s: float) -> None:
+        """The stream accepted ``n`` samples at ``now_s``."""
+        s = self._stream(key)
+        if s.last_sample_s is None or now_s > s.last_sample_s:
+            s.last_sample_s = now_s
+
+    def note_epoch_close(
+        self, key, n_samples: int, now_s: float, n_epochs: int = 1
+    ) -> None:
+        """One or more epoch windows closed with ``n_samples`` total.
+
+        Coverage is only judged while the stream is demanded: an
+        undemanded close clears both the demand flag and the breach
+        streak (clients left; the zone is unmeasurable, not failing).
+        """
+        s = self._stream(key)
+        s.epochs_closed += n_epochs
+        if s.demanded:
+            if n_samples < self.policy.min_epoch_samples:
+                s.consecutive_under += n_epochs
+                s.epochs_under += n_epochs
+            else:
+                s.consecutive_under = 0
+        else:
+            s.consecutive_under = 0
+        s.demanded = False
+
+    # -- aggregation -----------------------------------------------------
+
+    def update_gauges(self, metrics, now_s: float) -> None:
+        """Publish the aggregate SLO gauges into a metrics registry."""
+        demanded = 0
+        under = 0
+        worst_consecutive = 0
+        max_staleness = 0.0
+        stale = 0
+        for s in self._streams.values():
+            if s.consecutive_under > worst_consecutive:
+                worst_consecutive = s.consecutive_under
+            if s.consecutive_under >= self.policy.under_epochs:
+                under += 1
+            if not s.demanded:
+                continue
+            demanded += 1
+            staleness = s.staleness_s(now_s)
+            if staleness > max_staleness:
+                max_staleness = staleness
+            if staleness > self.policy.staleness_limit_s:
+                stale += 1
+        metrics.gauge("slo.streams").set(len(self._streams))
+        metrics.gauge("slo.demanded_streams").set(demanded)
+        metrics.gauge("slo.under_covered_streams").set(under)
+        metrics.gauge("slo.worst_consecutive_under_epochs").set(
+            worst_consecutive
+        )
+        metrics.gauge("slo.max_staleness_s").set(max_staleness)
+        metrics.gauge("slo.stale_streams").set(stale)
+        covered = max(0.0, 1.0 - under / demanded) if demanded else 1.0
+        metrics.gauge("slo.covered_fraction").set(covered)
+
+
+def default_slo_rules(policy: Optional[SloPolicy] = None) -> List[AlertRule]:
+    """The alert rules every live run watches by default."""
+    p = policy or SloPolicy()
+    return [
+        AlertRule(
+            name="slo.under_coverage",
+            metric="slo.worst_consecutive_under_epochs",
+            kind="threshold",
+            op=">=",
+            value=float(p.under_epochs),
+            for_count=1,
+            severity="critical",
+        ),
+        AlertRule(
+            name="slo.staleness",
+            metric="slo.max_staleness_s",
+            kind="threshold",
+            op=">",
+            value=float(p.staleness_limit_s),
+            for_count=2,
+            severity="warning",
+        ),
+    ]

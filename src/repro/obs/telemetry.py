@@ -101,6 +101,15 @@ class Telemetry:
         os.makedirs(out_dir, exist_ok=True)
         paths = {}
 
+        # Surface capacity drops in the artifacts: readers of
+        # metrics.json must be able to tell a complete events.jsonl
+        # from a truncated one without the live EventLog at hand.
+        if self.enabled and self.events.dropped:
+            counter = self.metrics.counter("obs.events_dropped")
+            delta = self.events.dropped - counter.value
+            if delta > 0:
+                counter.inc(delta)
+
         metrics_path = os.path.join(out_dir, METRICS_FILENAME)
         with open(metrics_path, "w", encoding="utf-8") as fh:
             fh.write(self.metrics.to_json() + "\n")

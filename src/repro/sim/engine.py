@@ -45,6 +45,7 @@ class EventEngine:
         self._events_cancelled = 0
         self._max_pending = 0
         self._last_dequeued: Tuple[SimTime, int] = (float("-inf"), -1)
+        self._run_hooks: List[Callable[[], None]] = []
 
     @property
     def now(self) -> SimTime:
@@ -123,6 +124,16 @@ class EventEngine:
         if until is None or first <= until:
             self.schedule_at(first, tick, name=name)
 
+    def add_run_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback invoked when :meth:`run` finishes.
+
+        Hooks fire after the last event of every ``run()`` call (also on
+        :class:`StopSimulation`), in registration order — the flush
+        point periodic observers (e.g. telemetry snapshot streamers)
+        use to capture the final partial interval.
+        """
+        self._run_hooks.append(hook)
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (no-op if already run).
 
@@ -157,11 +168,13 @@ class EventEngine:
         still runs; the clock finishes at ``until`` if given.
         """
         executed = 0
+        halted = False
         try:
             with get_telemetry().span("sim.run"):
                 while self._heap:
                     if max_events is not None and executed >= max_events:
-                        return
+                        halted = True
+                        break
                     t = self._heap[0][0]
                     if until is not None and t > until:
                         break
@@ -169,14 +182,23 @@ class EventEngine:
                         break
                     executed += 1
         except StopSimulation:
-            return
+            halted = True
         finally:
-            self._publish_loop_stats()
-        if until is not None and until > self.clock.now:
-            self.clock.advance_to(until)
+            # A halted run (StopSimulation / max_events) leaves the clock
+            # where it stopped; a completed one finishes at `until`.
+            if not halted and until is not None and until > self.clock.now:
+                self.clock.advance_to(until)
+            self.publish_loop_stats()
+            for hook in list(self._run_hooks):
+                hook()
 
-    def _publish_loop_stats(self) -> None:
-        """Expose event-loop counters as gauges on the ambient telemetry."""
+    def publish_loop_stats(self) -> None:
+        """Expose event-loop counters as gauges on the ambient telemetry.
+
+        Called automatically at the end of :meth:`run`; snapshot
+        streamers also call it per capture so live snapshots carry
+        current loop depth rather than end-of-run values.
+        """
         tel = get_telemetry()
         if not tel.enabled:
             return

@@ -7,39 +7,87 @@ host-dependent by nature and live only in ``spans.json``), and running
 with telemetry enabled must not change what the simulation computes.
 """
 
+import os
+
 from repro.clients.agent import ClientAgent
 from repro.clients.device import Device, DeviceCategory
+from repro.core.config import WiScapeConfig
 from repro.core.controller import MeasurementCoordinator
 from repro.geo.zones import ZoneGrid
 from repro.mobility.routes import city_bus_routes
 from repro.mobility.vehicles import TransitBus
-from repro.obs import RunManifest, Telemetry, use_telemetry
+from repro.obs import (
+    PROM_FILENAME,
+    SNAPSHOTS_FILENAME,
+    AlertEngine,
+    PromFileWriter,
+    RunManifest,
+    SnapshotStreamer,
+    Telemetry,
+    default_slo_rules,
+    use_telemetry,
+)
 from repro.radio.network import build_landscape
 from repro.radio.technology import NetworkId
 from repro.sim.engine import EventEngine
 
 
-def _monitor_run(out_dir, hours=0.5, telemetry_enabled=True):
-    """One small seeded monitor run; returns the coordinator."""
+def _monitor_run(out_dir, hours=0.5, telemetry_enabled=True,
+                 snapshot_every=None, blackout=None, epoch_s=None):
+    """One small seeded monitor run; returns the coordinator.
+
+    With ``snapshot_every`` the full live pipeline is wired up: streamed
+    snapshots, the default SLO alert rules, and the Prometheus file
+    writer — mirroring ``repro monitor --snapshot-every``.
+    """
     telemetry = Telemetry(enabled=telemetry_enabled)
+    alert_engine = None
     with use_telemetry(telemetry):
         landscape = build_landscape(seed=7, include_road=False, include_nj=False)
         grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
-        coordinator = MeasurementCoordinator(grid, seed=1, telemetry=telemetry)
+        config = None
+        if epoch_s is not None:
+            defaults = WiScapeConfig()
+            config = WiScapeConfig(
+                default_epoch_s=epoch_s,
+                min_epoch_s=min(defaults.min_epoch_s, epoch_s),
+                max_epoch_s=max(defaults.max_epoch_s, epoch_s),
+            )
+        coordinator = MeasurementCoordinator(
+            grid, config=config, seed=1, telemetry=telemetry
+        )
         routes = city_bus_routes(landscape.study_area, count=8)
         nets = [NetworkId.NET_B, NetworkId.NET_C]
+        start = 6.0 * 3600.0
         for b in range(2):
             bus = TransitBus(bus_id=b, routes=routes, seed=b)
             device = Device(f"bus-{b}", DeviceCategory.SBC_PCMCIA, nets, seed=b)
-            coordinator.register_client(
-                ClientAgent(f"bus-{b}", device, bus, landscape, seed=b)
-            )
-        start = 6.0 * 3600.0
+            agent = ClientAgent(f"bus-{b}", device, bus, landscape, seed=b)
+            if blackout is not None:
+                agent.add_blackout(start + blackout[0], start + blackout[1])
+            coordinator.register_client(agent)
         engine = EventEngine()
         engine.clock.reset(start)
         until = start + hours * 3600.0
         coordinator.attach(engine, until=until)
-        engine.run(until=until)
+        streamer = None
+        if snapshot_every is not None:
+            streamer = SnapshotStreamer(
+                telemetry, interval_s=snapshot_every,
+                out_path=os.path.join(str(out_dir), SNAPSHOTS_FILENAME),
+            )
+            streamer.add_provider(lambda t: engine.publish_loop_stats())
+            alert_engine = AlertEngine(default_slo_rules(), telemetry)
+            streamer.subscribe(alert_engine.evaluate)
+            streamer.subscribe(
+                PromFileWriter(os.path.join(str(out_dir), PROM_FILENAME))
+            )
+            streamer.attach(engine, until=until)
+        try:
+            engine.run(until=until)
+        finally:
+            if streamer is not None:
+                streamer.close()
         if out_dir is not None:
             landscape.publish_cache_metrics(telemetry)
             manifest = RunManifest(
@@ -47,6 +95,7 @@ def _monitor_run(out_dir, hours=0.5, telemetry_enabled=True):
                 zone_grid={"radius_m": 250.0},
             )
             telemetry.write_artifacts(out_dir, manifest=manifest)
+    coordinator.alert_engine = alert_engine
     return coordinator
 
 
@@ -75,3 +124,39 @@ class TestDeterminism:
         coordinator = _monitor_run(None, telemetry_enabled=False)
         assert coordinator.stats.ticks > 0
         assert coordinator.stats.reports_ingested > 0
+
+
+class TestLivePipelineDeterminism:
+    """ISSUE acceptance: byte-identical snapshots.jsonl and identical
+    alert transition sequences across identical seeded runs."""
+
+    def _live_run(self, out_dir):
+        return _monitor_run(
+            out_dir, hours=1.5, snapshot_every=300.0,
+            blackout=(900.0, 2700.0), epoch_s=300.0,
+        )
+
+    def test_identical_runs_identical_live_artifacts(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.mkdir()
+        coord_a = self._live_run(a)
+        coord_b = self._live_run(b)
+        for name in (SNAPSHOTS_FILENAME, "events.jsonl", "metrics.json",
+                     PROM_FILENAME):
+            assert (a / name).read_bytes() == (b / name).read_bytes(), name
+        assert coord_a.alert_engine.transitions == \
+            coord_b.alert_engine.transitions
+
+    def test_blackout_fires_then_resolves_under_coverage(self, tmp_path):
+        out = tmp_path / "live"
+        out.mkdir()
+        coordinator = self._live_run(out)
+        transitions = [
+            (kind, rule) for _, kind, rule, _, _
+            in coordinator.alert_engine.transitions
+        ]
+        assert ("fired", "slo.under_coverage") in transitions
+        fired_at = transitions.index(("fired", "slo.under_coverage"))
+        assert ("resolved", "slo.under_coverage") in transitions[fired_at:]

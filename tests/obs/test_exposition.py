@@ -1,0 +1,117 @@
+"""Tests for Prometheus text exposition.
+
+This module is the ONLY test allowed to open a socket — the HTTP server
+is opt-in everywhere else and binds port 0 (ephemeral, loopback).
+"""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.exposition import (
+    MetricsHTTPServer,
+    PromFileWriter,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_snapshot():
+    metrics = MetricsRegistry()
+    metrics.counter("coordinator.ticks").inc(7)
+    metrics.gauge("slo.covered_fraction").set(0.5)
+    h = metrics.histogram("report.latency_s", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.7, 3.0, 9.0):
+        h.observe(v)
+    return metrics.snapshot()
+
+
+class TestRender:
+    def test_counters_and_gauges(self):
+        text = render_prometheus(_sample_snapshot())
+        assert "# TYPE repro_coordinator_ticks counter" in text
+        assert "repro_coordinator_ticks 7" in text
+        assert "# TYPE repro_slo_covered_fraction gauge" in text
+        assert "repro_slo_covered_fraction 0.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(_sample_snapshot())
+        lines = [l for l in text.splitlines() if "report_latency_s" in l]
+        assert 'repro_report_latency_s_bucket{le="1"} 1' in lines
+        assert 'repro_report_latency_s_bucket{le="2"} 3' in lines
+        assert 'repro_report_latency_s_bucket{le="4"} 4' in lines
+        assert 'repro_report_latency_s_bucket{le="+Inf"} 5' in lines
+        assert "repro_report_latency_s_count 5" in lines
+        sum_line = next(l for l in lines if "_sum" in l)
+        assert float(sum_line.split()[-1]) == pytest.approx(15.7)
+
+    def test_name_sanitization(self):
+        text = render_prometheus(
+            {"counters": {"9weird.name-x": 1.0}}, prefix=""
+        )
+        assert "_9weird_name_x 1" in text
+
+    def test_non_finite_values(self):
+        text = render_prometheus(
+            {"gauges": {"a": float("nan"), "b": float("inf")}}
+        )
+        assert "repro_a NaN" in text
+        assert "repro_b +Inf" in text
+
+    def test_deterministic_and_sorted(self):
+        snap = _sample_snapshot()
+        assert render_prometheus(snap) == render_prometheus(snap)
+        text = render_prometheus(
+            {"counters": {"b": 1.0, "a": 2.0}}, prefix=""
+        )
+        assert text.index("a 2") < text.index("b 1")
+
+    def test_accepts_snapshots_jsonl_row(self):
+        """Extra keys (v/seq/t) from a snapshot line are ignored."""
+        text = render_prometheus(
+            {"v": 1, "seq": 3, "t": 600.0, "counters": {"c": 1.0}}
+        )
+        assert "repro_c 1" in text
+
+
+class TestFileWriter:
+    def test_rewrites_file_per_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        writer = PromFileWriter(path)
+        writer({"counters": {"c": 1.0}})
+        assert "repro_c 1" in path.read_text()
+        writer({"counters": {"c": 2.0}})
+        content = path.read_text()
+        assert "repro_c 2" in content
+        assert "repro_c 1" not in content
+
+
+class TestHTTPServer:
+    def test_serves_latest_snapshot(self):
+        server = MetricsHTTPServer()
+        assert server.port != 0
+        server.start()
+        try:
+            url = f"http://{server.host}:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                assert resp.status == 200
+                assert b"no snapshot captured yet" in resp.read()
+            server({"counters": {"coordinator.ticks": 9.0}})
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                body = resp.read().decode()
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                assert "repro_coordinator_ticks 9" in body
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(
+                    f"http://{server.host}:{server.port}/nope", timeout=5
+                )
+            assert exc.value.code == 404
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self):
+        server = MetricsHTTPServer()
+        server.start()
+        server.stop()
+        server.stop()

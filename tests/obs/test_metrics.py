@@ -3,11 +3,15 @@
 import json
 import math
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Histogram,
     MetricsRegistry,
     NULL_REGISTRY,
+    quantile_from_snapshot,
 )
 
 
@@ -69,10 +73,58 @@ class TestHistogram:
             h.observe(0.5)
         h.observe(3.0)
         assert h.percentile(0.5) == 1.0
-        assert h.percentile(0.999) == 4.0
+        # The tail lands in the (2, 4] bucket, but the estimate is
+        # clamped to the observed max — keeping percentile() monotone
+        # in q up to percentile(1.0) == max.
+        assert h.percentile(0.999) == 3.0
+        assert h.percentile(0.0) == 0.5
+        assert h.percentile(1.0) == 3.0
 
     def test_empty_percentile_is_nan(self):
         assert math.isnan(Histogram("h", (1.0,)).percentile(0.5))
+
+    def test_single_bucket_histogram(self):
+        h = Histogram("h", (10.0,))
+        h.observe(3.0)
+        assert h.percentile(0.0) == 3.0
+        assert h.percentile(0.5) == 3.0
+        assert h.percentile(1.0) == 3.0
+
+    def test_all_overflow_observations(self):
+        h = Histogram("h", (1.0,))
+        h.observe(50.0)
+        h.observe(70.0)
+        assert h.percentile(0.5) == 70.0  # clamped to max
+        assert h.percentile(0.0) == 50.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e4,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=50,
+        ),
+        qs=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=6
+        ),
+    )
+    def test_percentile_monotone_in_q(self, values, qs):
+        """For any data, q1 <= q2 implies percentile(q1) <= percentile(q2),
+        and every estimate stays inside [min, max]."""
+        h = Histogram("h", (1.0, 10.0, 100.0, 1000.0))
+        for v in values:
+            h.observe(v)
+        estimates = [h.percentile(q) for q in sorted(qs)]
+        for lo, hi in zip(estimates, estimates[1:]):
+            assert lo <= hi
+        for e in estimates:
+            assert h.min <= e <= h.max
+        assert h.percentile(0.0) == h.min
+        assert h.percentile(1.0) == h.max
+        # The snapshot-side helper agrees with the live histogram.
+        snap = h.snapshot()
+        for q in qs:
+            assert quantile_from_snapshot(snap, q) == h.percentile(q)
 
     def test_snapshot_shape(self):
         h = Histogram("h", (1.0, 2.0))

@@ -1,12 +1,18 @@
 """Tests for the text report renderer."""
 
+import json
+
 from repro.obs.manifest import RunManifest
 from repro.obs.report import (
     _histogram_quantile,
+    build_summary,
     load_artifacts,
+    render_diff,
     render_live,
     render_report,
     render_report_from_dir,
+    render_watch,
+    summary_from_dir,
 )
 from repro.obs.telemetry import Telemetry
 
@@ -77,3 +83,112 @@ class TestRender:
         arts = load_artifacts(str(tmp_path))
         assert arts["events"] == []
         assert arts["manifest"] is None
+
+
+def _write_dir(tmp_path, name="run", **overrides):
+    """A minimal on-disk telemetry dir, with per-file overrides.
+
+    Pass ``spans=None`` (etc.) to omit a file, or a string to write raw
+    bytes instead of the default well-formed JSON.
+    """
+    out = tmp_path / name
+    out.mkdir()
+    tel = _sample_telemetry()
+    tel.write_artifacts(out, manifest=RunManifest("monitor", 7))
+    (out / "snapshots.jsonl").write_text(
+        json.dumps({"v": 1, "seq": 0, "t": 60.0,
+                    "counters": {"coordinator.ticks": 1.0}, "gauges": {},
+                    "histograms": {}})
+        + "\n"
+    )
+    names = {"spans": "spans.json", "metrics": "metrics.json",
+             "events": "events.jsonl", "manifest": "manifest.json",
+             "snapshots": "snapshots.jsonl"}
+    for key, content in overrides.items():
+        path = out / names[key]
+        if content is None:
+            path.unlink()
+        else:
+            path.write_text(content)
+    return out
+
+
+class TestPartialAndCorruptDirs:
+    """Broken telemetry dirs must warn, never traceback (ISSUE sat. d)."""
+
+    def test_missing_spans_warns(self, tmp_path):
+        out = _write_dir(tmp_path, spans=None)
+        arts = load_artifacts(str(out))
+        assert arts["spans"] == {}
+        assert any("spans.json" in w for w in arts["warnings"])
+        text = render_report_from_dir(str(out))
+        assert "spans.json" in text
+        assert "coordinator.ticks" in text  # the rest still renders
+
+    def test_corrupt_metrics_warns(self, tmp_path):
+        out = _write_dir(tmp_path, metrics="{not json")
+        arts = load_artifacts(str(out))
+        assert arts["metrics"]["counters"] == {}
+        assert any("metrics.json" in w for w in arts["warnings"])
+        render_report_from_dir(str(out))  # must not raise
+
+    def test_truncated_events_tail_skipped(self, tmp_path):
+        out = _write_dir(tmp_path)
+        with open(out / "events.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "epoch.close", "t":')
+        arts = load_artifacts(str(out))
+        assert any("events.jsonl" in w for w in arts["warnings"])
+        assert all(isinstance(e, dict) for e in arts["events"])
+
+    def test_truncated_snapshots_tail_skipped(self, tmp_path):
+        out = _write_dir(tmp_path)
+        with open(out / "snapshots.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "seq": 1')
+        summary = summary_from_dir(str(out))
+        assert summary["snapshots"]["count"] == 1
+        assert any("snapshots.jsonl" in w for w in summary["warnings"])
+
+    def test_watch_and_diff_survive_empty_dir(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        render_watch(str(empty))  # must not raise
+        render_diff(str(empty), str(empty))  # must not raise
+
+
+class TestSummaryModel:
+    """`obs report --format json` shares the same model as the text path."""
+
+    def test_summary_keys(self, tmp_path):
+        out = _write_dir(tmp_path)
+        summary = summary_from_dir(str(out))
+        for key in ("manifest", "counters", "gauges", "histograms", "spans",
+                    "alerts", "slo", "snapshots", "events_dropped",
+                    "warnings"):
+            assert key in summary
+        assert summary["counters"]["coordinator.ticks"] == 10.0
+        assert summary["snapshots"]["first_t"] == 60.0
+        json.dumps(summary)  # strictly JSON-serializable (NaN -> None)
+
+    def test_alert_state_replayed_from_events(self):
+        tel = _sample_telemetry()
+        tel.emit("alert.fired", 50.0, rule="r", metric="m", value=1.0)
+        tel.emit("alert.resolved", 60.0, rule="r", metric="m", value=0.0)
+        tel.emit("alert.fired", 70.0, rule="r", metric="m", value=2.0)
+        summary = build_summary({
+            "metrics": tel.metrics.snapshot(),
+            "events": tel.events.events(),
+            "spans": {}, "manifest": None, "snapshots": [],
+            "warnings": [],
+        })
+        assert summary["alerts"]["fired"] == 2
+        assert summary["alerts"]["resolved"] == 1
+        active = summary["alerts"]["active"]
+        assert [(a["rule"], a["metric"], a["since_t"]) for a in active] == [
+            ("r", "m", 70.0)
+        ]
+
+    def test_render_watch_shows_status_line(self, tmp_path):
+        out = _write_dir(tmp_path)
+        text = render_watch(str(out))
+        assert "snapshots=1" in text
+        assert "t=" in text

@@ -1,0 +1,185 @@
+"""Tests for zone-coverage SLO tracking (demand scoping, streaks, gauges)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloPolicy, SloTracker, default_slo_rules
+
+
+KEY = ((3, 4), "NetB", "latency")
+
+
+class TestPolicy:
+    def test_defaults_match_paper_floor(self):
+        policy = SloPolicy()
+        assert policy.min_epoch_samples == 10
+        assert policy.under_epochs == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(min_epoch_samples=0)
+        with pytest.raises(ValueError):
+            SloPolicy(under_epochs=0)
+        with pytest.raises(ValueError):
+            SloPolicy(staleness_limit_s=0.0)
+
+
+class TestDemandScoping:
+    def test_undemanded_close_never_counts_as_under(self):
+        tracker = SloTracker()
+        tracker.note_epoch_close(KEY, 0, 100.0)
+        assert tracker.stream(KEY).consecutive_under == 0
+
+    def test_demanded_under_covered_epochs_accumulate(self):
+        tracker = SloTracker()
+        for i in range(3):
+            tracker.note_demand(KEY, 100.0 * i)
+            tracker.note_epoch_close(KEY, 2, 100.0 * i + 50.0)
+        s = tracker.stream(KEY)
+        assert s.consecutive_under == 3
+        assert s.epochs_under == 3
+        assert s.epochs_closed == 3
+
+    def test_covered_epoch_resets_streak(self):
+        tracker = SloTracker()
+        for _ in range(2):
+            tracker.note_demand(KEY, 0.0)
+            tracker.note_epoch_close(KEY, 0, 1.0)
+        tracker.note_demand(KEY, 2.0)
+        tracker.note_epoch_close(KEY, 12, 3.0)
+        assert tracker.stream(KEY).consecutive_under == 0
+
+    def test_clients_leaving_resets_streak(self):
+        """An undemanded close means the zone is unmeasurable, not failing."""
+        tracker = SloTracker()
+        tracker.note_demand(KEY, 0.0)
+        tracker.note_epoch_close(KEY, 0, 1.0)
+        tracker.note_epoch_close(KEY, 0, 2.0)  # nobody present
+        assert tracker.stream(KEY).consecutive_under == 0
+
+    def test_demand_flag_cleared_each_close(self):
+        tracker = SloTracker()
+        tracker.note_demand(KEY, 0.0)
+        tracker.note_epoch_close(KEY, 0, 1.0)
+        assert tracker.stream(KEY).demanded is False
+
+    def test_multi_epoch_close_counts_each_window(self):
+        tracker = SloTracker()
+        tracker.note_demand(KEY, 0.0)
+        tracker.note_epoch_close(KEY, 0, 1.0, n_epochs=3)
+        assert tracker.stream(KEY).consecutive_under == 3
+
+
+class TestStaleness:
+    def test_staleness_anchors_to_last_sample(self):
+        tracker = SloTracker()
+        tracker.note_demand(KEY, 10.0)
+        tracker.note_samples(KEY, 4, 20.0)
+        assert tracker.stream(KEY).staleness_s(50.0) == 30.0
+
+    def test_staleness_before_any_sample_uses_first_demand(self):
+        tracker = SloTracker()
+        tracker.note_demand(KEY, 10.0)
+        assert tracker.stream(KEY).staleness_s(25.0) == 15.0
+
+    def test_samples_never_move_backwards(self):
+        tracker = SloTracker()
+        tracker.note_samples(KEY, 1, 20.0)
+        tracker.note_samples(KEY, 1, 15.0)
+        assert tracker.stream(KEY).last_sample_s == 20.0
+
+
+class TestGauges:
+    def test_empty_tracker_is_fully_covered(self):
+        metrics = MetricsRegistry()
+        SloTracker().update_gauges(metrics, 0.0)
+        assert metrics.gauge_value("slo.streams") == 0
+        assert metrics.gauge_value("slo.covered_fraction") == 1.0
+
+    def test_under_coverage_surfaces_in_gauges(self):
+        policy = SloPolicy(under_epochs=2)
+        tracker = SloTracker(policy)
+        other = ((9, 9), "NetB", "latency")
+        for _ in range(2):
+            tracker.note_demand(KEY, 0.0)
+            tracker.note_epoch_close(KEY, 1, 1.0)
+        tracker.note_demand(other, 0.0)
+        tracker.note_epoch_close(other, 50, 1.0)
+        # Keep both demanded for the current tick's gauge pass.
+        tracker.note_demand(KEY, 2.0)
+        tracker.note_demand(other, 2.0)
+        metrics = MetricsRegistry()
+        tracker.update_gauges(metrics, 2.0)
+        assert metrics.gauge_value("slo.streams") == 2
+        assert metrics.gauge_value("slo.demanded_streams") == 2
+        assert metrics.gauge_value("slo.under_covered_streams") == 1
+        assert metrics.gauge_value("slo.worst_consecutive_under_epochs") == 2
+        assert metrics.gauge_value("slo.covered_fraction") == 0.5
+
+    def test_stale_streams_gauge(self):
+        policy = SloPolicy(staleness_limit_s=100.0)
+        tracker = SloTracker(policy)
+        tracker.note_demand(KEY, 0.0)
+        tracker.note_samples(KEY, 3, 10.0)
+        metrics = MetricsRegistry()
+        tracker.update_gauges(metrics, 500.0)
+        assert metrics.gauge_value("slo.max_staleness_s") == 490.0
+        assert metrics.gauge_value("slo.stale_streams") == 1
+
+    def test_undemanded_streams_do_not_hold_staleness_hostage(self):
+        tracker = SloTracker(SloPolicy(staleness_limit_s=100.0))
+        tracker.note_demand(KEY, 0.0)
+        tracker.note_epoch_close(KEY, 0, 1.0)  # clears demand
+        metrics = MetricsRegistry()
+        tracker.update_gauges(metrics, 10_000.0)
+        assert metrics.gauge_value("slo.stale_streams") == 0
+        assert metrics.gauge_value("slo.max_staleness_s") == 0.0
+
+
+class TestDefaultRules:
+    def test_rules_follow_policy(self):
+        rules = default_slo_rules(SloPolicy(under_epochs=3,
+                                            staleness_limit_s=60.0))
+        by_name = {r.name: r for r in rules}
+        under = by_name["slo.under_coverage"]
+        assert under.metric == "slo.worst_consecutive_under_epochs"
+        assert under.op == ">="
+        assert under.value == 3.0
+        assert under.severity == "critical"
+        stale = by_name["slo.staleness"]
+        assert stale.value == 60.0
+
+    def test_breach_fires_through_alert_engine(self):
+        """SLO gauges + default rules = the blackout alert, end to end."""
+        from repro.obs.alerts import AlertEngine
+        from repro.obs.telemetry import Telemetry
+
+        tel = Telemetry()
+        tracker = SloTracker()
+        engine = AlertEngine(default_slo_rules(), tel)
+
+        def snap_at(t):
+            tracker.update_gauges(tel.metrics, t)
+            return {
+                "t": t,
+                "counters": {},
+                "gauges": {
+                    name: tel.metrics.gauge_value(name)
+                    for name in (
+                        "slo.worst_consecutive_under_epochs",
+                        "slo.max_staleness_s",
+                    )
+                },
+            }
+
+        tracker.note_demand(KEY, 0.0)
+        tracker.note_epoch_close(KEY, 1, 10.0)
+        tracker.note_demand(KEY, 11.0)
+        assert engine.evaluate(snap_at(10.0)) == []
+        tracker.note_epoch_close(KEY, 0, 20.0)
+        tracker.note_demand(KEY, 21.0)
+        out = engine.evaluate(snap_at(20.0))
+        assert [o["transition"] for o in out] == ["fired"]
+        tracker.note_epoch_close(KEY, 30, 30.0)
+        out = engine.evaluate(snap_at(30.0))
+        assert [o["transition"] for o in out] == ["resolved"]

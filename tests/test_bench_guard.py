@@ -1,0 +1,103 @@
+"""Tests for the perf-regression guard (benchmarks/check_regression.py)."""
+
+import json
+
+from benchmarks.check_regression import check, load_history, main
+
+
+def _entry(link=30.0, udp=15.0):
+    return {
+        "link_state": {"speedup_batch_vs_scalar": link},
+        "udp_train": {"speedup_batch_vs_reference": udp},
+    }
+
+
+class TestCheck:
+    def test_no_history_passes(self):
+        warnings, failures = check(_entry(), [])
+        assert warnings == []
+        assert failures == []
+
+    def test_steady_speedups_pass(self):
+        history = [_entry(30.0, 15.0) for _ in range(5)]
+        warnings, failures = check(_entry(29.0, 15.5), history)
+        assert warnings == []
+        assert failures == []
+
+    def test_moderate_drop_warns(self):
+        history = [_entry(30.0, 15.0) for _ in range(5)]
+        warnings, failures = check(_entry(24.0, 15.0), history)  # -20%
+        assert len(warnings) == 1
+        assert "link_state" in warnings[0]
+        assert failures == []
+
+    def test_large_drop_fails(self):
+        history = [_entry(30.0, 15.0) for _ in range(5)]
+        warnings, failures = check(_entry(30.0, 9.0), history)  # -40%
+        assert warnings == []
+        assert len(failures) == 1
+        assert "udp_train" in failures[0]
+
+    def test_fresh_run_excluded_from_its_own_baseline(self):
+        """run_perf.py appends the fresh result to history before the
+        guard runs; comparing against yourself would hide regressions."""
+        history = [_entry(30.0, 15.0) for _ in range(5)] + [_entry(18.0, 15.0)]
+        warnings, failures = check(_entry(18.0, 15.0), history)  # -40% real
+        assert len(failures) == 1
+
+    def test_baseline_is_median_of_recent_tail(self):
+        # One ancient great run must not dominate five recent ones.
+        history = [_entry(100.0, 15.0)] + [_entry(20.0, 15.0)] * 5
+        warnings, failures = check(_entry(19.0, 15.0), history)
+        assert warnings == []
+        assert failures == []
+
+    def test_malformed_fresh_result_fails(self):
+        warnings, failures = check({"link_state": {}}, [])
+        assert failures
+
+
+class TestHistoryLoading:
+    def test_tolerates_truncated_and_junk_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps(_entry()) + "\n"
+            + "not json\n"
+            + json.dumps({"unrelated": True}) + "\n"
+            + json.dumps(_entry(25.0, 12.0))[:-5] + "\n"
+        )
+        entries = load_history(str(path))
+        assert len(entries) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+
+class TestMain:
+    def _write(self, tmp_path, fresh, history):
+        perf = tmp_path / "BENCH_perf.json"
+        perf.write_text(json.dumps(fresh))
+        hist = tmp_path / "BENCH_history.jsonl"
+        hist.write_text("".join(json.dumps(e) + "\n" for e in history))
+        return str(perf), str(hist)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        perf, hist = self._write(tmp_path, _entry(), [_entry()] * 3)
+        assert main(["--perf", perf, "--history", hist]) == 0
+        assert "perf guard OK" in capsys.readouterr().out
+
+    def test_warning_annotation_format(self, tmp_path, capsys):
+        perf, hist = self._write(tmp_path, _entry(24.0, 15.0),
+                                 [_entry(30.0, 15.0)] * 3)
+        assert main(["--perf", perf, "--history", hist]) == 0
+        assert "::warning title=perf regression::" in capsys.readouterr().out
+
+    def test_exit_one_on_failure(self, tmp_path, capsys):
+        perf, hist = self._write(tmp_path, _entry(10.0, 15.0),
+                                 [_entry(30.0, 15.0)] * 3)
+        assert main(["--perf", perf, "--history", hist]) == 1
+        assert "FAIL:" in capsys.readouterr().out
+
+    def test_unreadable_perf_exits_one(self, tmp_path):
+        assert main(["--perf", str(tmp_path / "nope.json"),
+                     "--history", str(tmp_path / "nope.jsonl")]) == 1

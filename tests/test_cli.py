@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -80,3 +82,112 @@ class TestCommands:
     def test_obs_report_missing_dir(self, tmp_path, capsys):
         assert main(["obs", "report", str(tmp_path / "nope")]) == 2
         assert "no such telemetry directory" in capsys.readouterr().err
+
+
+class TestLiveTelemetryFlags:
+    def test_snapshot_every_requires_telemetry(self, capsys):
+        assert main(["monitor", "--hours", "0.5",
+                     "--snapshot-every", "300"]) == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_snapshot_every_must_be_positive(self, tmp_path, capsys):
+        assert main(["monitor", "--hours", "0.5",
+                     "--telemetry", str(tmp_path / "t"),
+                     "--snapshot-every", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_alerts_require_snapshots(self, tmp_path, capsys):
+        assert main(["monitor", "--hours", "0.5",
+                     "--telemetry", str(tmp_path / "t"),
+                     "--alerts", "examples/alert_rules.json"]) == 2
+        assert "--snapshot-every" in capsys.readouterr().err
+
+    def test_bad_blackout_spec(self, capsys):
+        assert main(["monitor", "--hours", "0.5",
+                     "--blackout", "2-1"]) == 2
+        assert "blackout" in capsys.readouterr().err
+
+    def test_bad_alert_rules_file(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text("{not json")
+        assert main(["monitor", "--hours", "0.5",
+                     "--telemetry", str(tmp_path / "t"),
+                     "--snapshot-every", "300",
+                     "--alerts", str(rules)]) == 2
+        assert "alert rules" in capsys.readouterr().err
+
+    def test_obs_watch_missing_dir(self, tmp_path, capsys):
+        assert main(["obs", "watch", str(tmp_path / "nope")]) == 2
+        assert "no such telemetry directory" in capsys.readouterr().err
+
+    def test_obs_diff_missing_dir(self, tmp_path, capsys):
+        a = tmp_path / "a"
+        a.mkdir()
+        assert main(["obs", "diff", str(a), str(tmp_path / "nope")]) == 2
+        assert "no such telemetry directory" in capsys.readouterr().err
+
+
+class TestLiveTelemetryEndToEnd:
+    @pytest.fixture(scope="class")
+    def live_run(self, tmp_path_factory):
+        """One blackout monitor run shared by the assertions below."""
+        out_dir = tmp_path_factory.mktemp("live") / "tel"
+        import contextlib
+        import io
+
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = main([
+                "monitor", "--buses", "2", "--hours", "1.5",
+                "--epoch-mins", "5",
+                "--telemetry", str(out_dir),
+                "--snapshot-every", "300",
+                "--blackout", "0.25-0.75",
+            ])
+        assert code == 0
+        return out_dir, stdout.getvalue()
+
+    def test_blackout_fires_then_resolves(self, live_run):
+        out_dir, stdout = live_run
+        fired = stdout.index("fired slo.under_coverage")
+        assert "resolved slo.under_coverage" in stdout[fired:]
+        events = [
+            json.loads(line)
+            for line in (out_dir / "events.jsonl").read_text().splitlines()
+        ]
+        kinds = [
+            e["kind"] for e in events
+            if e.get("rule") == "slo.under_coverage"
+        ]
+        assert "alert.fired" in kinds
+        assert kinds.index("alert.fired") < len(kinds) - 1 or \
+            "alert.resolved" in kinds
+
+    def test_snapshots_written(self, live_run):
+        out_dir, stdout = live_run
+        lines = (out_dir / "snapshots.jsonl").read_text().splitlines()
+        assert len(lines) >= 10
+        assert "snapshots=" in stdout
+        assert (out_dir / "metrics.prom").stat().st_size > 0
+
+    def test_obs_watch(self, live_run, capsys):
+        out_dir, _ = live_run
+        assert main(["obs", "watch", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots=" in out
+        assert "slo" in out
+
+    def test_obs_report_json(self, live_run, capsys):
+        out_dir, _ = live_run
+        assert main(["obs", "report", str(out_dir),
+                     "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["alerts"]["fired"] >= 1
+        assert summary["snapshots"]["count"] >= 10
+        assert summary["slo"]  # slo.* gauges present
+
+    def test_obs_diff_identical_dir_reports_no_change(self, live_run,
+                                                      capsys):
+        out_dir, _ = live_run
+        assert main(["obs", "diff", str(out_dir), str(out_dir)]) == 0
+        assert "no differences" in capsys.readouterr().out
