@@ -5,59 +5,27 @@ update.  Too-short epochs chase fast noise; too-long epochs average
 across genuine drift.  We measure the one-epoch-ahead prediction error
 of the zone's mean for a sweep of epoch lengths and check that the
 Allan-selected epoch sits near the error minimum.
+
+The math lives in :mod:`repro.sweep.scenarios` (shared with the
+``ablation-epoch`` sweep preset); this benchmark runs it at paper scale
+and asserts the paper's claims.
 """
 
-import math
-
-import numpy as np
-
 from repro.analysis.tables import TextTable
-from repro.clients.protocol import MeasurementType
 from repro.core.epochs import EpochEstimator
-from repro.radio.technology import NetworkId
-
-CANDIDATE_EPOCHS_MIN = [5.0, 15.0, 30.0, 60.0, 90.0, 150.0, 240.0]
-
-
-def _series(records, net=NetworkId.NET_B):
-    pts = sorted(
-        (r.time_s, r.value)
-        for r in records
-        if r.kind is MeasurementType.UDP_TRAIN
-        and r.network is net
-        and not math.isnan(r.value)
-    )
-    return np.array([t for t, _ in pts]), np.array([v for _, v in pts])
-
-
-def _prediction_error(times, values, epoch_s, budget=100):
-    """Mean |next-epoch mean - this-epoch estimate| / truth.
-
-    The estimate uses only the first ``budget`` samples of each epoch
-    (WiScape's budget); the target is the *full* mean of the following
-    epoch.
-    """
-    idx = (times // epoch_s).astype(int)
-    epochs = {}
-    for i, v in zip(idx, values):
-        epochs.setdefault(int(i), []).append(v)
-    keys = sorted(epochs)
-    errors = []
-    for a, b in zip(keys, keys[1:]):
-        if b != a + 1 or len(epochs[a]) < 5 or len(epochs[b]) < 5:
-            continue
-        estimate = float(np.mean(epochs[a][:budget]))
-        truth = float(np.mean(epochs[b]))
-        errors.append(abs(estimate - truth) / truth)
-    return float(np.mean(errors)) if errors else float("nan")
+from repro.sweep.scenarios import (
+    CANDIDATE_EPOCHS_MIN,
+    epoch_prediction_error,
+    measurement_series,
+)
 
 
 def _run(proximate_traces):
     out = {}
     for region in ("wi", "nj"):
-        times, values = _series(proximate_traces[region])
+        times, values = measurement_series(proximate_traces[region])
         errors = {
-            e: _prediction_error(times, values, e * 60.0)
+            e: epoch_prediction_error(times, values, e * 60.0)
             for e in CANDIDATE_EPOCHS_MIN
         }
         estimator = EpochEstimator(

@@ -4,28 +4,23 @@ The paper settles on ~100 samples per (zone, epoch) via NKLD
 convergence.  This ablation sweeps the budget and shows the error knee:
 accuracy improves steeply up to several tens of samples and flattens
 near the paper's choice — more samples buy little beyond ~100.
+
+The error core is :func:`repro.sweep.scenarios.sample_budget_errors`
+(shared with the ``ablation-budget`` sweep preset); this benchmark runs
+it at paper scale and asserts the knee.
 """
 
 import numpy as np
 
-from repro.analysis.figures import wiscape_error_cdf
 from repro.analysis.tables import TextTable
-from repro.geo.zones import ZoneGrid
-
-BUDGETS = [5, 10, 25, 50, 100, 200]
+from repro.sweep.scenarios import SAMPLE_BUDGETS, sample_budget_errors
 
 
 def _run(standalone_trace, origin):
-    grid = ZoneGrid(origin, radius_m=250.0)
-    out = {}
-    for budget in BUDGETS:
-        errors = np.asarray(wiscape_error_cdf(
-            standalone_trace, grid,
-            client_fraction=0.3, sample_budget=budget,
-            min_truth_samples=100, seed=5,
-        ))
-        out[budget] = errors
-    return out
+    return {
+        budget: sample_budget_errors(standalone_trace, origin, budget)
+        for budget in SAMPLE_BUDGETS
+    }
 
 
 def test_ablation_sample_budget(standalone_trace, landscape, benchmark):
@@ -53,5 +48,5 @@ def test_ablation_sample_budget(standalone_trace, landscape, benchmark):
     assert medians[5] > 1.5 * medians[100]
     assert medians[200] > 0.7 * medians[100]  # plateau: <30% further gain
     # Error decreases (weakly) monotonically with budget.
-    ordered = [medians[b] for b in BUDGETS]
+    ordered = [medians[b] for b in SAMPLE_BUDGETS]
     assert all(a >= b * 0.8 for a, b in zip(ordered, ordered[1:]))

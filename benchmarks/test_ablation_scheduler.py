@@ -5,115 +5,30 @@ a small, bounded amount of measurement while losing little accuracy
 against a greedy monitor that measures on every tick.  We run both
 policies over the same fleet and compare client overhead (tasks, bytes,
 Joules) and the published estimates' accuracy.
+
+The policy runners and accuracy/overhead metrics live in
+:mod:`repro.sweep.scenarios` (shared with the ``ablation-scheduler``
+sweep preset); this benchmark runs them at paper scale (4 buses, 4 h)
+and asserts the overhead/accuracy claim.
 """
 
-import numpy as np
-
 from repro.analysis.tables import TextTable
-from repro.clients.agent import ClientAgent
-from repro.clients.device import Device, DeviceCategory
-from repro.clients.protocol import MeasurementTask, MeasurementType
-from repro.core.config import WiScapeConfig
-from repro.core.controller import MeasurementCoordinator
-from repro.geo.zones import ZoneGrid
-from repro.mobility.routes import city_bus_routes
-from repro.mobility.vehicles import TransitBus
-from repro.radio.technology import NetworkId
-from repro.sim.engine import EventEngine
+from repro.sweep.scenarios import (
+    client_overhead,
+    estimation_accuracy,
+    run_budgeted,
+    run_greedy,
+)
 
-BC = [NetworkId.NET_B]
 HOURS = 4
 
 
-def _fleet(landscape, coordinator, seed_base):
-    routes = city_bus_routes(landscape.study_area, count=6)
-    for b in range(4):
-        bus = TransitBus(bus_id=b, routes=routes, seed=seed_base + b)
-        device = Device(
-            f"bus{seed_base}-{b}", DeviceCategory.SBC_PCMCIA, BC, seed=seed_base + b
-        )
-        coordinator.register_client(
-            ClientAgent(f"bus{seed_base}-{b}", device, bus, landscape, seed=seed_base + b)
-        )
-
-
-def _accuracy(coordinator, landscape):
-    errors = []
-    for rec in coordinator.store.records():
-        zone, net, kind = rec.key
-        if kind is not MeasurementType.UDP_TRAIN or rec.published is None:
-            continue
-        if rec.published.n_samples < 30:
-            continue
-        center = coordinator.grid.zone(zone).center
-        if landscape.network(net)._patch_at(center) is not None:
-            continue
-        truth = np.mean([
-            landscape.link_state(
-                net, center,
-                rec.published.start_s + f * (rec.published.end_s - rec.published.start_s),
-            ).downlink_bps
-            for f in (0.1, 0.5, 0.9)
-        ])
-        errors.append(abs(rec.published.mean - truth) / truth)
-    return float(np.median(errors)) if errors else float("nan")
-
-
-def _run_budgeted(landscape):
-    grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
-    config = WiScapeConfig(task_kinds=(MeasurementType.UDP_TRAIN,))
-    coordinator = MeasurementCoordinator(grid, config=config, seed=1)
-    _fleet(landscape, coordinator, seed_base=10)
-    engine = EventEngine()
-    engine.clock.reset(8 * 3600.0)
-    coordinator.attach(engine, until=(8 + HOURS) * 3600.0)
-    engine.run(until=(8 + HOURS) * 3600.0)
-    return coordinator
-
-
-def _run_greedy(landscape):
-    """Every active client measures on every tick (no budgets)."""
-    grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
-    config = WiScapeConfig(task_kinds=(MeasurementType.UDP_TRAIN,))
-    coordinator = MeasurementCoordinator(grid, config=config, seed=1)
-    _fleet(landscape, coordinator, seed_base=10)
-    task_ids = iter(range(10**9))
-    for tick in range(int(HOURS * 3600 / config.tick_interval_s)):
-        now = 8 * 3600.0 + (tick + 1) * config.tick_interval_s
-        for agent in coordinator.clients.values():
-            if not agent.is_active(now):
-                continue
-            report = agent.execute(
-                MeasurementTask(
-                    task_id=next(task_ids), network=NetworkId.NET_B,
-                    kind=MeasurementType.UDP_TRAIN,
-                    params={"n_packets": config.udp_packets_per_task},
-                ),
-                now,
-            )
-            if report is not None:
-                coordinator.stats.tasks_issued += 1
-                coordinator.ingest(report)
-        for rec in coordinator.store.records():
-            coordinator._close_and_alert(rec, now)
-    return coordinator
-
-
-def _overhead(coordinator):
-    agents = list(coordinator.clients.values())
-    return {
-        "tasks": sum(a.reports_completed for a in agents),
-        "mbytes": sum(a.bytes_transferred for a in agents) / 1e6,
-        "joules": sum(a.energy.total_j for a in agents),
-    }
-
-
 def _run(landscape):
-    budgeted = _run_budgeted(landscape)
-    greedy = _run_greedy(landscape)
+    budgeted = run_budgeted(landscape, hours=float(HOURS), n_buses=4)
+    greedy = run_greedy(landscape, hours=float(HOURS), n_buses=4)
     return (
-        (_overhead(budgeted), _accuracy(budgeted, landscape)),
-        (_overhead(greedy), _accuracy(greedy, landscape)),
+        (client_overhead(budgeted), estimation_accuracy(budgeted, landscape)),
+        (client_overhead(greedy), estimation_accuracy(greedy, landscape)),
     )
 
 

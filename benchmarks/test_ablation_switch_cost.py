@@ -6,34 +6,26 @@ per-switch delay grows, the naive best-zone selector's advantage erodes
 (it switches on every small per-zone difference) while a hysteresis
 selector — only switch for a >=20% predicted gain — holds on to most of
 the benefit with a fraction of the switches.
+
+The per-(scheme, delay) trial is :func:`repro.sweep.scenarios.
+switch_cost_trial` (shared with the ``ablation-switch`` sweep preset);
+this benchmark runs the full grid at paper scale and asserts the
+erosion story.
 """
 
-import numpy as np
-
 from repro.analysis.tables import TextTable
-from repro.apps.multisim import (
-    BestZoneSelector,
-    FixedSelector,
-    HysteresisSelector,
-    MultiSimClient,
-    ZonePerformanceMap,
-)
+from repro.apps.multisim import ZonePerformanceMap
 from repro.apps.webworkload import surge_page_pool
-from repro.geo.regions import short_segment_road
 from repro.geo.zones import ZoneGrid
-from repro.mobility.routes import Route
-from repro.mobility.vehicles import Car
-from repro.radio.technology import NetworkId
+from repro.sweep.scenarios import SWITCH_DELAYS_S, switch_cost_trial
 
-ALL = [NetworkId.NET_A, NetworkId.NET_B, NetworkId.NET_C]
-SWITCH_DELAYS = [0.0, 2.0, 5.0, 10.0]
 N_PAGES = 300
+SCHEMES = ("greedy", "hysteresis", "fixed-best")
 
 
 def _run(landscape, short_segment_trace):
     grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
     pmap = ZonePerformanceMap.from_records(short_segment_trace, grid)
-    route = Route(name="seg", waypoints=short_segment_road().waypoints)
     pages = surge_page_pool(count=N_PAGES, seed=5)
     start = 10.0 * 3600.0
 
@@ -42,42 +34,15 @@ def _run(landscape, short_segment_trace):
     starts = [start + k * 500.0 for k in range(6)]
 
     rows = []
-    for delay in SWITCH_DELAYS:
+    for delay in SWITCH_DELAYS_S:
         times = {}
         switches = {}
-        for name, make_sel in [
-            ("greedy", lambda: BestZoneSelector(pmap, ALL)),
-            ("hysteresis", lambda: HysteresisSelector(pmap, ALL, gain_threshold=0.2)),
-            ("fixed-best", None),
-        ]:
-            if make_sel is None:
-                # Best fixed carrier at this delay (no switches at all).
-                fixed = []
-                for net in ALL:
-                    car = Car(car_id=30, route=route, seed=150)
-                    client = MultiSimClient(
-                        landscape, car, grid, ALL, seed=250, switch_delay_s=delay
-                    )
-                    fixed.append(sum(
-                        client.fetch(pages, FixedSelector(net), s).total_duration_s
-                        for s in starts
-                    ))
-                times[name] = min(fixed)
-                switches[name] = 0
-                continue
-            car = Car(car_id=30, route=route, seed=150)
-            client = MultiSimClient(
-                landscape, car, grid, ALL, seed=250, switch_delay_s=delay
+        for scheme in SCHEMES:
+            trial = switch_cost_trial(
+                landscape, pmap, scheme, delay, pages, starts
             )
-            selector = make_sel()
-            total = 0.0
-            n_switches = 0
-            for s in starts:
-                fetch = client.fetch(pages, selector, s)
-                total += fetch.total_duration_s
-                n_switches += fetch.switches
-            times[name] = total
-            switches[name] = n_switches
+            times[scheme] = trial["total_s"]
+            switches[scheme] = trial["switches"]
         rows.append((delay, times, switches))
     return rows
 

@@ -6,45 +6,25 @@ makes the trade-off measurable: smaller zones are individually more
 homogeneous but far fewer of them reach a workable sample count;
 larger zones are plentiful-per-zone but smear together genuinely
 different locations.
+
+The binning/homogeneity core is :func:`repro.sweep.scenarios.
+zone_radius_stats` (shared with the ``ablation-radius`` sweep preset);
+this benchmark runs it at paper scale and asserts the trade-off.
 """
 
-import math
-
-import numpy as np
-
 from repro.analysis.tables import TextTable
-from repro.clients.protocol import MeasurementType
-from repro.geo.zones import ZoneGrid
-from repro.network.metrics import relative_std
-from repro.radio.technology import NetworkId
+from repro.sweep.scenarios import ZONE_RADII_M, zone_radius_stats
 
-RADII = [125.0, 250.0, 500.0, 1000.0]
 MIN_SAMPLES = 100
 
 
 def _run(standalone_trace, origin):
-    values = [
-        (r.point, r.value)
-        for r in standalone_trace
-        if r.kind is MeasurementType.TCP_DOWNLOAD
-        and r.network is NetworkId.NET_B
-        and not math.isnan(r.value)
-    ]
-    out = {}
-    for radius in RADII:
-        grid = ZoneGrid(origin, radius_m=radius)
-        by_zone = {}
-        for point, value in values:
-            by_zone.setdefault(grid.zone_id_for(point), []).append(value)
-        qualified = {z: v for z, v in by_zone.items() if len(v) >= MIN_SAMPLES}
-        rels = [relative_std(v) for v in qualified.values()]
-        out[radius] = {
-            "zones_total": len(by_zone),
-            "zones_qualified": len(qualified),
-            "qualified_fraction": len(qualified) / max(1, len(by_zone)),
-            "median_relstd": float(np.median(rels)) if rels else float("nan"),
-        }
-    return out
+    return {
+        radius: zone_radius_stats(
+            standalone_trace, origin, radius, min_samples=MIN_SAMPLES
+        )
+        for radius in ZONE_RADII_M
+    }
 
 
 def test_ablation_zone_radius(standalone_trace, landscape, benchmark):
@@ -67,7 +47,7 @@ def test_ablation_zone_radius(standalone_trace, landscape, benchmark):
     print(table.render())
 
     # Sample-density side: bigger zones qualify at a higher rate.
-    fractions = [results[r]["qualified_fraction"] for r in RADII]
+    fractions = [results[r]["qualified_fraction"] for r in ZONE_RADII_M]
     assert fractions[-1] > fractions[0]
     # Homogeneity side: bigger zones are more internally variable.
     assert results[1000.0]["median_relstd"] > results[125.0]["median_relstd"]

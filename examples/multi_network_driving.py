@@ -8,33 +8,34 @@ Drive the 20 km road stretch fetching web pages:
 * a MAR gateway (three links striped) compares round-robin against the
   WiScape-informed scheduler.
 
+The per-strategy cores live in :mod:`repro.sweep.scenarios`
+(``multisim_fetch`` / ``mar_fetch``), shared with the ``driving`` sweep
+preset, so this example and ``repro sweep run --preset driving`` compute
+the same comparison.
+
 Run:  python examples/multi_network_driving.py
+      python examples/multi_network_driving.py --sweep OUT --workers 4
 """
 
-import numpy as np
+import argparse
 
 from repro import NetworkId, build_landscape
 from repro.analysis.tables import TextTable
-from repro.apps.mar import MarGateway
-from repro.apps.multisim import (
-    BestZoneSelector,
-    FixedSelector,
-    MultiSimClient,
-    RoundRobinSelector,
-    ZonePerformanceMap,
-)
-from repro.apps.webworkload import surge_page_pool
+from repro.apps.multisim import ZonePerformanceMap
 from repro.datasets.generator import DatasetGenerator
-from repro.geo.regions import short_segment_road
 from repro.geo.zones import ZoneGrid
-from repro.mobility.routes import Route
-from repro.mobility.vehicles import Car
+from repro.sweep.scenarios import (
+    MULTISIM_STRATEGIES,
+    mar_fetch,
+    multisim_fetch,
+)
 
 ALL = [NetworkId.NET_A, NetworkId.NET_B, NetworkId.NET_C]
 N_PAGES = 1000
 
 
-def main() -> None:
+def run_serial() -> None:
+    """The full-scale serial comparison (1000 pages, 6 survey days)."""
     print("Building the landscape and the WiScape performance map...")
     landscape = build_landscape(seed=7)
     grid = ZoneGrid(landscape.study_area.anchor, radius_m=250.0)
@@ -43,58 +44,84 @@ def main() -> None:
     perf_map = ZonePerformanceMap.from_records(survey, grid)
     print(f"WiScape knows {len(perf_map.zones())} road zones")
 
-    route = Route(name="seg", waypoints=short_segment_road().waypoints)
+    from repro.apps.webworkload import surge_page_pool
+
     pages = surge_page_pool(count=N_PAGES, seed=5)
     start = 10.0 * 3600.0
 
     # --- multi-SIM phone ---------------------------------------------------
     print(f"\nMulti-SIM phone: fetching {N_PAGES} pages while driving...")
-    table = TextTable(["strategy", "total (s)", "mean page (s)"], formats=["", ".1f", ".3f"])
+    table = TextTable(["strategy", "total (s)", "mean page (s)"],
+                      formats=["", ".1f", ".3f"])
     results = {}
-    for name, selector in [
-        ("WiScape best-zone", BestZoneSelector(perf_map, ALL)),
-        ("fixed NetA", FixedSelector(NetworkId.NET_A)),
-        ("fixed NetB", FixedSelector(NetworkId.NET_B)),
-        ("fixed NetC", FixedSelector(NetworkId.NET_C)),
-        ("round robin", RoundRobinSelector(ALL)),
-    ]:
-        car = Car(car_id=1, route=route, seed=100)
-        client = MultiSimClient(landscape, car, grid, ALL, seed=200)
-        fetch = client.fetch(pages, selector, start)
-        results[name] = fetch.total_duration_s
-        table.add_row(name, fetch.total_duration_s, fetch.mean_page_s)
+    for strategy in MULTISIM_STRATEGIES:
+        r = multisim_fetch(landscape, perf_map, strategy, pages, start)
+        results[strategy] = r["total_s"]
+        table.add_row(strategy, r["total_s"], r["mean_page_s"])
     print(table.render())
-    best_fixed = min(v for k, v in results.items() if k.startswith("fixed"))
+    best_fixed = min(
+        v for k, v in results.items() if k.startswith("fixed")
+    )
     print(
         f"WiScape vs best fixed carrier: "
-        f"{1 - results['WiScape best-zone'] / best_fixed:.1%} faster"
+        f"{1 - results['wiscape'] / best_fixed:.1%} faster"
     )
 
-    # --- MAR gateway ---------------------------------------------------------
+    # --- MAR gateway -------------------------------------------------------
     print(f"\nMAR gateway (3 links): fetching {N_PAGES} pages while driving...")
     table = TextTable(
         ["scheduler", "total (s)", "aggregate Mbps", "requests A/B/C"],
         formats=["", ".1f", ".2f", ""],
     )
-    car = Car(car_id=2, route=route, seed=300)
-    gateway = MarGateway(landscape, car, grid, ALL, seed=400)
-    rr = gateway.run_round_robin(pages, start)
-    car = Car(car_id=2, route=route, seed=300)
-    gateway = MarGateway(landscape, car, grid, ALL, seed=400)
-    ws = gateway.run_wiscape(pages, start, perf_map)
-    for result in (rr, ws):
-        split = "/".join(
-            str(result.per_interface_requests[n]) for n in ALL
-        )
-        table.add_row(
-            result.scheduler, result.total_duration_s,
-            result.aggregate_throughput_bps / 1e6, split,
-        )
+    mar = {}
+    for scheduler in ("round-robin", "wiscape"):
+        r = mar_fetch(landscape, perf_map, scheduler, pages, start)
+        mar[scheduler] = r
+        split = "/".join(str(r["requests"][n.value]) for n in ALL)
+        table.add_row(scheduler, r["total_s"], r["aggregate_mbps"], split)
     print(table.render())
     print(
         f"MAR-WiScape vs MAR-RR: "
-        f"{1 - ws.total_duration_s / rr.total_duration_s:.1%} faster"
+        f"{1 - mar['wiscape']['total_s'] / mar['round-robin']['total_s']:.1%}"
+        " faster"
     )
+
+
+def run_sweep(out_dir: str, workers: int) -> None:
+    """The same comparison as a sharded sweep (reduced scale per cell)."""
+    from repro.sweep import SweepRunner, load_summary, preset_grid
+
+    grid = preset_grid("driving")
+    print(f"sweep 'driving': {len(grid.cells())} cells, {workers} worker(s)")
+    result = SweepRunner(grid, out_dir, workers=workers).run()
+    print(f"done in {result.wall_s:.1f}s: {result.ok}/{result.total} ok")
+
+    table = TextTable(["mode", "strategy", "total (s)", "switches"],
+                      formats=["", "", ".1f", ""])
+    for record in load_summary(out_dir):
+        m = record["metrics"]
+        table.add_row(
+            m.get("mode", "?"), m.get("strategy", "?"),
+            m.get("total_s", float("nan")), m.get("switches", "-"),
+        )
+    print(table.render())
+    print(f"artifacts in {out_dir} (summary.jsonl, metrics.json, cells/)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sweep", metavar="OUT_DIR",
+        help="run as a sharded sweep (the 'driving' preset) instead of "
+             "the full-scale serial comparison",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="sweep worker processes (with --sweep)")
+    args = parser.parse_args()
+    if args.sweep:
+        run_sweep(args.sweep, args.workers)
+    else:
+        run_serial()
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ class TextTable:
         self.rows: List[List[str]] = []
 
     def add_row(self, *cells: Any) -> None:
+        """Append one row; numeric cells use the column's format spec."""
         if len(cells) != len(self.headers):
             raise ValueError(
                 f"expected {len(self.headers)} cells, got {len(cells)}"
@@ -36,6 +37,7 @@ class TextTable:
         self.rows.append(rendered)
 
     def render(self, indent: str = "") -> str:
+        """The aligned plain-text table as a string."""
         widths = [len(h) for h in self.headers]
         for row in self.rows:
             for i, cell in enumerate(row):

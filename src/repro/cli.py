@@ -17,7 +17,13 @@ writing code:
 * ``obs report``   — summarize a telemetry directory (text or
   ``--format json``);
 * ``obs watch``    — compact live status of a (running) telemetry dir;
-* ``obs diff``     — compare two runs' final counters and alerts.
+* ``obs diff``     — compare two runs' final counters and alerts;
+* ``sweep run``    — execute a (preset or JSON-file) experiment grid
+  across a worker pool, byte-identical for any ``--workers``;
+* ``sweep status`` — progress/status of a sweep output directory;
+* ``sweep merge``  — (re-)fold per-cell artifacts into the sweep-level
+  ``metrics.json`` + ``summary.jsonl``;
+* ``sweep list``   — available preset grids and scenarios.
 """
 
 from __future__ import annotations
@@ -33,10 +39,12 @@ from repro.radio.technology import NetworkId
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    """Attach the flags shared by every world-building subcommand."""
     parser.add_argument("--seed", type=int, default=7, help="world seed")
 
 
 def cmd_world_info(args: argparse.Namespace) -> int:
+    """``repro world-info``: summarize the synthetic radio landscape."""
     landscape = build_landscape(seed=args.seed)
     area = landscape.study_area
     print(f"seed {args.seed}: {len(landscape.networks)} carriers over "
@@ -57,6 +65,7 @@ def cmd_world_info(args: argparse.Namespace) -> int:
 
 
 def cmd_catalog(args: argparse.Namespace) -> int:
+    """``repro catalog``: print the table of generatable datasets."""
     from repro.datasets.catalog import catalog_table
 
     print(catalog_table())
@@ -64,6 +73,7 @@ def cmd_catalog(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: synthesize one catalog dataset to CSV/JSONL."""
     from repro.datasets.catalog import DATASET_CATALOG
     from repro.datasets.generator import DatasetGenerator
     from repro.datasets.io import write_csv, write_jsonl
@@ -104,6 +114,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_map(args: argparse.Namespace) -> int:
+    """``repro map``: render an ASCII zone-throughput map of the city."""
     from repro.analysis.figures import zone_throughput_map
     from repro.analysis.maps import render_zone_map
     from repro.datasets.generator import DatasetGenerator
@@ -135,6 +146,7 @@ def _parse_blackout(spec: str) -> Optional[tuple]:
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
+    """``repro monitor``: run the bus-fleet monitoring simulation."""
     from repro.clients.agent import ClientAgent
     from repro.clients.device import Device, DeviceCategory
     from repro.core.config import WiScapeConfig
@@ -301,6 +313,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
+    """``repro obs report``: render a telemetry directory (text or JSON)."""
     import json
 
     from repro.obs.report import render_report_from_dir, summary_from_dir
@@ -318,6 +331,7 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_watch(args: argparse.Namespace) -> int:
+    """``repro obs watch``: tail a live run's snapshot/alert stream."""
     import time
 
     from repro.obs.report import render_watch
@@ -335,6 +349,7 @@ def cmd_obs_watch(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """``repro obs diff``: compare the metrics of two telemetry dirs."""
     from repro.obs.report import render_diff
 
     for d in (args.dir_a, args.dir_b):
@@ -345,7 +360,145 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_grid_from_args(args: argparse.Namespace):
+    """Build the grid a ``sweep run`` invocation asked for, or None."""
+    from repro.sweep import SweepGrid, preset_grid
+
+    if args.preset:
+        try:
+            grid = preset_grid(args.preset)
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return None
+    else:
+        try:
+            grid = SweepGrid.from_file(args.grid)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load grid {args.grid!r}: {exc}", file=sys.stderr)
+            return None
+    if args.seeds:
+        try:
+            grid.seeds = [int(s) for s in args.seeds.split(",")]
+        except ValueError:
+            print(f"bad --seeds {args.seeds!r} (expected e.g. '7' or "
+                  "'7,8,9')", file=sys.stderr)
+            return None
+    return grid
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    """``repro sweep run``: execute a preset or grid-file sweep."""
+    from repro.sweep import SweepRunner
+
+    grid = _sweep_grid_from_args(args)
+    if grid is None:
+        return 2
+    try:
+        runner = SweepRunner(
+            grid, args.out, workers=args.workers,
+            max_retries=args.max_retries, start_method=args.start_method,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    n = len(grid.cells())
+    print(f"sweep {grid.name!r}: {n} cells, {args.workers} worker(s), "
+          f"start method {runner.start_method}")
+    result = runner.run(merge=not args.no_merge)
+    print(f"done in {result.wall_s:.1f}s: {result.ok} ok, "
+          f"{result.error} error, {result.failed} failed"
+          + (f", {result.retries} retries" if result.retries else ""))
+    if not args.no_merge:
+        print(f"merged artifacts in {Path(args.out).resolve()} "
+              "(metrics.json, summary.jsonl)")
+    return 0 if result.success else 1
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    """``repro sweep status``: per-cell progress of a sweep directory."""
+    import json
+
+    from repro.sweep import (
+        CELL_FILENAME,
+        CELLS_DIRNAME,
+        STATUS_FILENAME,
+        SWEEP_MANIFEST_FILENAME,
+        SweepManifest,
+    )
+
+    out = Path(args.out)
+    manifest_path = out / SWEEP_MANIFEST_FILENAME
+    if not manifest_path.is_file():
+        print(f"not a sweep directory (no {SWEEP_MANIFEST_FILENAME}): "
+              f"{out}", file=sys.stderr)
+        return 2
+    manifest = SweepManifest.read(str(manifest_path))
+    print(f"sweep {manifest['grid'].get('name', '?')!r}: "
+          f"{manifest['n_cells']} cells, grid hash "
+          f"{manifest['grid_hash'][:12]}, {manifest['workers']} worker(s)")
+    counts = {}
+    done = 0
+    cells_dir = out / CELLS_DIRNAME
+    if cells_dir.is_dir():
+        for cell in sorted(cells_dir.iterdir()):
+            record_path = cell / CELL_FILENAME
+            if not record_path.is_file():
+                counts["running"] = counts.get("running", 0) + 1
+                continue
+            try:
+                status = json.loads(record_path.read_text()).get(
+                    "status", "unknown")
+            except ValueError:
+                status = "unreadable"
+            counts[status] = counts.get(status, 0) + 1
+            done += 1
+    pct = 100.0 * done / max(1, manifest["n_cells"])
+    detail = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(f"progress: {done}/{manifest['n_cells']} cells ({pct:.0f}%)"
+          + (f" — {detail}" if detail else ""))
+    status_path = out / STATUS_FILENAME
+    if status_path.is_file():
+        status = json.loads(status_path.read_text())
+        print(f"last run: {status['wall_s']:.1f}s wall, "
+              f"{status['retries']} retries")
+    else:
+        print("last run: still in progress (no sweep_status.json yet)")
+    return 0
+
+
+def cmd_sweep_merge(args: argparse.Namespace) -> int:
+    """``repro sweep merge``: (re-)fold cell outputs into sweep metrics."""
+    from repro.sweep import merge_cells
+
+    out = Path(args.out)
+    if not out.is_dir():
+        print(f"no such sweep directory: {out}", file=sys.stderr)
+        return 2
+    result = merge_cells(str(out))
+    print(f"merged {result.cells} cells ({result.ok} ok) into "
+          f"{out / 'metrics.json'} and {out / 'summary.jsonl'}")
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0 if result.cells else 1
+
+
+def cmd_sweep_list(args: argparse.Namespace) -> int:
+    """``repro sweep list``: show available presets and scenarios."""
+    from repro.sweep import preset_grid, preset_names, scenario_names
+
+    print("preset grids:")
+    for name in preset_names():
+        grid = preset_grid(name)
+        print(f"  {name:<22} {len(grid.cells()):>3} cells  "
+              f"(scenario {', '.join(grid.scenarios)})")
+    print("scenarios:")
+    for name in scenario_names():
+        print(f"  {name}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser with every subcommand wired."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="WiScape (IMC 2011) reproduction toolkit",
@@ -454,10 +607,47 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("dir_b", help="comparison telemetry directory")
     pd.set_defaults(func=cmd_obs_diff)
 
+    p = sub.add_parser("sweep", help="parallel sharded experiment sweeps")
+    sweep_sub = p.add_subparsers(dest="sweep_command", required=True)
+    ps = sweep_sub.add_parser(
+        "run", help="execute a grid of (scenario, seed, override) cells"
+    )
+    source = ps.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", help="preset grid name (see 'sweep list')")
+    source.add_argument("--grid", help="JSON grid-spec file")
+    ps.add_argument("out", help="output directory (cells/, merged artifacts)")
+    ps.add_argument("--workers", type=int, default=1,
+                    help="worker processes; 1 runs cells inline")
+    ps.add_argument("--seeds", help="override the grid's world seeds, "
+                    "comma-separated (e.g. '7,8')")
+    ps.add_argument("--max-retries", type=int, default=1,
+                    help="re-runs of a cell whose worker died")
+    ps.add_argument("--start-method", default="auto",
+                    choices=("auto", "fork", "spawn", "forkserver"),
+                    help="multiprocessing start method (auto prefers fork)")
+    ps.add_argument("--no-merge", action="store_true",
+                    help="skip the reduce step (run 'sweep merge' later)")
+    ps.set_defaults(func=cmd_sweep_run)
+    ps = sweep_sub.add_parser(
+        "status", help="progress/status of a sweep output directory"
+    )
+    ps.add_argument("out", help="sweep output directory")
+    ps.set_defaults(func=cmd_sweep_status)
+    ps = sweep_sub.add_parser(
+        "merge", help="(re-)fold cell artifacts into sweep-level summaries"
+    )
+    ps.add_argument("out", help="sweep output directory")
+    ps.set_defaults(func=cmd_sweep_merge)
+    ps = sweep_sub.add_parser(
+        "list", help="available preset grids and scenarios"
+    )
+    ps.set_defaults(func=cmd_sweep_list)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

@@ -22,12 +22,15 @@ class VehicleBase:
     """Common interface: position/speed/is_active at a sim time."""
 
     def position(self, t: float) -> GeoPoint:  # pragma: no cover - interface
+        """Vehicle location at sim time ``t`` (seconds)."""
         raise NotImplementedError
 
     def speed_ms(self, t: float) -> float:  # pragma: no cover - interface
+        """Instantaneous ground speed at ``t``, in m/s."""
         raise NotImplementedError
 
     def is_active(self, t: float) -> bool:  # pragma: no cover - interface
+        """Whether the vehicle is in service (moving or briefly stopped)."""
         raise NotImplementedError
 
 
@@ -78,12 +81,15 @@ class TransitBus(VehicleBase):
         return f
 
     def position(self, t: float) -> GeoPoint:
+        """Location along the day's assigned route at ``t``."""
         return self._follower_for_day(int(t // SECONDS_PER_DAY)).position(t)
 
     def speed_ms(self, t: float) -> float:
+        """Ground speed at ``t`` (zero while dwelling at stops)."""
         return self._follower_for_day(int(t // SECONDS_PER_DAY)).speed_ms(t)
 
     def is_active(self, t: float) -> bool:
+        """Whether the bus is in service (06:00-24:00 local)."""
         return self._follower_for_day(int(t // SECONDS_PER_DAY)).is_active(t)
 
 
@@ -129,12 +135,14 @@ class IntercityBus(VehicleBase):
         return out, back
 
     def position(self, t: float) -> GeoPoint:
+        """Location along the corridor (or the endpoint while parked)."""
         out, back = self._trips_for_day(int(t // SECONDS_PER_DAY))
         if back.in_transit(t) or t >= back.depart_t:
             return back.position(t)
         return out.position(t)
 
     def speed_ms(self, t: float) -> float:
+        """Highway speed while in transit; zero during the layover."""
         out, back = self._trips_for_day(int(t // SECONDS_PER_DAY))
         if out.in_transit(t):
             return out.speed_ms(t)
@@ -143,6 +151,7 @@ class IntercityBus(VehicleBase):
         return 0.0
 
     def is_active(self, t: float) -> bool:
+        """Whether the coach is on either leg of the day's round trip."""
         out, back = self._trips_for_day(int(t // SECONDS_PER_DAY))
         return out.in_transit(t) or back.in_transit(t)
 
@@ -171,10 +180,13 @@ class Car(VehicleBase):
         )
 
     def position(self, t: float) -> GeoPoint:
+        """Location along the fixed route at ``t``."""
         return self._follower.position(t)
 
     def speed_ms(self, t: float) -> float:
+        """Ground speed at ``t``, in m/s."""
         return self._follower.speed_ms(t)
 
     def is_active(self, t: float) -> bool:
+        """Whether ``t`` falls inside the daily driving window."""
         return self._follower.is_active(t)

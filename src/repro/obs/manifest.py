@@ -93,6 +93,7 @@ class RunManifest:
         }
 
     def to_dict(self) -> dict:
+        """The manifest as a JSON-ready dict (optional keys omitted)."""
         out: Dict[str, Any] = {
             "manifest_version": MANIFEST_VERSION,
             "run_kind": self.run_kind,
@@ -112,13 +113,16 @@ class RunManifest:
         return out
 
     def to_json(self, indent: int = 2) -> str:
+        """Canonical sorted-key JSON rendering."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def write(self, path) -> None:
+        """Write the manifest JSON to ``path``."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_json() + "\n")
 
     @staticmethod
     def read(path) -> dict:
+        """Load a manifest file back as a plain dict."""
         with open(path, "r", encoding="utf-8") as fh:
             return json.load(fh)

@@ -58,6 +58,7 @@ class Counter:
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative by convention)."""
         self.value += amount
 
 
@@ -71,12 +72,15 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the current value."""
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Move the value up by ``amount``."""
         self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Move the value down by ``amount``."""
         self.value -= amount
 
     def max(self, value: float) -> None:
@@ -107,6 +111,7 @@ class Histogram:
         self.max = float("-inf")
 
     def observe(self, value: float) -> None:
+        """Record one sample into its bucket (O(log n_buckets))."""
         v = float(value)
         self.counts[bisect_left(self.bounds, v)] += 1
         self.total += 1
@@ -118,6 +123,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Exact mean of all observations (0.0 when empty)."""
         return self.sum / self.total if self.total else 0.0
 
     def percentile(self, q: float) -> float:
@@ -153,6 +159,7 @@ class Histogram:
         return self.max
 
     def snapshot(self) -> dict:
+        """JSON-ready state: buckets, counts, count/sum/min/max."""
         return {
             "buckets": list(self.bounds),
             "counts": list(self.counts),
@@ -209,12 +216,14 @@ class MetricsRegistry:
     # -- access (create on first use) ----------------------------------
 
     def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
         g = self._gauges.get(name)
         if g is None:
             g = self._gauges[name] = Gauge(name)
@@ -223,6 +232,7 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
     ) -> Histogram:
+        """The named histogram; ``buckets`` only applies on creation."""
         h = self._histograms.get(name)
         if h is None:
             h = self._histograms[name] = Histogram(
@@ -233,10 +243,12 @@ class MetricsRegistry:
     # -- read side -------------------------------------------------------
 
     def counter_value(self, name: str) -> float:
+        """Current value of a counter (0.0 if never incremented)."""
         c = self._counters.get(name)
         return c.value if c is not None else 0.0
 
     def gauge_value(self, name: str) -> float:
+        """Current value of a gauge (0.0 if never set)."""
         g = self._gauges.get(name)
         return g.value if g is not None else 0.0
 
@@ -320,26 +332,33 @@ class NullMetricsRegistry:
     enabled = False
 
     def counter(self, name: str) -> _NullCounter:
+        """The shared no-op counter."""
         return _NULL_COUNTER
 
     def gauge(self, name: str) -> _NullGauge:
+        """The shared no-op gauge."""
         return _NULL_GAUGE
 
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
     ) -> _NullHistogram:
+        """The shared no-op histogram."""
         return _NULL_HISTOGRAM
 
     def counter_value(self, name: str) -> float:
+        """Always 0.0 — nothing is recorded when disabled."""
         return 0.0
 
     def gauge_value(self, name: str) -> float:
+        """Always 0.0 — nothing is recorded when disabled."""
         return 0.0
 
     def snapshot(self) -> dict:
+        """The empty snapshot shape (same keys as the real registry)."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
     def to_json(self, indent: int = 2) -> str:
+        """Canonical JSON of the (empty) snapshot."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
 

@@ -51,6 +51,11 @@ __all__ = [
 #: Percentiles rendered for every histogram.
 REPORT_QUANTILES = (0.50, 0.90, 0.99)
 
+#: Sweep-layout filenames (string literals, not imports: ``repro.sweep``
+#: imports ``repro.obs``, so importing back would create a cycle).
+SWEEP_MANIFEST_FILENAME = "sweep_manifest.json"
+CELL_RECORD_FILENAME = "cell.json"
+
 #: Alert transitions shown in the text report (most recent last).
 MAX_ALERT_ROWS = 20
 
@@ -67,12 +72,81 @@ def _table(headers):
     return TextTable(headers)
 
 
+def _synthesize_manifest(out_dir: str, warnings: List[str]) -> Optional[dict]:
+    """Derive a manifest for directories that legitimately lack one.
+
+    Sweep layouts never write ``manifest.json``: a sweep *root* carries
+    ``sweep_manifest.json`` and a *cell* directory carries ``cell.json``
+    (with the sweep manifest two levels up).  Both hold enough identity
+    to render the report header; anything else gets a warning naming
+    exactly which file was expected and not found.
+    """
+    cell_path = os.path.join(out_dir, CELL_RECORD_FILENAME)
+    sweep_path = os.path.join(out_dir, SWEEP_MANIFEST_FILENAME)
+
+    def _read(path: str, label: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as exc:
+            warnings.append(f"unreadable {label}: {exc}")
+            return None
+
+    if os.path.exists(cell_path):
+        cell = _read(cell_path, CELL_RECORD_FILENAME)
+        if cell is None:
+            return None
+        manifest = {
+            "run_kind": "sweep-cell",
+            "seed": cell.get("seed"),
+            "cell_id": cell.get("cell_id"),
+            "scenario": cell.get("scenario"),
+            "overrides": cell.get("overrides"),
+            "cell_status": cell.get("status"),
+        }
+        parent = os.path.join(out_dir, os.pardir, os.pardir,
+                              SWEEP_MANIFEST_FILENAME)
+        if os.path.exists(parent):
+            sweep = _read(parent, f"parent {SWEEP_MANIFEST_FILENAME}")
+            if sweep is not None:
+                manifest["grid"] = (sweep.get("grid") or {}).get("name")
+                manifest["grid_hash"] = sweep.get("grid_hash")
+                manifest["versions"] = sweep.get("versions")
+        return manifest
+
+    if os.path.exists(sweep_path):
+        sweep = _read(sweep_path, SWEEP_MANIFEST_FILENAME)
+        if sweep is None:
+            return None
+        grid = sweep.get("grid") or {}
+        return {
+            "run_kind": "sweep",
+            "seed": ",".join(str(s) for s in grid.get("seeds", [])) or "?",
+            "grid": grid.get("name"),
+            "grid_hash": sweep.get("grid_hash"),
+            "n_cells": sweep.get("n_cells"),
+            "workers": sweep.get("workers"),
+            "versions": sweep.get("versions"),
+        }
+
+    warnings.append(
+        f"no {MANIFEST_FILENAME} found (single runs write it via "
+        f"--telemetry; sweep roots have {SWEEP_MANIFEST_FILENAME}, sweep "
+        f"cells have {CELL_RECORD_FILENAME} — none of the three is here)"
+    )
+    return None
+
+
 def load_artifacts(out_dir: str) -> dict:
     """Read whichever artifact files exist under ``out_dir``.
 
-    Never raises on a partial or corrupt directory: unreadable files
-    and unparseable JSONL lines become entries in the returned
-    ``warnings`` list and the affected artifact keeps its empty default.
+    Accepts three layouts: a single telemetry run (``manifest.json``),
+    a sweep root (``sweep_manifest.json`` + merged artifacts) and a
+    sweep cell directory (``cell.json``); for the sweep layouts the
+    manifest is synthesized from the sweep/cell records.  Never raises
+    on a partial or corrupt directory: unreadable files and unparseable
+    JSONL lines become entries in the returned ``warnings`` list and the
+    affected artifact keeps its empty default.
     """
     artifacts: dict = {
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
@@ -110,18 +184,34 @@ def load_artifacts(out_dir: str) -> dict:
             )
         return rows
 
+    is_sweep_root = os.path.exists(
+        os.path.join(out_dir, SWEEP_MANIFEST_FILENAME)
+    ) and not os.path.exists(os.path.join(out_dir, CELL_RECORD_FILENAME))
+
     metrics = _json_file(METRICS_FILENAME)
     if metrics is not None:
         artifacts["metrics"] = metrics
     elif not os.path.exists(os.path.join(out_dir, METRICS_FILENAME)):
-        warnings.append(f"no {METRICS_FILENAME} found")
+        if is_sweep_root:
+            warnings.append(
+                f"no {METRICS_FILENAME} found (sweep not merged yet — "
+                "run 'repro sweep merge' on this directory)"
+            )
+        else:
+            warnings.append(f"no {METRICS_FILENAME} found")
     artifacts["events"] = _jsonl_file(EVENTS_FILENAME)
     spans = _json_file(SPANS_FILENAME)
     if spans is not None:
         artifacts["spans"] = spans
     elif not os.path.exists(os.path.join(out_dir, SPANS_FILENAME)):
-        warnings.append(f"no {SPANS_FILENAME} found")
-    artifacts["manifest"] = _json_file(MANIFEST_FILENAME)
+        if not is_sweep_root:
+            warnings.append(f"no {SPANS_FILENAME} found")
+        # Sweep roots have no spans by design: host timings are not
+        # deterministic, so the reducer leaves them in cells/<id>/.
+    if os.path.exists(os.path.join(out_dir, MANIFEST_FILENAME)):
+        artifacts["manifest"] = _json_file(MANIFEST_FILENAME)
+    else:
+        artifacts["manifest"] = _synthesize_manifest(out_dir, warnings)
     artifacts["snapshots"] = _jsonl_file(SNAPSHOTS_FILENAME)
     return artifacts
 
@@ -266,7 +356,19 @@ def _render_manifest(manifest: Optional[dict], lines: List[str]) -> None:
         bits.append(f"gen_seed={manifest['gen_seed']}")
     if "config_hash" in manifest:
         bits.append(f"config={manifest['config_hash']}")
+    if manifest.get("scenario"):
+        bits.append(f"scenario={manifest['scenario']}")
     lines.append("  " + " ".join(bits))
+    if manifest.get("cell_id"):
+        status = manifest.get("cell_status", "?")
+        lines.append(f"  sweep cell: {manifest['cell_id']} ({status})")
+    if manifest.get("grid"):
+        grid_bits = [f"grid={manifest['grid']}"]
+        if manifest.get("grid_hash"):
+            grid_bits.append(f"hash={str(manifest['grid_hash'])[:12]}")
+        if manifest.get("n_cells") is not None:
+            grid_bits.append(f"cells={manifest['n_cells']}")
+        lines.append("  sweep " + " ".join(grid_bits))
     versions = manifest.get("versions", {})
     if versions:
         lines.append(

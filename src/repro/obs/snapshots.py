@@ -99,6 +99,7 @@ class SnapshotStreamer:
         self._subscribers.append(fn)
 
     def unsubscribe(self, fn: Callable[[dict], None]) -> None:
+        """Remove a subscriber (no-op if it was never registered)."""
         if fn in self._subscribers:
             self._subscribers.remove(fn)
 
@@ -106,6 +107,7 @@ class SnapshotStreamer:
 
     @property
     def snapshots_taken(self) -> int:
+        """How many snapshots have been captured so far."""
         return self._seq
 
     def capture(self, t: float) -> Optional[dict]:
@@ -168,6 +170,7 @@ class SnapshotStreamer:
         engine.add_run_hook(lambda: self.capture(engine.now))
 
     def close(self) -> None:
+        """Flush and close the snapshot file (idempotent)."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None

@@ -49,6 +49,7 @@ class EventEngine:
 
     @property
     def now(self) -> SimTime:
+        """Current sim time in seconds."""
         return self.clock.now
 
     @property

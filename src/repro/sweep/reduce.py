@@ -1,0 +1,204 @@
+"""Fold per-cell sweep artifacts into sweep-level summaries.
+
+The reducer walks ``OUT/cells/<id>/`` in sorted cell-id order — an
+order no scheduler can perturb — and writes two deterministic files at
+the sweep root:
+
+* ``summary.jsonl`` — one key-sorted JSON line per cell: identity
+  (scenario, seed, overrides), status, and the scenario's metric dict.
+  This is the machine-readable result of the sweep; byte-identical for
+  any worker count.
+* ``metrics.json`` — the cells' telemetry registries folded into one
+  registry-shaped snapshot (counters summed, gauges averaged,
+  histograms bucket-merged) plus ``sweep.cells_*`` roll-up counters.
+  The shape matches a single run's ``metrics.json``, so ``repro obs
+  report`` and ``repro obs diff`` consume a sweep directory unchanged.
+
+Host-timing artifacts (per-cell ``spans.json``, ``sweep_status.json``)
+are deliberately *not* folded: they are not deterministic and would
+poison byte-comparisons between runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sweep.grid import (
+    CELL_FILENAME,
+    CELLS_DIRNAME,
+    SUMMARY_FILENAME,
+)
+
+__all__ = ["merge_cells", "load_summary", "merge_metrics", "MergeResult"]
+
+METRICS_FILENAME = "metrics.json"
+
+
+class MergeResult:
+    """What one reduce pass produced: paths, cell counts, warnings."""
+
+    def __init__(self, out_dir: str):
+        self.out_dir = out_dir
+        self.cells = 0
+        self.ok = 0
+        self.warnings: List[str] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MergeResult(cells={self.cells}, ok={self.ok}, "
+                f"warnings={len(self.warnings)})")
+
+
+def _load_cell_records(out_dir: str, result: MergeResult) -> List[dict]:
+    cells_dir = os.path.join(out_dir, CELLS_DIRNAME)
+    if not os.path.isdir(cells_dir):
+        result.warnings.append(f"no {CELLS_DIRNAME}/ directory under "
+                               f"{out_dir}")
+        return []
+    records = []
+    for cell_id in sorted(os.listdir(cells_dir)):
+        cell_path = os.path.join(cells_dir, cell_id, CELL_FILENAME)
+        if not os.path.isfile(cell_path):
+            result.warnings.append(
+                f"cells/{cell_id}: missing {CELL_FILENAME} (cell still "
+                "running, or killed before it wrote results?)"
+            )
+            continue
+        try:
+            with open(cell_path, "r", encoding="utf-8") as fh:
+                records.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            result.warnings.append(f"cells/{cell_id}: unreadable "
+                                   f"{CELL_FILENAME}: {exc}")
+    return records
+
+
+def _merge_histograms(acc: Dict[str, dict], name: str, snap: dict,
+                      result: MergeResult) -> None:
+    if name not in acc:
+        acc[name] = {
+            "buckets": list(snap.get("buckets", [])),
+            "counts": list(snap.get("counts", [])),
+            "count": int(snap.get("count", 0)),
+            "sum": float(snap.get("sum", 0.0)),
+            "min": snap.get("min"),
+            "max": snap.get("max"),
+        }
+        return
+    merged = acc[name]
+    if list(snap.get("buckets", [])) != merged["buckets"]:
+        # Different bucket layouts cannot be merged exactly; keep the
+        # first layout and fold only the scalar aggregates.
+        result.warnings.append(
+            f"histogram {name}: bucket layouts differ across cells; "
+            "bucket detail kept from the first cell only"
+        )
+    else:
+        counts = snap.get("counts", [])
+        merged["counts"] = [
+            a + b for a, b in zip(merged["counts"], counts)
+        ] if merged["counts"] else list(counts)
+    merged["count"] += int(snap.get("count", 0))
+    merged["sum"] += float(snap.get("sum", 0.0))
+    for key, pick in (("min", min), ("max", max)):
+        value = snap.get(key)
+        if value is None:
+            continue
+        merged[key] = value if merged[key] is None else pick(
+            merged[key], value
+        )
+
+
+def merge_metrics(cell_metrics: List[Tuple[str, dict]],
+                  result: Optional[MergeResult] = None) -> dict:
+    """Fold per-cell registry snapshots into one registry-shaped dict.
+
+    ``cell_metrics`` is a list of ``(cell_id, metrics_dict)`` pairs in
+    sorted cell-id order.  Counters sum; gauges average (sum / cells
+    observing them, folded in cell order so the float result is
+    deterministic); histograms merge bucket-wise when layouts agree.
+    """
+    result = result or MergeResult("")
+    counters: Dict[str, float] = {}
+    gauge_sums: Dict[str, float] = {}
+    gauge_counts: Dict[str, int] = {}
+    histograms: Dict[str, dict] = {}
+    for _cell_id, metrics in cell_metrics:
+        for name, value in (metrics.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0.0) + float(value)
+        for name, value in (metrics.get("gauges") or {}).items():
+            gauge_sums[name] = gauge_sums.get(name, 0.0) + float(value)
+            gauge_counts[name] = gauge_counts.get(name, 0) + 1
+        for name, snap in (metrics.get("histograms") or {}).items():
+            _merge_histograms(histograms, name, snap, result)
+    gauges = {
+        name: gauge_sums[name] / gauge_counts[name]
+        for name in sorted(gauge_sums)
+    }
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": gauges,
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }
+
+
+def merge_cells(out_dir: str) -> MergeResult:
+    """Reduce ``out_dir``'s cells into summary.jsonl + merged metrics.json.
+
+    Tolerant by design: unreadable or missing cell artifacts become
+    warnings on the returned :class:`MergeResult`, never exceptions —
+    a partially-complete sweep must still be summarizable.
+    """
+    result = MergeResult(out_dir)
+    records = _load_cell_records(out_dir, result)
+    records.sort(key=lambda r: r.get("cell_id", ""))
+    result.cells = len(records)
+    result.ok = sum(1 for r in records if r.get("status") == "ok")
+
+    summary_path = os.path.join(out_dir, SUMMARY_FILENAME)
+    with open(summary_path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+
+    cell_metrics: List[Tuple[str, dict]] = []
+    for record in records:
+        cell_id = record.get("cell_id", "")
+        path = os.path.join(out_dir, CELLS_DIRNAME, cell_id,
+                            METRICS_FILENAME)
+        if not os.path.isfile(path):
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                cell_metrics.append((cell_id, json.load(fh)))
+        except (OSError, ValueError) as exc:
+            result.warnings.append(
+                f"cells/{cell_id}: unreadable {METRICS_FILENAME}: {exc}"
+            )
+    merged = merge_metrics(cell_metrics, result)
+    status_counts: Dict[str, int] = {}
+    for record in records:
+        status = str(record.get("status", "unknown"))
+        status_counts[status] = status_counts.get(status, 0) + 1
+    merged["counters"]["sweep.cells_total"] = float(len(records))
+    for status in sorted(status_counts):
+        merged["counters"][f"sweep.cells_{status}"] = float(
+            status_counts[status]
+        )
+    with open(os.path.join(out_dir, METRICS_FILENAME), "w",
+              encoding="utf-8") as fh:
+        fh.write(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return result
+
+
+def load_summary(out_dir: str) -> List[dict]:
+    """Read ``summary.jsonl`` back into a list of cell records."""
+    path = os.path.join(out_dir, SUMMARY_FILENAME)
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

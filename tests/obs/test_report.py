@@ -192,3 +192,60 @@ class TestSummaryModel:
         text = render_watch(str(out))
         assert "snapshots=1" in text
         assert "t=" in text
+
+
+class TestSweepLayouts:
+    """obs report/diff accept sweep roots and cell dirs (no manifest.json)."""
+
+    def _sweep(self, tmp_path, name="sw", workers=1):
+        from repro.sweep import SweepRunner, preset_grid
+
+        out = tmp_path / name
+        assert SweepRunner(preset_grid("smoke"), str(out),
+                           workers=workers).run().success
+        return out
+
+    def test_sweep_root_synthesizes_manifest(self, tmp_path):
+        out = self._sweep(tmp_path)
+        arts = load_artifacts(str(out))
+        assert arts["manifest"]["run_kind"] == "sweep"
+        assert arts["manifest"]["grid"] == "smoke"
+        # Merged roots have metrics but legitimately no spans: no warning.
+        assert not any("spans.json" in w for w in arts["warnings"])
+        text = render_report_from_dir(str(out))
+        assert "kind=sweep" in text and "grid=smoke" in text
+        assert "sweep.cells_total" in text
+
+    def test_cell_dir_synthesizes_manifest_from_cell_and_parent(
+            self, tmp_path):
+        out = self._sweep(tmp_path)
+        cell_dir = next(p for p in (out / "cells").iterdir() if p.is_dir())
+        arts = load_artifacts(str(cell_dir))
+        manifest = arts["manifest"]
+        assert manifest["run_kind"] == "sweep-cell"
+        assert manifest["scenario"] == "smoke"
+        assert manifest["cell_id"] == cell_dir.name
+        assert manifest["grid"] == "smoke"  # from ../../sweep_manifest.json
+        text = render_report_from_dir(str(cell_dir))
+        assert "sweep cell:" in text and cell_dir.name in text
+
+    def test_unmerged_sweep_root_names_the_missing_file(self, tmp_path):
+        from repro.sweep import SweepRunner, preset_grid
+
+        out = tmp_path / "unmerged"
+        SweepRunner(preset_grid("smoke"), str(out)).run(merge=False)
+        arts = load_artifacts(str(out))
+        assert any("metrics.json" in w and "sweep merge" in w
+                   for w in arts["warnings"])
+
+    def test_plain_dir_warning_names_all_candidate_files(self, tmp_path):
+        arts = load_artifacts(str(tmp_path))
+        (warning,) = [w for w in arts["warnings"] if "manifest.json" in w]
+        assert "sweep_manifest.json" in warning
+        assert "cell.json" in warning
+
+    def test_diff_between_two_cells(self, tmp_path):
+        out = self._sweep(tmp_path)
+        cells = sorted(p for p in (out / "cells").iterdir() if p.is_dir())
+        text = render_diff(str(cells[0]), str(cells[-1]))
+        assert "smoke.draws" in text  # draws differ between the two cells

@@ -1,0 +1,68 @@
+"""The sweep's core guarantee: worker count cannot change results.
+
+Every deterministic artifact — per-cell ``cell.json``/``metrics.json``/
+``events.jsonl`` and the reduced ``summary.jsonl``/``metrics.json`` —
+must be byte-identical whether the grid ran inline, on 2 workers, or on
+4, because all randomness is spawn-keyed off content-derived cell ids.
+"""
+
+import os
+
+import pytest
+
+from repro.sweep import CELLS_DIRNAME, SweepRunner, load_summary, preset_grid
+
+#: The artifacts the determinism guarantee covers (spans.json and
+#: sweep_status.json hold host timings and are deliberately excluded).
+DETERMINISTIC_SWEEP_FILES = ("summary.jsonl", "metrics.json")
+DETERMINISTIC_CELL_FILES = ("cell.json", "metrics.json", "events.jsonl")
+
+
+def _read(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    """The smoke preset executed at 1, 2, and 4 workers."""
+    base = tmp_path_factory.mktemp("sweep-determinism")
+    dirs = {}
+    for workers in (1, 2, 4):
+        out = str(base / f"w{workers}")
+        result = SweepRunner(preset_grid("smoke"), out,
+                             workers=workers).run()
+        assert result.success
+        dirs[workers] = out
+    return dirs
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("filename", DETERMINISTIC_SWEEP_FILES)
+    def test_merged_artifacts_byte_identical(self, runs, workers, filename):
+        assert _read(os.path.join(runs[1], filename)) == \
+            _read(os.path.join(runs[workers], filename))
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_cell_artifacts_byte_identical(self, runs, workers):
+        serial_cells = os.path.join(runs[1], CELLS_DIRNAME)
+        for cell_id in sorted(os.listdir(serial_cells)):
+            for filename in DETERMINISTIC_CELL_FILES:
+                a = os.path.join(serial_cells, cell_id, filename)
+                b = os.path.join(runs[workers], CELLS_DIRNAME, cell_id,
+                                 filename)
+                assert _read(a) == _read(b), f"{cell_id}/{filename}"
+
+    def test_rerun_reproduces_bytes(self, runs, tmp_path):
+        out = str(tmp_path / "again")
+        assert SweepRunner(preset_grid("smoke"), out, workers=2).run().success
+        for filename in DETERMINISTIC_SWEEP_FILES:
+            assert _read(os.path.join(out, filename)) == \
+                _read(os.path.join(runs[1], filename))
+
+    def test_metrics_have_no_wallclock(self, runs):
+        """Spot-check: nothing time-of-day-ish leaks into summary lines."""
+        for record in load_summary(runs[1]):
+            assert "wall" not in str(sorted(record)).lower()
+            assert "duration" not in str(sorted(record)).lower()

@@ -1,0 +1,123 @@
+"""Tests for sweep cells, grids, and the sweep manifest."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sweep import SweepCell, SweepGrid, SweepManifest, preset_grid
+from repro.sweep.grid import _MAX_ID_LEN
+
+
+class TestSweepCell:
+    def test_cell_id_is_readable_and_content_derived(self):
+        cell = SweepCell("smoke", 7, {"radius_m": 250.0, "days": 2})
+        assert cell.cell_id == "smoke-s7-days=2_radius_m=250"
+
+    def test_cell_id_independent_of_override_insertion_order(self):
+        a = SweepCell("smoke", 7, {"a": 1, "b": 2})
+        b = SweepCell("smoke", 7, {"b": 2, "a": 1})
+        assert a.cell_id == b.cell_id
+
+    def test_cell_id_filesystem_safe(self):
+        cell = SweepCell("smoke", 7, {"module": "benchmarks/test_fig01.py"})
+        assert "/" not in cell.cell_id
+
+    def test_long_ids_collapse_to_hash(self):
+        overrides = {f"key_{i}": i for i in range(30)}
+        cell = SweepCell("smoke", 7, overrides)
+        assert len(cell.cell_id) <= _MAX_ID_LEN
+        # Still content-derived: same overrides, same id.
+        assert cell.cell_id == SweepCell("smoke", 7, dict(overrides)).cell_id
+
+    def test_rng_depends_on_cell_identity_not_schedule(self):
+        a = SweepCell("smoke", 7, {"x": 1})
+        b = SweepCell("smoke", 7, {"x": 2})
+        draws_a1 = a.rng().random(4)
+        draws_a2 = a.rng().random(4)
+        assert np.allclose(draws_a1, draws_a2)
+        assert not np.allclose(draws_a1, b.rng().random(4))
+
+    def test_named_rng_streams_differ(self):
+        cell = SweepCell("smoke", 7, {})
+        assert not np.allclose(
+            cell.rng("one").random(4), cell.rng("two").random(4)
+        )
+
+    def test_derived_seed_stable_and_named(self):
+        cell = SweepCell("smoke", 7, {})
+        assert cell.derived_seed() == cell.derived_seed()
+        assert cell.derived_seed("a") != cell.derived_seed("b")
+
+    def test_round_trips_through_dict(self):
+        cell = SweepCell("smoke", 3, {"draws": 10})
+        assert SweepCell.from_dict(cell.to_dict()) == cell
+
+
+class TestSweepGrid:
+    def test_matrix_expansion_is_sorted_product(self):
+        grid = SweepGrid("g", ["smoke"], seeds=[1, 2],
+                         matrix={"b": [10, 20], "a": [1]})
+        cells = grid.cells()
+        assert len(cells) == len(grid) == 4
+        assert [c.seed for c in cells] == [1, 1, 2, 2]
+        assert cells[0].overrides == {"a": 1, "b": 10}
+        assert cells[1].overrides == {"a": 1, "b": 20}
+
+    def test_explicit_cells_and_base_merge(self):
+        grid = SweepGrid("g", ["smoke"], seeds=[1],
+                         cells=[{"x": 1}, {"x": 2, "y": 9}],
+                         base={"y": 0})
+        overrides = [c.overrides for c in grid.cells()]
+        assert overrides == [{"x": 1, "y": 0}, {"x": 2, "y": 9}]
+
+    def test_matrix_and_cells_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            SweepGrid("g", ["smoke"], matrix={"a": [1]}, cells=[{"a": 1}])
+
+    def test_duplicate_cells_rejected(self):
+        grid = SweepGrid("g", ["smoke"], seeds=[1],
+                         cells=[{"x": 1}, {"x": 1}])
+        with pytest.raises(ValueError, match="duplicate cell id"):
+            grid.cells()
+
+    def test_round_trips_through_dict(self):
+        grid = SweepGrid("g", ["smoke"], seeds=[1, 2],
+                         matrix={"a": [1, 2]}, base={"b": 3})
+        clone = SweepGrid.from_dict(grid.to_dict())
+        assert [c.cell_id for c in clone.cells()] == \
+            [c.cell_id for c in grid.cells()]
+        assert clone.grid_hash() == grid.grid_hash()
+
+    def test_from_dict_accepts_singular_scenario(self):
+        grid = SweepGrid.from_dict({"scenario": "smoke", "seeds": [1]})
+        assert grid.scenarios == ["smoke"]
+
+    def test_from_file(self, tmp_path):
+        spec = {"name": "g", "scenario": "smoke", "seeds": [4],
+                "matrix": {"draws": [5, 6]}}
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(spec))
+        grid = SweepGrid.from_file(str(path))
+        assert len(grid.cells()) == 2
+        assert grid.cells()[0].seed == 4
+
+    def test_grid_hash_changes_with_spec(self):
+        a = SweepGrid("g", ["smoke"], seeds=[1])
+        b = SweepGrid("g", ["smoke"], seeds=[2])
+        assert a.grid_hash() != b.grid_hash()
+
+
+class TestSweepManifest:
+    def test_write_and_read(self, tmp_path):
+        grid = preset_grid("smoke")
+        manifest = SweepManifest(grid, workers=3, start_method="fork",
+                                 max_retries=2)
+        path = tmp_path / "sweep_manifest.json"
+        manifest.write(str(path))
+        data = SweepManifest.read(str(path))
+        assert data["run_kind"] == "sweep"
+        assert data["workers"] == 3
+        assert data["n_cells"] == len(grid.cells())
+        assert data["grid_hash"] == grid.grid_hash()
+        assert "versions" in data

@@ -1,0 +1,134 @@
+"""Tests for the sweep execution engine (serial and pooled paths)."""
+
+import json
+import os
+
+import pytest
+
+from repro.sweep import (
+    CELL_FILENAME,
+    CELLS_DIRNAME,
+    STATUS_FILENAME,
+    SWEEP_MANIFEST_FILENAME,
+    SweepGrid,
+    SweepManifest,
+    SweepRunner,
+    load_summary,
+    pick_start_method,
+)
+
+
+def _smoke_grid(n=3, seed=1):
+    return SweepGrid("t", ["smoke"], seeds=[seed],
+                     matrix={"draws": [10 * (i + 1) for i in range(n)]})
+
+
+class TestStartMethod:
+    def test_auto_resolves(self):
+        assert pick_start_method("auto") in ("fork", "spawn")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="not available"):
+            pick_start_method("no-such-method")
+
+
+class TestSerialRun:
+    def test_writes_full_layout(self, tmp_path):
+        out = str(tmp_path / "out")
+        result = SweepRunner(_smoke_grid(), out, workers=1).run()
+        assert result.success and result.ok == result.total == 3
+        assert os.path.isfile(os.path.join(out, SWEEP_MANIFEST_FILENAME))
+        assert os.path.isfile(os.path.join(out, STATUS_FILENAME))
+        assert os.path.isfile(os.path.join(out, "summary.jsonl"))
+        assert os.path.isfile(os.path.join(out, "metrics.json"))
+        for record in load_summary(out):
+            cell_dir = os.path.join(out, CELLS_DIRNAME, record["cell_id"])
+            for fn in (CELL_FILENAME, "metrics.json", "events.jsonl",
+                       "spans.json"):
+                assert os.path.isfile(os.path.join(cell_dir, fn)), fn
+
+    def test_manifest_written_before_cells_run(self, tmp_path):
+        out = str(tmp_path / "out")
+        SweepRunner(_smoke_grid(1), out).run(merge=False)
+        manifest = SweepManifest.read(
+            os.path.join(out, SWEEP_MANIFEST_FILENAME))
+        assert manifest["n_cells"] == 1
+        assert not os.path.exists(os.path.join(out, "summary.jsonl"))
+
+    def test_scenario_error_is_captured_not_raised(self, tmp_path):
+        out = str(tmp_path / "out")
+        grid = SweepGrid("t", ["error"], seeds=[1],
+                         cells=[{"message": "boom"}])
+        result = SweepRunner(grid, out).run()
+        assert not result.success and result.error == 1
+        (record,) = load_summary(out)
+        assert record["status"] == "error"
+        assert "boom" in record["error"]
+        trace = os.path.join(out, CELLS_DIRNAME, record["cell_id"],
+                             "traceback.txt")
+        assert os.path.isfile(trace)
+
+    def test_status_file_records_schedule(self, tmp_path):
+        out = str(tmp_path / "out")
+        SweepRunner(_smoke_grid(2), out).run()
+        with open(os.path.join(out, STATUS_FILENAME)) as fh:
+            status = json.load(fh)
+        assert status["cells_total"] == 2
+        assert status["workers"] == 1
+        assert len(status["durations_s"]) == 2
+
+    def test_invalid_args_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepRunner(_smoke_grid(), str(tmp_path), workers=0)
+        with pytest.raises(ValueError):
+            SweepRunner(_smoke_grid(), str(tmp_path), max_retries=-1)
+
+
+class TestPoolRun:
+    def test_pool_completes_all_cells(self, tmp_path):
+        out = str(tmp_path / "out")
+        result = SweepRunner(_smoke_grid(5), out, workers=2).run()
+        assert result.success and result.ok == 5
+        assert len(load_summary(out)) == 5
+
+    def test_more_workers_than_cells(self, tmp_path):
+        out = str(tmp_path / "out")
+        result = SweepRunner(_smoke_grid(1), out, workers=4).run()
+        assert result.success and result.total == 1
+
+    def test_worker_death_retried_then_failed(self, tmp_path):
+        out = str(tmp_path / "out")
+        grid = SweepGrid("t", ["crash"], seeds=[1])
+        result = SweepRunner(grid, out, workers=2, max_retries=1).run()
+        assert result.failed == 1
+        assert result.retries >= 1
+        (record,) = load_summary(out)
+        assert record["status"] == "failed"
+        assert "worker died" in record["error"]
+
+    def test_crash_does_not_poison_other_cells(self, tmp_path):
+        out = str(tmp_path / "out")
+        smoke = _smoke_grid(3).cells()
+        crash = SweepGrid("t", ["crash"], seeds=[1]).cells()
+
+        class Mixed(SweepGrid):
+            def cells(self):
+                return smoke + crash
+
+        result = SweepRunner(Mixed("t", ["smoke"]), out, workers=2,
+                             max_retries=1).run()
+        statuses = {r["cell_id"]: r["status"] for r in load_summary(out)}
+        assert result.failed == 1
+        assert all(
+            status == "ok"
+            for cell_id, status in statuses.items()
+            if cell_id.startswith("smoke")
+        )
+        assert statuses["crash-s1-base"] == "failed"
+
+    def test_in_worker_exception_not_retried(self, tmp_path):
+        out = str(tmp_path / "out")
+        grid = SweepGrid("t", ["error"], seeds=[1])
+        result = SweepRunner(grid, out, workers=2).run()
+        assert result.error == 1
+        assert result.retries == 0

@@ -1,0 +1,32 @@
+"""Tier-1 twin of ``tools/gen_api_docs.py --check``.
+
+Fails when ``docs/API.md`` is stale relative to the public surface of
+``repro`` — regenerate with::
+
+    PYTHONPATH=src python tools/gen_api_docs.py
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import gen_api_docs  # noqa: E402
+
+
+def test_api_md_is_fresh():
+    """docs/API.md matches what the generator renders from source."""
+    on_disk = (REPO_ROOT / "docs" / "API.md").read_text()
+    assert on_disk == gen_api_docs.render(), (
+        "docs/API.md is stale — regenerate with "
+        "`PYTHONPATH=src python tools/gen_api_docs.py`"
+    )
+
+
+def test_render_covers_key_modules():
+    """The generated reference includes every top-level subpackage."""
+    text = gen_api_docs.render()
+    for mod in ("repro.sweep.grid", "repro.obs.metrics", "repro.cli",
+                "repro.sim.engine", "repro.radio.network"):
+        assert f"## `{mod}`" in text, mod

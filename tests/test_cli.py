@@ -191,3 +191,88 @@ class TestLiveTelemetryEndToEnd:
         out_dir, _ = live_run
         assert main(["obs", "diff", str(out_dir), str(out_dir)]) == 0
         assert "no differences" in capsys.readouterr().out
+
+
+class TestSweepCommands:
+    def test_sweep_list(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "paper-grid" in out
+        assert "ablation_epoch" in out
+
+    def test_sweep_run_parallel_matches_serial_bytes(self, tmp_path,
+                                                     capsys):
+        """ISSUE satellite: 2-worker merged metrics == serial, byte-for-byte."""
+        serial = tmp_path / "serial"
+        pooled = tmp_path / "pooled"
+        assert main(["sweep", "run", "--preset", "smoke",
+                     str(serial)]) == 0
+        assert main(["sweep", "run", "--preset", "smoke", str(pooled),
+                     "--workers", "2"]) == 0
+        capsys.readouterr()
+        for filename in ("metrics.json", "summary.jsonl"):
+            assert (serial / filename).read_bytes() == \
+                (pooled / filename).read_bytes()
+
+    def test_sweep_run_grid_file_and_seed_override(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps(
+            {"name": "g", "scenario": "smoke",
+             "matrix": {"draws": [5, 6]}}
+        ))
+        out = tmp_path / "out"
+        assert main(["sweep", "run", "--grid", str(grid), str(out),
+                     "--seeds", "3"]) == 0
+        summary = [json.loads(line) for line in
+                   (out / "summary.jsonl").read_text().splitlines()]
+        assert [r["seed"] for r in summary] == [3, 3]
+
+    def test_sweep_run_unknown_preset(self, tmp_path, capsys):
+        assert main(["sweep", "run", "--preset", "nope",
+                     str(tmp_path / "o")]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_sweep_run_bad_grid_file(self, tmp_path, capsys):
+        assert main(["sweep", "run", "--grid", str(tmp_path / "nope.json"),
+                     str(tmp_path / "o")]) == 2
+        assert "cannot load grid" in capsys.readouterr().err
+
+    def test_sweep_run_bad_seeds(self, tmp_path, capsys):
+        assert main(["sweep", "run", "--preset", "smoke",
+                     str(tmp_path / "o"), "--seeds", "x,y"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_sweep_run_failing_cell_exits_nonzero(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({"name": "g", "scenario": "error",
+                                    "seeds": [1]}))
+        assert main(["sweep", "run", "--grid", str(grid),
+                     str(tmp_path / "o")]) == 1
+        assert "1 error" in capsys.readouterr().out
+
+    def test_sweep_status_and_merge(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(["sweep", "run", "--preset", "smoke", str(out),
+                     "--no-merge"]) == 0
+        capsys.readouterr()
+        assert not (out / "summary.jsonl").exists()
+        assert main(["sweep", "status", str(out)]) == 0
+        status_text = capsys.readouterr().out
+        assert "4/4 cells (100%)" in status_text and "4 ok" in status_text
+        assert main(["sweep", "merge", str(out)]) == 0
+        assert "merged 4 cells" in capsys.readouterr().out
+        assert (out / "summary.jsonl").exists()
+
+    def test_sweep_status_non_sweep_dir(self, tmp_path, capsys):
+        assert main(["sweep", "status", str(tmp_path)]) == 2
+        assert "sweep_manifest.json" in capsys.readouterr().err
+
+    def test_obs_report_on_sweep_cell_dir(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(["sweep", "run", "--preset", "smoke", str(out)]) == 0
+        capsys.readouterr()
+        cell = sorted((out / "cells").iterdir())[0]
+        assert main(["obs", "report", str(cell)]) == 0
+        report = capsys.readouterr().out
+        assert "kind=sweep-cell" in report
+        assert cell.name in report

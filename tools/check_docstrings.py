@@ -1,0 +1,153 @@
+"""Docstring-coverage ratchet for the public surface of ``src/repro``.
+
+Counts, per module, the public definitions that carry a docstring: the
+module itself, top-level public classes and functions, and public
+methods of public classes (AST-based — nothing is imported, so a
+syntax-clean tree is the only requirement).  ``@property`` setters,
+``__dunder__`` methods other than ``__init__``, and anything prefixed
+with ``_`` are out of scope.
+
+The pinned per-module floors live in ``tools/docstring_baseline.json``.
+The gate fails when any module's coverage drops below its floor, so
+coverage can only ratchet upward::
+
+    python tools/check_docstrings.py              # gate (CI + tier-1 test)
+    python tools/check_docstrings.py --update-baseline
+    python tools/check_docstrings.py --list       # per-module table
+
+New modules without a baseline entry must meet ``DEFAULT_FLOOR``.
+After improving a module's docstrings, re-pin with
+``--update-baseline`` so the gain is locked in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "tools" / "docstring_baseline.json"
+
+#: Floor applied to modules absent from the baseline (new files).
+DEFAULT_FLOOR = 80.0
+
+
+def _is_public(name):
+    return not name.startswith("_") or name == "__init__"
+
+
+def _has_doc(node):
+    return ast.get_docstring(node) is not None
+
+
+def module_stats(path):
+    """``(documented, total)`` public definitions for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    documented = int(_has_doc(tree))
+    total = 1
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(node.name) or node.name == "__init__":
+                continue
+            total += 1
+            documented += int(_has_doc(node))
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            total += 1
+            documented += int(_has_doc(node))
+            for member in node.body:
+                if not isinstance(member,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not _is_public(member.name) or member.name == "__init__":
+                    continue
+                # Property setters share the getter's name and doc.
+                if any(isinstance(d, ast.Attribute) and
+                       d.attr in ("setter", "deleter")
+                       for d in member.decorator_list):
+                    continue
+                total += 1
+                documented += int(_has_doc(member))
+    return documented, total
+
+
+def collect(src_root=SRC_ROOT):
+    """``{relative_module_path: (documented, total, pct)}`` for the tree."""
+    out = {}
+    for path in sorted(src_root.rglob("*.py")):
+        rel = str(path.relative_to(src_root.parent))
+        documented, total = module_stats(path)
+        pct = 100.0 * documented / total if total else 100.0
+        out[rel] = (documented, total, round(pct, 1))
+    return out
+
+
+def load_baseline(path=BASELINE_PATH):
+    if not Path(path).exists():
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check(stats, baseline):
+    """Failure messages for every module below its pinned floor."""
+    failures = []
+    for rel, (documented, total, pct) in sorted(stats.items()):
+        floor = baseline.get(rel, DEFAULT_FLOOR)
+        if pct < floor:
+            failures.append(
+                f"{rel}: {pct:.1f}% ({documented}/{total}) "
+                f"below pinned floor {floor:.1f}%"
+            )
+    for rel in sorted(set(baseline) - set(stats)):
+        failures.append(f"{rel}: pinned in baseline but missing from tree")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="re-pin the baseline to current coverage")
+    parser.add_argument("--list", action="store_true",
+                        help="print the per-module coverage table")
+    args = parser.parse_args(argv)
+
+    stats = collect()
+    if args.list:
+        for rel, (documented, total, pct) in sorted(
+                stats.items(), key=lambda kv: kv[1][2]):
+            print(f"{pct:5.1f}%  {documented:3d}/{total:<3d}  {rel}")
+        return 0
+    if args.update_baseline:
+        baseline = {rel: pct for rel, (_, _, pct) in sorted(stats.items())}
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"pinned {len(baseline)} module floors to {BASELINE_PATH}")
+        return 0
+
+    failures = check(stats, load_baseline())
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        print(
+            "\nDocstring coverage regressed. Document the flagged symbols "
+            "(or, after a genuine improvement elsewhere, re-pin with "
+            "`python tools/check_docstrings.py --update-baseline`).",
+        )
+        return 1
+    covered = sum(d for d, _, _ in stats.values())
+    total = sum(t for _, t, _ in stats.values())
+    print(
+        f"docstring coverage OK: {100.0 * covered / total:.1f}% "
+        f"({covered}/{total} public symbols across {len(stats)} modules)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
