@@ -3,7 +3,8 @@
 ``run_perf.py`` asserts absolute speedup floors (10x / 5x), which catch
 catastrophic regressions but not slow erosion — a change that drops a
 35x speedup to 20x sails through the floor.  This guard compares the
-fresh run's headline speedups against the recent history tail::
+fresh run's headline metrics (batch-path speedups, coordinator-service
+throughput) against the recent history tail::
 
     PYTHONPATH=src python benchmarks/run_perf.py
     python benchmarks/check_regression.py
@@ -28,16 +29,19 @@ import os
 import statistics
 import sys
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PERF_PATH = REPO_ROOT / "BENCH_perf.json"
 HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 
-#: (section, key) pairs guarded, matching run_perf.py's hard floors.
+#: (section, key) pairs guarded.  The speedup pairs match run_perf.py's
+#: hard floors; serve throughput has no absolute floor and is guarded
+#: only here, as a non-regression against the history median.
 TRACKED = (
     ("link_state", "speedup_batch_vs_scalar"),
     ("udp_train", "speedup_batch_vs_reference"),
+    ("serve", "reports_per_s"),
 )
 
 WARN_DROP = 0.15
@@ -45,15 +49,20 @@ FAIL_DROP = 0.30
 BASELINE_RUNS = 5
 
 
-def _speedups(entry: dict) -> Optional[Tuple[float, ...]]:
-    """The tracked speedup tuple of one result dict (None if malformed)."""
-    out = []
+def _metrics(entry: dict) -> Dict[str, float]:
+    """Tracked metrics present in one result dict, keyed "section.key".
+
+    Per-key tolerant by design: history predating a newly tracked
+    metric (e.g. runs recorded before the serve bench existed) still
+    contributes a baseline for the metrics it does have, instead of
+    being discarded wholesale.
+    """
+    out: Dict[str, float] = {}
     for section, key in TRACKED:
         value = entry.get(section, {}).get(key)
-        if not isinstance(value, (int, float)):
-            return None
-        out.append(float(value))
-    return tuple(out)
+        if isinstance(value, (int, float)):
+            out[f"{section}.{key}"] = float(value)
+    return out
 
 
 def load_history(path) -> List[dict]:
@@ -70,35 +79,37 @@ def load_history(path) -> List[dict]:
                 row = json.loads(line)
             except ValueError:
                 continue
-            if isinstance(row, dict) and _speedups(row) is not None:
+            if isinstance(row, dict) and _metrics(row):
                 entries.append(row)
     return entries
 
 
 def check(fresh: dict, history: List[dict]) -> Tuple[List[str], List[str]]:
     """Compare a fresh result against history; returns (warnings, failures)."""
-    fresh_speedups = _speedups(fresh)
-    if fresh_speedups is None:
-        return [], ["fresh BENCH_perf.json is missing the tracked speedups"]
+    fresh_metrics = _metrics(fresh)
+    if not fresh_metrics:
+        return [], ["fresh BENCH_perf.json is missing every tracked metric"]
     # run_perf.py appends the fresh run to the history before this guard
     # runs; a self-comparison would hide every regression.
     past = list(history)
-    while past and _speedups(past[-1]) == fresh_speedups:
+    while past and _metrics(past[-1]) == fresh_metrics:
         past.pop()
     past = past[-BASELINE_RUNS:]
     if not past:
         return [], []
     warnings: List[str] = []
     failures: List[str] = []
-    for i, (section, key) in enumerate(TRACKED):
-        baseline = statistics.median(_speedups(e)[i] for e in past)
-        current = fresh_speedups[i]
+    for name, current in sorted(fresh_metrics.items()):
+        samples = [m[name] for m in map(_metrics, past) if name in m]
+        if not samples:
+            continue  # newly tracked metric: this run seeds its baseline
+        baseline = statistics.median(samples)
         if baseline <= 0:
             continue
         drop = (baseline - current) / baseline
         label = (
-            f"{section}.{key}: {current:.1f}x vs baseline "
-            f"{baseline:.1f}x (median of {len(past)} run(s), "
+            f"{name}: {current:.1f} vs baseline "
+            f"{baseline:.1f} (median of {len(samples)} run(s), "
             f"{drop:+.0%} drop)"
         )
         if drop > FAIL_DROP:

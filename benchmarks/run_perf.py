@@ -16,7 +16,11 @@ The headline numbers (also asserted here so CI catches regressions):
 * the sharded sweep over an 8-cell scheduler-ablation grid, 4 workers
   vs serial — must be >= 2x *when the machine has >= 4 CPUs* (the
   speedup is recorded either way, together with the CPU count), and the
-  merged artifacts must be byte-identical across worker counts.
+  merged artifacts must be byte-identical across worker counts;
+* the coordinator service under a 1000-client loadgen — reports/sec and
+  ACK latency percentiles are recorded (regression-guarded against the
+  history median, no absolute floor), with zero dropped reports and a
+  byte-identical WAL replay as hard gates.
 """
 
 from __future__ import annotations
@@ -229,6 +233,56 @@ def bench_sweep():
     }
 
 
+def bench_serve():
+    """Loadgen throughput against a live, WAL-backed coordinator service.
+
+    Runs the acceptance-bar shape — 1000 client sessions over loopback
+    TCP — against an in-process :class:`CoordinatorServer` and records
+    sustained reports/sec plus client-observed ACK latency percentiles.
+    Two hard properties ride along: zero dropped reports, and an offline
+    WAL replay reproducing the live coordinator registry byte-for-byte.
+    """
+    import asyncio
+
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+    from repro.serve.server import CoordinatorServer, ServeConfig, replay_wal
+
+    clients, per_client, concurrency = 1000, 5, 64
+
+    async def body(wal_dir):
+        server = CoordinatorServer(ServeConfig(), wal_dir=wal_dir)
+        await server.start()
+        try:
+            result = await run_loadgen(LoadgenConfig(
+                port=server.port, clients=clients,
+                reports_per_client=per_client, concurrency=concurrency,
+            ))
+            return result, server.coordinator.metrics.to_json()
+        finally:
+            await server.stop()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_dir = os.path.join(tmp, "wal")
+        result, live_metrics = asyncio.run(body(wal_dir))
+        replay_identical = (
+            replay_wal(wal_dir).metrics.to_json() == live_metrics
+        )
+    return {
+        "clients": clients,
+        "reports_per_client": per_client,
+        "concurrency": concurrency,
+        "reports_acked": result.reports_acked,
+        "reports_dropped": result.reports_dropped,
+        "retries": result.retries,
+        "elapsed_s": result.elapsed_s,
+        "reports_per_s": result.reports_per_s,
+        "ack_p50_ms": result.ack_p50_ms,
+        "ack_p95_ms": result.ack_p95_ms,
+        "ack_p99_ms": result.ack_p99_ms,
+        "wal_replay_byte_identical": replay_identical,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=7, help="world seed")
@@ -254,6 +308,8 @@ def main():
     other = bench_ping_tcp(landscape, point)
     print("timing sharded sweep (serial vs 4 workers) ...")
     sweep = bench_sweep()
+    print("timing coordinator service (1000-client loadgen) ...")
+    serve = bench_serve()
 
     manifest = RunManifest(
         run_kind="bench-perf",
@@ -272,6 +328,7 @@ def main():
         "udp_train": udp,
         "ping_tcp": other,
         "sweep": sweep,
+        "serve": serve,
         "manifest": manifest.to_dict(),
     }
     OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
@@ -300,6 +357,17 @@ def main():
         failures.append(
             "sweep artifacts differ between serial and 4-worker runs"
         )
+    # The serve bench has no absolute throughput floor (it is recorded
+    # and guarded as a non-regression by check_regression.py), but its
+    # correctness properties are hard gates.
+    if serve["reports_dropped"] != 0:
+        failures.append(
+            f"serve loadgen dropped {serve['reports_dropped']} report(s)"
+        )
+    if not serve["wal_replay_byte_identical"]:
+        failures.append(
+            "serve WAL replay does not reproduce the live coordinator state"
+        )
     if sweep["cells_ok"] < sweep["cells"]:
         failures.append(
             f"sweep completed only {sweep['cells_ok']}/{sweep['cells']} cells"
@@ -327,7 +395,9 @@ def main():
         f"OK: link_state_batch {link['speedup_batch_vs_scalar']:.1f}x, "
         f"udp_train_batch {udp['speedup_batch_vs_reference']:.1f}x, "
         f"sweep 4w {sweep['speedup_4workers_vs_serial']:.2f}x "
-        f"on {sweep['cpu_count']} CPU(s)"
+        f"on {sweep['cpu_count']} CPU(s), "
+        f"serve {serve['reports_per_s']:.0f} reports/s "
+        f"(p99 ACK {serve['ack_p99_ms']:.1f} ms)"
     )
     return 0
 

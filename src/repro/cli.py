@@ -23,7 +23,16 @@ writing code:
 * ``sweep status`` — progress/status of a sweep output directory;
 * ``sweep merge``  — (re-)fold per-cell artifacts into the sweep-level
   ``metrics.json`` + ``summary.jsonl``;
-* ``sweep list``   — available preset grids and scenarios.
+* ``sweep list``   — available preset grids and scenarios;
+* ``serve run``    — run the coordinator as a TCP service (wire protocol
+  + optional write-ahead log for crash recovery);
+* ``serve loadgen``— drive a running service with simulated client
+  sessions and report throughput/latency/backpressure;
+* ``serve replay`` — rebuild coordinator state offline from a WAL
+  directory and print its metrics snapshot.
+
+``repro --version`` prints the package version (from installed
+metadata when available, else the source tree's ``__version__``).
 """
 
 from __future__ import annotations
@@ -41,6 +50,23 @@ from repro.radio.technology import NetworkId
 def _add_common(parser: argparse.ArgumentParser) -> None:
     """Attach the flags shared by every world-building subcommand."""
     parser.add_argument("--seed", type=int, default=7, help="world seed")
+
+
+def package_version() -> str:
+    """The installed package version, else the source ``__version__``.
+
+    ``importlib.metadata`` answers for a pip-installed tree; running
+    straight off ``PYTHONPATH=src`` (the repo's usual mode) has no
+    installed distribution, so fall back to the package attribute.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except (ImportError, PackageNotFoundError):
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
 
 
 def cmd_world_info(args: argparse.Namespace) -> int:
@@ -397,6 +423,7 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
         runner = SweepRunner(
             grid, args.out, workers=args.workers,
             max_retries=args.max_retries, start_method=args.start_method,
+            context_cache_max=args.context_cache_max,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -497,11 +524,119 @@ def cmd_sweep_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_run(args: argparse.Namespace) -> int:
+    """``repro serve run``: run the coordinator as a TCP service."""
+    import asyncio
+
+    from repro.serve import CoordinatorServer, ServeConfig
+
+    cfg = ServeConfig(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        gen_seed=args.gen_seed,
+        radius_m=args.radius,
+        max_sessions=args.max_sessions,
+        ingest_queue_max=args.ingest_queue_max,
+        idle_timeout_s=args.idle_timeout,
+    )
+
+    async def serve() -> None:
+        server = CoordinatorServer(cfg, wal_dir=args.wal)
+        await server.start()
+        wal_note = f", WAL in {args.wal}" if args.wal else ", no WAL"
+        if args.wal:
+            recovered = server.metrics.gauge(
+                "serve.wal_recovered_records").value
+            if recovered:
+                wal_note += f" ({int(recovered)} records recovered)"
+        print(f"coordinator service on {cfg.host}:{server.port}{wal_note}")
+        sys.stdout.flush()
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; WAL closed cleanly")
+    return 0
+
+
+def cmd_serve_loadgen(args: argparse.Namespace) -> int:
+    """``repro serve loadgen``: stress a running coordinator service."""
+    import json
+
+    from repro.serve import LoadgenConfig, run_loadgen_sync
+
+    cfg = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        reports_per_client=args.reports_per_client,
+        concurrency=args.concurrency,
+    )
+    result = run_loadgen_sync(cfg)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"{result.clients} sessions: {result.sessions_completed} "
+            f"completed, {result.sessions_failed} failed"
+        )
+        print(
+            f"reports: {result.reports_sent} sent, {result.reports_acked} "
+            f"acked, {result.reports_rejected} rejected, "
+            f"{result.retries} retries, {result.reconnects} reconnects, "
+            f"{result.reports_dropped} dropped"
+        )
+        print(
+            f"sustained {result.reports_per_s:.0f} reports/s over "
+            f"{result.elapsed_s:.2f}s; ACK latency p50 "
+            f"{result.ack_p50_ms:.2f} ms, p95 {result.ack_p95_ms:.2f} ms, "
+            f"p99 {result.ack_p99_ms:.2f} ms"
+        )
+        for err in result.errors[:5]:
+            print(f"  error: {err}", file=sys.stderr)
+    return 0 if result.reports_dropped == 0 and not result.errors else 1
+
+
+def cmd_serve_replay(args: argparse.Namespace) -> int:
+    """``repro serve replay``: rebuild coordinator state from a WAL."""
+    from repro.serve import WalCorruptionError, replay_wal
+
+    if not Path(args.wal).is_dir():
+        print(f"no such WAL directory: {args.wal}", file=sys.stderr)
+        return 2
+    try:
+        coordinator = replay_wal(args.wal)
+    except WalCorruptionError as exc:
+        print(f"WAL is corrupt: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(coordinator.metrics.to_json())
+    else:
+        s = coordinator.stats
+        print(
+            f"replayed WAL {args.wal}: {s.reports_ingested} ingested, "
+            f"{s.reports_rejected} rejected, "
+            f"{len(coordinator.store)} streams"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full ``repro`` argument parser with every subcommand wired."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="WiScape (IMC 2011) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -625,6 +760,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--start-method", default="auto",
                     choices=("auto", "fork", "spawn", "forkserver"),
                     help="multiprocessing start method (auto prefers fork)")
+    ps.add_argument("--context-cache-max", type=int, default=None,
+                    metavar="N",
+                    help="LRU bound on each worker's memo of landscapes/"
+                         "traces (caps worker RSS on long grids)")
     ps.add_argument("--no-merge", action="store_true",
                     help="skip the reduce step (run 'sweep merge' later)")
     ps.set_defaults(func=cmd_sweep_run)
@@ -642,6 +781,52 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="available preset grids and scenarios"
     )
     ps.set_defaults(func=cmd_sweep_list)
+
+    p = sub.add_parser("serve", help="coordinator-as-a-service utilities")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+    pv = serve_sub.add_parser(
+        "run", help="run the coordinator as a TCP service"
+    )
+    _add_common(pv)
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 picks a free one)")
+    pv.add_argument("--wal", metavar="DIR",
+                    help="write-ahead log directory (enables crash "
+                         "recovery; reused across restarts)")
+    pv.add_argument("--gen-seed", type=int, default=1)
+    pv.add_argument("--radius", type=float, default=250.0,
+                    help="zone radius of the coordinator's grid")
+    pv.add_argument("--max-sessions", type=int, default=4096,
+                    help="admission control: concurrent session ceiling")
+    pv.add_argument("--ingest-queue-max", type=int, default=1024,
+                    help="bounded ingest queue depth (backpressure point)")
+    pv.add_argument("--idle-timeout", type=float, default=30.0,
+                    help="close sessions silent for this many seconds")
+    pv.add_argument("--port-file", metavar="FILE",
+                    help="write the bound port here once listening "
+                         "(for harnesses that pass --port 0)")
+    pv.set_defaults(func=cmd_serve_run)
+    pl = serve_sub.add_parser(
+        "loadgen", help="drive a running service with simulated clients"
+    )
+    pl.add_argument("--host", default="127.0.0.1")
+    pl.add_argument("--port", type=int, required=True)
+    pl.add_argument("--clients", type=int, default=100,
+                    help="total client sessions to run")
+    pl.add_argument("--reports-per-client", type=int, default=10)
+    pl.add_argument("--concurrency", type=int, default=64,
+                    help="concurrently open sessions")
+    pl.add_argument("--format", choices=("text", "json"), default="text")
+    pl.set_defaults(func=cmd_serve_loadgen)
+    pp = serve_sub.add_parser(
+        "replay", help="rebuild coordinator state offline from a WAL"
+    )
+    pp.add_argument("--wal", metavar="DIR", required=True)
+    pp.add_argument("--format", choices=("text", "json"), default="text",
+                    help="json prints the full deterministic metrics "
+                         "snapshot (the recovery byte-compare artifact)")
+    pp.set_defaults(func=cmd_serve_replay)
 
     return parser
 

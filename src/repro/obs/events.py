@@ -146,25 +146,29 @@ def read_events(source: Union[str, "io.TextIOBase", Iterable[str]]) -> List[dict
 def read_jsonl_tolerant(path) -> Tuple[List[dict], int]:
     """Parse a JSONL file, skipping unparseable lines instead of raising.
 
-    A live run killed mid-write leaves a truncated trailing line in
-    ``events.jsonl``/``snapshots.jsonl``; report/watch tooling must
-    degrade with a warning, never traceback.  Returns ``(records,
-    n_bad_lines)``.
+    A live run killed mid-write — or a *concurrent* writer caught
+    between flushes — leaves a truncated trailing line in
+    ``events.jsonl``/``snapshots.jsonl``, possibly cut inside a
+    multi-byte UTF-8 sequence.  Report/watch tooling must degrade with
+    a warning, never traceback, so the file is read as bytes and each
+    line decoded independently: a torn line counts toward
+    ``n_bad_lines`` and is simply re-read complete on the next poll.
+    Returns ``(records, n_bad_lines)``.
     """
     records: List[dict] = []
     bad = 0
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                bad += 1
-                continue
-            if isinstance(record, dict):
-                records.append(record)
-            else:
-                bad += 1
+    with open(path, "rb") as fh:
+        data = fh.read()
+    for raw in data.split(b"\n"):
+        if not raw.strip():
+            continue
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            bad += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            bad += 1
     return records, bad

@@ -1,0 +1,61 @@
+"""The coordinator as a network service.
+
+The in-process simulation calls :class:`MeasurementCoordinator` methods
+directly; this package puts the same coordinator behind an asyncio TCP
+service speaking a versioned, length-prefixed JSON protocol
+(:mod:`repro.serve.wire`), with durable WAL-backed ingest
+(:mod:`repro.serve.wal`), a session layer with heartbeats and
+backpressure (:mod:`repro.serve.server`), a client driver that runs
+existing agents over the wire (:mod:`repro.serve.driver`), and a
+load-generation harness (:mod:`repro.serve.loadgen`).
+
+Nothing here is imported by the simulation path — goldens are
+bit-identical when the service is unused.
+"""
+
+from repro.serve.driver import DriverStats, ServedClient, ServeSession
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    LoadgenResult,
+    run_loadgen,
+    run_loadgen_sync,
+)
+from repro.serve.server import (
+    CoordinatorServer,
+    ServeConfig,
+    build_coordinator,
+    replay_wal,
+)
+from repro.serve.wal import WalCorruptionError, WriteAheadLog
+from repro.serve.wire import (
+    FrameTooLargeError,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    TruncatedFrameError,
+    VersionMismatchError,
+    WireError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "FrameTooLargeError",
+    "TruncatedFrameError",
+    "ProtocolError",
+    "VersionMismatchError",
+    "WriteAheadLog",
+    "WalCorruptionError",
+    "CoordinatorServer",
+    "ServeConfig",
+    "build_coordinator",
+    "replay_wal",
+    "ServeSession",
+    "ServedClient",
+    "DriverStats",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "run_loadgen",
+    "run_loadgen_sync",
+]

@@ -1,0 +1,241 @@
+"""Client-side driver: run a :class:`ClientAgent` against the service.
+
+This is the measurement half of the paper's deployment picture made
+real: the agent still owns the device model, mobility, and radio
+channels, but instead of the coordinator calling ``agent.execute()``
+in-process, the driver speaks the :mod:`repro.serve.wire` protocol —
+HELLO in, POLL with the client's position, execute whatever TASK comes
+back, push the REPORT, and retry on RETRY until the server ACKs.
+
+The driver is strictly half-duplex by construction (one outstanding
+request per session), so the next frame after a REPORT is always its
+ACK or RETRY and the next frame after a POLL is always a TASK or PONG —
+no client-side demultiplexing is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.clients.agent import ClientAgent
+from repro.serve.wire import (
+    PROTOCOL_VERSION,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    WireError,
+    encode_frame,
+    read_frame,
+    report_to_wire,
+    task_from_wire,
+)
+
+__all__ = ["DriverStats", "ServedClient", "ServeSession"]
+
+
+@dataclass
+class DriverStats:
+    """What one driven session did, for tests and the CLI to report."""
+
+    polls: int = 0
+    tasks_received: int = 0
+    tasks_refused: int = 0
+    reports_sent: int = 0
+    reports_acked: int = 0
+    reports_rejected: int = 0
+    retries: int = 0
+    #: Client-observed REPORT->ACK round-trip times (seconds).
+    ack_latencies_s: List[float] = field(default_factory=list)
+
+
+class ServeSession:
+    """One open protocol session (shared by driver and loadgen).
+
+    Owns the socket and the request/response discipline; knows nothing
+    about how reports are produced.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str,
+        networks: List[str],
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.networks = networks
+        self.max_frame_bytes = max_frame_bytes
+        self.welcome: Optional[Dict[str, Any]] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServeSession":
+        await self.open()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def open(self) -> Dict[str, Any]:
+        """Connect and run the HELLO/WELCOME handshake."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        reply = await self.request({
+            "type": "HELLO",
+            "v": PROTOCOL_VERSION,
+            "client_id": self.client_id,
+            "networks": self.networks,
+        })
+        if reply.get("type") == "ERROR":
+            raise WireError(
+                f"server refused session: {reply.get('code')}: "
+                f"{reply.get('detail')}"
+            )
+        if reply.get("type") != "WELCOME":
+            raise ProtocolError(f"expected WELCOME, got {reply.get('type')!r}")
+        self.welcome = reply
+        return reply
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and read the reply frame."""
+        assert self._writer is not None, "session is not open"
+        self._writer.write(encode_frame(message, self.max_frame_bytes))
+        await self._writer.drain()
+        reply = await read_frame(self._reader, self.max_frame_bytes)
+        if reply is None:
+            raise WireError("server closed the connection")
+        return reply
+
+    async def send_report(
+        self,
+        report_wire: Dict[str, Any],
+        max_retries: int = 64,
+    ) -> Dict[str, Any]:
+        """Push one report, retrying on RETRY until it is ACKed.
+
+        Returns the ACK frame.  Raises :class:`WireError` when the
+        server errors the session or the retry budget runs out — a
+        report is never silently dropped.
+        """
+        frame = {"type": "REPORT", "report": report_wire}
+        retries = 0
+        while True:
+            reply = await self.request(frame)
+            kind = reply.get("type")
+            if kind == "ACK":
+                reply["_retries"] = retries
+                return reply
+            if kind == "RETRY":
+                if retries >= max_retries:
+                    raise WireError(
+                        f"report not accepted after {retries} retries"
+                    )
+                retries += 1
+                await asyncio.sleep(float(reply.get("retry_after_s", 0.05)))
+                continue
+            if kind == "ERROR":
+                raise WireError(
+                    f"server error: {reply.get('code')}: "
+                    f"{reply.get('detail')}"
+                )
+            raise ProtocolError(f"expected ACK/RETRY, got {kind!r}")
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch the server's STATS_REPLY."""
+        reply = await self.request({"type": "STATS"})
+        if reply.get("type") != "STATS_REPLY":
+            raise ProtocolError(
+                f"expected STATS_REPLY, got {reply.get('type')!r}"
+            )
+        return reply
+
+    async def close(self) -> None:
+        """Orderly BYE (best effort) and socket teardown."""
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(encode_frame({"type": "BYE"},
+                                            self.max_frame_bytes))
+            await self._writer.drain()
+            await read_frame(self._reader, self.max_frame_bytes)
+        except (WireError, ConnectionError, RuntimeError):
+            pass
+        finally:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+            self._writer = None
+            self._reader = None
+
+
+class ServedClient:
+    """Drive one existing :class:`ClientAgent` over the wire."""
+
+    def __init__(
+        self,
+        agent: ClientAgent,
+        host: str,
+        port: int,
+        poll_interval_s: float = 60.0,
+    ):
+        self.agent = agent
+        self.poll_interval_s = poll_interval_s
+        self.session = ServeSession(
+            host,
+            port,
+            client_id=agent.client_id,
+            networks=[n.value for n in sorted(
+                agent.device.networks, key=lambda n: n.value
+            )],
+        )
+        self.stats = DriverStats()
+
+    async def run(self, n_polls: int, start_s: float = 0.0) -> DriverStats:
+        """Poll/execute/report for ``n_polls`` sim ticks, then BYE."""
+        loop_time = asyncio.get_event_loop().time
+        async with self.session:
+            for i in range(n_polls):
+                t = start_s + i * self.poll_interval_s
+                await self._poll_once(t, loop_time)
+        return self.stats
+
+    async def _poll_once(self, t: float, loop_time) -> None:
+        point = self.agent.position(t)
+        self.stats.polls += 1
+        reply = await self.session.request({
+            "type": "POLL",
+            "t": t,
+            "lat": point.lat,
+            "lon": point.lon,
+            "seq": self.stats.polls,
+        })
+        kind = reply.get("type")
+        if kind == "PONG":
+            return
+        if kind == "ERROR":
+            raise WireError(
+                f"server error: {reply.get('code')}: {reply.get('detail')}"
+            )
+        if kind != "TASK":
+            raise ProtocolError(f"expected TASK/PONG, got {kind!r}")
+        self.stats.tasks_received += 1
+        task = task_from_wire(reply["task"])
+        report = self.agent.execute(task, t)
+        if report is None:
+            self.stats.tasks_refused += 1
+            return
+        self.stats.reports_sent += 1
+        sent_at = loop_time()
+        ack = await self.session.send_report(report_to_wire(report))
+        self.stats.ack_latencies_s.append(loop_time() - sent_at)
+        self.stats.retries += int(ack.get("_retries", 0))
+        if ack.get("accepted"):
+            self.stats.reports_acked += 1
+        else:
+            self.stats.reports_rejected += 1

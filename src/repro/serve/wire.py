@@ -1,0 +1,273 @@
+"""The coordinator service's versioned, length-prefixed wire protocol.
+
+Every frame on the control channel is a 4-byte big-endian unsigned
+length prefix followed by exactly that many bytes of UTF-8 JSON — one
+flat object whose ``"type"`` key names the frame.  The payload encoding
+is canonical (sorted keys, compact separators), so a frame's bytes are
+a pure function of its message dict, and Python's repr-based float
+serialization round-trips every ``MeasurementReport`` field exactly —
+the property the WAL-replay byte-identity guarantee rests on.  ``NaN``
+is allowed (a failed ping's primary value is NaN); both ends are this
+module, so the non-strict JSON extension is safe.
+
+Frame types (see DESIGN.md §10 for the session state machine):
+
+=========  ======================  =====================================
+type       direction               purpose
+=========  ======================  =====================================
+HELLO      client -> server        open a session (carries protocol ``v``)
+WELCOME    server -> client        session accepted (id, limits, cadence)
+POLL       client -> server        position beacon asking for work
+TASK       server -> client        a ``MeasurementTask`` to execute
+REPORT     client -> server        a completed ``MeasurementReport``
+ACK        server -> client        report durably staged (WAL sequence)
+RETRY      server -> client        ingest saturated; retry after a delay
+PING/PONG  both                    heartbeat / "no task for you"
+STATS      client -> server        ask for the server's metric snapshots
+ERROR      server -> client        typed protocol error; session closes
+BYE        both                    orderly close
+=========  ======================  =====================================
+
+Malformed input never tracebacks a session: decoding raises one of the
+typed :class:`WireError` subclasses below, which the session layer maps
+to an ERROR frame (``code`` = the exception's wire code) followed by a
+close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.clients.protocol import (
+    MeasurementReport,
+    MeasurementTask,
+    MeasurementType,
+)
+from repro.geo.coords import GeoPoint
+from repro.radio.technology import NetworkId
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "LENGTH_PREFIX",
+    "FRAME_TYPES",
+    "WireError",
+    "FrameTooLargeError",
+    "TruncatedFrameError",
+    "ProtocolError",
+    "VersionMismatchError",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "task_to_wire",
+    "task_from_wire",
+    "report_to_wire",
+    "report_from_wire",
+]
+
+#: Protocol version spoken by this build.  A HELLO carrying any other
+#: version is answered with an ERROR(code="version-mismatch") and the
+#: session is closed — there is exactly one version in the wild so far.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on a frame's payload size.  A length prefix above this
+#: is treated as a protocol violation (corrupt stream or hostile peer),
+#: not an allocation request.
+MAX_FRAME_BYTES = 1 << 20
+
+#: The 4-byte big-endian unsigned length prefix.
+LENGTH_PREFIX = struct.Struct(">I")
+
+#: Every frame type either end may legitimately send.
+FRAME_TYPES = frozenset(
+    {
+        "HELLO", "WELCOME", "POLL", "TASK", "REPORT", "ACK", "RETRY",
+        "PING", "PONG", "STATS", "STATS_REPLY", "ERROR", "BYE",
+    }
+)
+
+
+class WireError(Exception):
+    """Base of every typed protocol failure.
+
+    ``code`` is the machine-readable token carried by the ERROR frame a
+    server answers with; ``detail`` is the human-readable elaboration.
+    """
+
+    code = "protocol-error"
+
+    def __init__(self, detail: str = ""):
+        super().__init__(detail or self.code)
+        self.detail = detail or self.code
+
+
+class FrameTooLargeError(WireError):
+    """Length prefix exceeds the negotiated maximum frame size."""
+
+    code = "frame-too-large"
+
+
+class TruncatedFrameError(WireError):
+    """The stream ended mid-frame (partial prefix or partial payload)."""
+
+    code = "truncated-frame"
+
+
+class ProtocolError(WireError):
+    """Payload is not a valid frame (bad JSON, wrong shape, bad type)."""
+
+    code = "bad-frame"
+
+
+class VersionMismatchError(WireError):
+    """HELLO carried a protocol version this server does not speak."""
+
+    code = "version-mismatch"
+
+
+def encode_frame(message: Dict[str, Any],
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message dict to its length-prefixed frame bytes.
+
+    Raises :class:`ProtocolError` for a message without a ``type`` and
+    :class:`FrameTooLargeError` when the encoded payload would exceed
+    ``max_frame_bytes`` (the sender's symmetric share of the limit).
+    """
+    if "type" not in message:
+        raise ProtocolError("message has no 'type'")
+    payload = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame payload {len(payload)} bytes > limit {max_frame_bytes}"
+        )
+    return LENGTH_PREFIX.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse a frame payload into its message dict (typed errors only)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"payload is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    kind = message.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("frame has no string 'type'")
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from an asyncio stream.
+
+    Returns the decoded message dict, or ``None`` on a clean EOF at a
+    frame boundary (the peer closed between frames).  Raises
+    :class:`TruncatedFrameError` on EOF inside a frame,
+    :class:`FrameTooLargeError` for an oversized length prefix, and
+    :class:`ProtocolError` for undecodable payloads.
+    """
+    try:
+        prefix = await reader.readexactly(LENGTH_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise TruncatedFrameError(
+            f"EOF after {len(exc.partial)} of {LENGTH_PREFIX.size} "
+            "length-prefix bytes"
+        ) from None
+    (length,) = LENGTH_PREFIX.unpack(prefix)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame length {length} > limit {max_frame_bytes}"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrameError(
+            f"EOF after {len(exc.partial)} of {length} payload bytes"
+        ) from None
+    return decode_payload(payload)
+
+
+# -- dataclass codecs --------------------------------------------------------
+
+
+def task_to_wire(task: MeasurementTask) -> Dict[str, Any]:
+    """``MeasurementTask`` -> JSON-ready dict (exact float round-trip)."""
+    return {
+        "task_id": task.task_id,
+        "network": task.network.value,
+        "kind": task.kind.value,
+        "zone_id": list(task.zone_id) if task.zone_id is not None else None,
+        "issued_at_s": task.issued_at_s,
+        "deadline_s": task.deadline_s,
+        "params": dict(task.params),
+    }
+
+
+def task_from_wire(data: Dict[str, Any]) -> MeasurementTask:
+    """Wire dict -> ``MeasurementTask`` (:class:`ProtocolError` if malformed)."""
+    try:
+        zone = data.get("zone_id")
+        return MeasurementTask(
+            task_id=int(data["task_id"]),
+            network=NetworkId(data["network"]),
+            kind=MeasurementType(data["kind"]),
+            zone_id=(int(zone[0]), int(zone[1])) if zone is not None else None,
+            issued_at_s=float(data.get("issued_at_s", 0.0)),
+            deadline_s=(
+                float(data["deadline_s"])
+                if data.get("deadline_s") is not None else None
+            ),
+            params={str(k): float(v)
+                    for k, v in (data.get("params") or {}).items()},
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise ProtocolError(f"malformed TASK payload: {exc}") from None
+
+
+def report_to_wire(report: MeasurementReport) -> Dict[str, Any]:
+    """``MeasurementReport`` -> JSON-ready dict (exact float round-trip)."""
+    return {
+        "task_id": report.task_id,
+        "client_id": report.client_id,
+        "network": report.network.value,
+        "kind": report.kind.value,
+        "start_s": report.start_s,
+        "end_s": report.end_s,
+        "lat": report.point.lat,
+        "lon": report.point.lon,
+        "speed_ms": report.speed_ms,
+        "value": report.value,
+        "samples": list(report.samples),
+        "extras": dict(report.extras),
+    }
+
+
+def report_from_wire(data: Dict[str, Any]) -> MeasurementReport:
+    """Wire dict -> ``MeasurementReport`` (:class:`ProtocolError` if malformed)."""
+    try:
+        return MeasurementReport(
+            task_id=int(data["task_id"]),
+            client_id=str(data["client_id"]),
+            network=NetworkId(data["network"]),
+            kind=MeasurementType(data["kind"]),
+            start_s=float(data["start_s"]),
+            end_s=float(data["end_s"]),
+            point=GeoPoint(float(data["lat"]), float(data["lon"])),
+            speed_ms=float(data["speed_ms"]),
+            value=float(data["value"]),
+            samples=[float(s) for s in (data.get("samples") or [])],
+            extras={str(k): float(v)
+                    for k, v in (data.get("extras") or {}).items()},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed REPORT payload: {exc}") from None

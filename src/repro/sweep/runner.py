@@ -112,6 +112,13 @@ def run_cell(cell: SweepCell, ctx, out_dir: str) -> Dict[str, Any]:
     record: Dict[str, Any] = dict(cell.to_dict(), cell_id=cell.cell_id)
     ctx.cell_dir = cell_dir
     telemetry = Telemetry()
+    #: The cap is run configuration (identical on every worker), so the
+    #: gauge is schedule-independent and safe in deterministic artifacts;
+    #: live size/evictions are NOT (they depend on which cells this
+    #: worker ran) and go only to sweep_status.json.
+    cache_max = getattr(ctx, "cache_max", None)
+    if cache_max is not None:
+        telemetry.metrics.gauge("sweep.context_cache_max").set(cache_max)
     try:
         fn = get_scenario(cell.scenario)
         with use_telemetry(telemetry):
@@ -138,7 +145,8 @@ def _write_cell_record(cell_dir: str, record: Dict[str, Any]) -> None:
         fh.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
-def _worker_main(worker_id: int, out_dir: str, task_q, result_q) -> None:
+def _worker_main(worker_id: int, out_dir: str, task_q, result_q,
+                 cache_max: Optional[int] = None) -> None:
     """Worker loop: pull cell dicts until the ``None`` sentinel arrives.
 
     Before running each cell the worker synchronously writes its id to a
@@ -149,7 +157,7 @@ def _worker_main(worker_id: int, out_dir: str, task_q, result_q) -> None:
     """
     from repro.sweep.scenarios import WorkerContext
 
-    ctx = WorkerContext()
+    ctx = WorkerContext() if cache_max is None else WorkerContext(cache_max)
     marker = _marker_path(out_dir, worker_id)
     while True:
         item = task_q.get()
@@ -165,7 +173,7 @@ def _worker_main(worker_id: int, out_dir: str, task_q, result_q) -> None:
             fh.write("")
         result_q.put((
             "done", worker_id, cell.cell_id, record["status"],
-            time.perf_counter() - t0,
+            time.perf_counter() - t0, ctx.cache_size, ctx.evictions,
         ))
 
 
@@ -199,17 +207,23 @@ class SweepRunner:
         max_retries: int = 1,
         start_method: str = "auto",
         queue_depth: Optional[int] = None,
+        context_cache_max: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if context_cache_max is not None and context_cache_max < 1:
+            raise ValueError("context_cache_max must be >= 1")
         self.grid = grid
         self.out_dir = out_dir
         self.workers = int(workers)
         self.max_retries = int(max_retries)
         self.start_method = pick_start_method(start_method)
         self.queue_depth = queue_depth or 2 * self.workers
+        #: LRU bound on each worker's WorkerContext memo (the
+        #: ``sweep.context_cache_max`` knob); None takes the default.
+        self.context_cache_max = context_cache_max
 
     # -- public API ------------------------------------------------------
 
@@ -249,13 +263,18 @@ class SweepRunner:
         from repro.sweep.scenarios import WorkerContext
 
         result = SweepResult(out_dir=self.out_dir, total=len(cells))
-        ctx = WorkerContext()
+        ctx = (WorkerContext() if self.context_cache_max is None
+               else WorkerContext(self.context_cache_max))
         self._durations: Dict[str, float] = {}
+        self._cache_stats: Dict[int, Dict[str, int]] = {}
         for cell in cells:
             t0 = time.perf_counter()
             record = run_cell(cell, ctx, self.out_dir)
             self._durations[cell.cell_id] = time.perf_counter() - t0
             self._account(result, cell.cell_id, record["status"])
+        self._cache_stats[0] = {
+            "size": ctx.cache_size, "evictions": ctx.evictions,
+        }
         return result
 
     # -- pool path -------------------------------------------------------
@@ -266,6 +285,7 @@ class SweepRunner:
         result_q = ctx.Queue()
         result = SweepResult(out_dir=self.out_dir, total=len(cells))
         self._durations = {}
+        self._cache_stats = {}
 
         by_id = {c.cell_id: c for c in cells}
         pending = deque(cells)
@@ -283,7 +303,8 @@ class SweepRunner:
             next_worker_id += 1
             p = ctx.Process(
                 target=_worker_main,
-                args=(wid, self.out_dir, task_q, result_q),
+                args=(wid, self.out_dir, task_q, result_q,
+                      self.context_cache_max),
                 daemon=True,
             )
             p.start()
@@ -343,9 +364,12 @@ class SweepRunner:
                     except ValueError:
                         pass
                 elif kind == "done":
-                    _, wid, cell_id, status, duration = msg
+                    _, wid, cell_id, status, duration, size, evictions = msg
                     inflight[wid] = None
                     self._durations[cell_id] = duration
+                    self._cache_stats[wid] = {
+                        "size": size, "evictions": evictions,
+                    }
                     if cell_id not in completed:
                         self._account(result, cell_id, status)
                         completed.add(cell_id)
@@ -444,6 +468,9 @@ class SweepRunner:
 
     def _write_status(self, result: SweepResult) -> None:
         """Write the non-deterministic schedule record sweep_status.json."""
+        from repro.sweep.scenarios import DEFAULT_CONTEXT_CACHE_MAX
+
+        cache_stats = getattr(self, "_cache_stats", {})
         status = {
             "workers": self.workers,
             "start_method": self.start_method,
@@ -454,6 +481,21 @@ class SweepRunner:
             "cells_error": result.error,
             "cells_failed": result.failed,
             "retries": result.retries,
+            #: Worker-memo LRU accounting.  Sizes/evictions depend on
+            #: which cells each worker happened to run, which is why they
+            #: live here and never in the deterministic cell artifacts.
+            "context_cache": {
+                "max": (self.context_cache_max
+                        if self.context_cache_max is not None
+                        else DEFAULT_CONTEXT_CACHE_MAX),
+                "evictions": sum(
+                    s["evictions"] for s in cache_stats.values()
+                ),
+                "sizes": {
+                    str(wid): s["size"]
+                    for wid, s in sorted(cache_stats.items())
+                },
+            },
             "durations_s": {
                 k: round(v, 6)
                 for k, v in sorted(getattr(self, "_durations", {}).items())

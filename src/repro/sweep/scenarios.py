@@ -24,6 +24,7 @@ same cores at reduced scale, one grid point per cell.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +32,7 @@ import numpy as np
 from repro.sweep.grid import SweepCell, SweepGrid
 
 __all__ = [
+    "DEFAULT_CONTEXT_CACHE_MAX",
     "WorkerContext",
     "scenario",
     "get_scenario",
@@ -71,6 +73,12 @@ MULTISIM_STRATEGIES = [
 # ---------------------------------------------------------------------------
 
 
+#: Default LRU bound on a worker's memoized artifacts.  Landscapes and
+#: multi-day traces each weigh tens of megabytes; without a cap a
+#: long multi-seed grid grows worker RSS monotonically.
+DEFAULT_CONTEXT_CACHE_MAX = 16
+
+
 class WorkerContext:
     """Per-worker memo of expensive reusable state.
 
@@ -79,20 +87,52 @@ class WorkerContext:
     radio-field point caches) and generated survey traces instead of
     rebuilding them.  Every entry is a pure function of its key, so the
     memo can never make results depend on which worker ran which cell.
+
+    The memo is an LRU bounded at ``cache_max`` entries (the
+    ``sweep.context_cache_max`` knob): a cap keeps long paper-grid
+    sweeps from growing worker RSS without limit, and because entries
+    are pure functions of their keys, eviction can only cost rebuild
+    time, never correctness.
     """
 
-    def __init__(self) -> None:
-        self._memo: Dict[Tuple, Any] = {}
+    def __init__(self, cache_max: int = DEFAULT_CONTEXT_CACHE_MAX) -> None:
+        if cache_max < 1:
+            raise ValueError("cache_max must be >= 1")
+        self.cache_max = int(cache_max)
+        self._memo: "OrderedDict[Tuple, Any]" = OrderedDict()
+        #: Entries dropped by the LRU bound so far (schedule-dependent:
+        #: reported via sweep_status.json, never via cell artifacts).
+        self.evictions = 0
         #: Artifact directory of the cell currently executing; set by the
         #: runner before each scenario call so scenarios can drop extra
         #: files (e.g. captured subprocess output) next to cell.json.
         self.cell_dir: Optional[str] = None
 
+    @property
+    def cache_size(self) -> int:
+        """Entries currently memoized."""
+        return len(self._memo)
+
     def memo(self, key: Tuple, build: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, building it on first use."""
-        if key not in self._memo:
-            self._memo[key] = build()
-        return self._memo[key]
+        """Return the cached value for ``key``, building it on first use.
+
+        A hit refreshes the entry's LRU recency; a miss builds, inserts,
+        and then evicts least-recently-used entries down to
+        ``cache_max``.  Eviction runs after the insert because ``build``
+        may itself memoize dependencies (a performance map memoizes the
+        landscape and trace it is derived from).
+        """
+        memo = self._memo
+        if key in memo:
+            memo.move_to_end(key)
+            return memo[key]
+        value = build()
+        memo[key] = value
+        memo.move_to_end(key)
+        while len(memo) > self.cache_max:
+            memo.popitem(last=False)
+            self.evictions += 1
+        return value
 
     # -- landscapes ------------------------------------------------------
 

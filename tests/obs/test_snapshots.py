@@ -93,6 +93,19 @@ class TestFileOutput:
         assert len(snaps) == 1
         assert n_bad == 1
 
+    def test_read_snapshots_tolerates_mid_multibyte_truncation(self, tmp_path):
+        # A concurrent writer can be caught mid-flush, splitting the
+        # file inside a multi-byte UTF-8 sequence; the reader must skip
+        # the torn tail, not raise UnicodeDecodeError.
+        path = tmp_path / "snapshots.jsonl"
+        good = json.dumps({"v": 1, "seq": 0, "t": 1.0}).encode()
+        torn = '{"v": 1, "seq": 1, "note": "naïve"'.encode("utf-8")
+        cut = torn.index(b"\xc3\xaf") + 1
+        path.write_bytes(good + b"\n" + torn[:cut])
+        snaps, n_bad = read_snapshots(path)
+        assert len(snaps) == 1
+        assert n_bad == 1
+
 
 class TestEngineAttach:
     def _run(self, hours_s=100.0, interval=10.0, tick_every=5.0):

@@ -1,0 +1,156 @@
+"""Tests for the coordinator service's write-ahead log (repro.serve.wal)."""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.serve.wal import (
+    WalCorruptionError,
+    WriteAheadLog,
+    iter_wal_records,
+    read_wal,
+    wal_segments,
+)
+
+
+def records(n, start=0):
+    return [{"task_id": i, "value": float(i) * 1.5} for i in
+            range(start, start + n)]
+
+
+class TestAppendAndReplay:
+    def test_round_trip_in_order(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir) as wal:
+            seqs = [wal.append(r) for r in records(10)]
+        assert seqs == list(range(10))
+        assert list(iter_wal_records(wal_dir)) == records(10)
+
+    def test_record_line_format(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append({"a": 1})
+        (segment,) = wal_segments(wal_dir)
+        line = open(segment, "rb").read().rstrip(b"\n")
+        crc_hex, payload = line[:8], line[9:]
+        assert int(crc_hex, 16) == zlib.crc32(payload) & 0xFFFFFFFF
+        assert json.loads(payload) == {"a": 1}
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir) as wal:
+            for r in records(5):
+                wal.append(r)
+        with WriteAheadLog(wal_dir) as wal:
+            assert wal.records_logged == 5
+            assert wal.append({"task_id": 5}) == 5
+        assert len(list(iter_wal_records(wal_dir))) == 6
+
+    def test_reopen_starts_fresh_segment(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append({"a": 1})
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append({"b": 2})
+        assert len(wal_segments(wal_dir)) == 2
+
+    def test_empty_dir(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        assert list(iter_wal_records(wal_dir)) == []
+        assert wal_segments(wal_dir) == []
+
+
+class TestRotationAndFsync:
+    def test_rotates_at_segment_max_bytes(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir, segment_max_bytes=200) as wal:
+            for r in records(20):
+                wal.append(r)
+        assert wal.segments_rotated >= 2
+        assert len(wal_segments(wal_dir)) == wal.segments_rotated + 1
+        # Rotation never splits or drops a record.
+        assert list(iter_wal_records(wal_dir)) == records(20)
+
+    def test_fsync_batching(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "wal"), fsync_every=4) as wal:
+            for r in records(10):
+                wal.append(r)
+            assert wal.fsyncs == 2  # after records 4 and 8
+        assert wal.fsyncs == 3  # close() syncs the pending tail
+
+    def test_invalid_knobs(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path / "a"), segment_max_bytes=0)
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path / "b"), fsync_every=0)
+
+
+class TestCrashDamage:
+    def fill(self, tmp_path, n=6, **kwargs):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir, **kwargs) as wal:
+            for r in records(n):
+                wal.append(r)
+        return wal_dir
+
+    def test_torn_tail_in_final_segment_is_tolerated(self, tmp_path):
+        wal_dir = self.fill(tmp_path)
+        (segment,) = wal_segments(wal_dir)
+        with open(segment, "ab") as fh:
+            fh.write(b"deadbeef {\"torn\":")  # crash mid-write, no newline
+        assert list(iter_wal_records(wal_dir)) == records(6)
+
+    def test_crc_mismatch_on_final_line_is_tolerated(self, tmp_path):
+        wal_dir = self.fill(tmp_path)
+        (segment,) = wal_segments(wal_dir)
+        with open(segment, "ab") as fh:
+            fh.write(b"00000000 " + b'{"torn": true}' + b"\n")
+        assert list(iter_wal_records(wal_dir)) == records(6)
+
+    def test_mid_segment_corruption_raises(self, tmp_path):
+        wal_dir = self.fill(tmp_path)
+        (segment,) = wal_segments(wal_dir)
+        data = open(segment, "rb").read()
+        lines = data.split(b"\n")
+        lines[2] = b"00000000 garbage"
+        with open(segment, "wb") as fh:
+            fh.write(b"\n".join(lines))
+        with pytest.raises(WalCorruptionError):
+            list(iter_wal_records(wal_dir))
+
+    def test_torn_non_final_segment_raises(self, tmp_path):
+        wal_dir = self.fill(tmp_path, n=20, segment_max_bytes=200)
+        first = wal_segments(wal_dir)[0]
+        with open(first, "ab") as fh:
+            fh.write(b"deadbeef partial")
+        with pytest.raises(WalCorruptionError):
+            list(iter_wal_records(wal_dir))
+
+    def test_reopen_repairs_torn_tail(self, tmp_path):
+        wal_dir = self.fill(tmp_path)
+        (segment,) = wal_segments(wal_dir)
+        size_before = os.path.getsize(segment)
+        with open(segment, "ab") as fh:
+            fh.write(b"deadbeef {\"torn\":")
+        with WriteAheadLog(wal_dir) as wal:
+            assert wal.records_logged == 6
+            wal.append({"task_id": 6})
+        # The torn bytes were truncated away, not left for replay.
+        assert os.path.getsize(segment) == size_before
+        assert len(list(iter_wal_records(wal_dir))) == 7
+
+
+class TestMeta:
+    def test_meta_round_trip(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir) as wal:
+            wal.write_meta({"seed": 7, "gen_seed": 1, "radius_m": 250.0})
+            wal.append({"a": 1})
+        recs, meta = read_wal(wal_dir)
+        assert recs == [{"a": 1}]
+        assert meta == {"seed": 7, "gen_seed": 1, "radius_m": 250.0}
+
+    def test_meta_absent(self, tmp_path):
+        assert WriteAheadLog.read_meta(str(tmp_path)) is None

@@ -1,0 +1,215 @@
+"""Tests for the length-prefixed wire protocol (repro.serve.wire)."""
+
+import asyncio
+import json
+import math
+import struct
+
+import pytest
+
+from repro.clients.protocol import (
+    MeasurementReport,
+    MeasurementTask,
+    MeasurementType,
+)
+from repro.geo.coords import GeoPoint
+from repro.radio.technology import NetworkId
+from repro.serve.wire import (
+    FRAME_TYPES,
+    LENGTH_PREFIX,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameTooLargeError,
+    ProtocolError,
+    TruncatedFrameError,
+    WireError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    report_from_wire,
+    report_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
+
+
+def read_from_bytes(data: bytes, max_frame_bytes: int = MAX_FRAME_BYTES):
+    """Run read_frame against an in-memory stream fed exactly ``data``."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader, max_frame_bytes)
+
+    return asyncio.run(scenario())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "PING", "seq": 7}
+        assert read_from_bytes(encode_frame(message)) == message
+
+    def test_prefix_is_big_endian_length(self):
+        frame = encode_frame({"type": "BYE"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert json.loads(frame[4:]) == {"type": "BYE"}
+
+    def test_canonical_payload_bytes(self):
+        # Key order in the dict must not affect the bytes on the wire.
+        a = encode_frame({"type": "ACK", "seq": 1, "task_id": 2})
+        b = encode_frame({"task_id": 2, "seq": 1, "type": "ACK"})
+        assert a == b
+
+    def test_clean_eof_between_frames_is_none(self):
+        assert read_from_bytes(b"") is None
+
+    def test_truncated_length_prefix(self):
+        with pytest.raises(TruncatedFrameError):
+            read_from_bytes(b"\x00\x00")
+
+    def test_truncated_payload(self):
+        frame = encode_frame({"type": "PING"})
+        with pytest.raises(TruncatedFrameError):
+            read_from_bytes(frame[:-3])
+
+    def test_oversized_length_prefix(self):
+        data = LENGTH_PREFIX.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameTooLargeError):
+            read_from_bytes(data)
+
+    def test_oversized_against_negotiated_limit(self):
+        frame = encode_frame({"type": "PING", "pad": "x" * 128})
+        with pytest.raises(FrameTooLargeError):
+            read_from_bytes(frame, max_frame_bytes=64)
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame({"type": "PING", "pad": "x" * 128},
+                         max_frame_bytes=64)
+
+    def test_encode_requires_type(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"seq": 1})
+
+    def test_payload_not_json(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"{nope")
+
+    def test_payload_not_utf8(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe")
+
+    def test_payload_not_object(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1,2]")
+
+    def test_payload_without_string_type(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b'{"type": 3}')
+
+    def test_every_error_is_a_wire_error_with_code(self):
+        for exc_type, code in [
+            (FrameTooLargeError, "frame-too-large"),
+            (TruncatedFrameError, "truncated-frame"),
+            (ProtocolError, "bad-frame"),
+        ]:
+            exc = exc_type("detail")
+            assert isinstance(exc, WireError)
+            assert exc.code == code
+
+    def test_frame_types_cover_protocol(self):
+        for kind in ("HELLO", "WELCOME", "POLL", "TASK", "REPORT", "ACK",
+                     "RETRY", "PING", "PONG", "STATS", "STATS_REPLY",
+                     "ERROR", "BYE"):
+            assert kind in FRAME_TYPES
+        assert PROTOCOL_VERSION == 1
+
+
+class TestTaskCodec:
+    def make_task(self, **overrides):
+        fields = dict(
+            task_id=42,
+            network=NetworkId.NET_B,
+            kind=MeasurementType.UDP_TRAIN,
+            zone_id=(3, -2),
+            issued_at_s=120.0,
+            deadline_s=180.0,
+            params={"n_packets": 50.0},
+        )
+        fields.update(overrides)
+        return MeasurementTask(**fields)
+
+    def test_round_trip(self):
+        task = self.make_task()
+        assert task_from_wire(task_to_wire(task)) == task
+
+    def test_round_trip_through_json(self):
+        task = self.make_task(zone_id=None, deadline_s=None)
+        wire_dict = json.loads(json.dumps(task_to_wire(task)))
+        assert task_from_wire(wire_dict) == task
+
+    def test_malformed_raises_protocol_error(self):
+        good = task_to_wire(self.make_task())
+        for key, value in [("network", "NetZ"), ("kind", "bogus"),
+                           ("task_id", None), ("zone_id", [1])]:
+            broken = dict(good)
+            broken[key] = value
+            with pytest.raises(ProtocolError):
+                task_from_wire(broken)
+
+
+class TestReportCodec:
+    def make_report(self, **overrides):
+        fields = dict(
+            task_id=42,
+            client_id="c-001",
+            network=NetworkId.NET_A,
+            kind=MeasurementType.PING,
+            start_s=60.0,
+            end_s=61.0,
+            point=GeoPoint(43.0731, -89.4012),
+            speed_ms=3.5,
+            value=0.042,
+            samples=[0.040, 0.042, 0.044],
+            extras={"loss": 0.1},
+        )
+        fields.update(overrides)
+        return MeasurementReport(**fields)
+
+    def test_round_trip(self):
+        report = self.make_report()
+        assert report_from_wire(report_to_wire(report)) == report
+
+    def test_floats_survive_json_exactly(self):
+        # The WAL byte-identity guarantee rests on exact float
+        # round-trips through repr-based JSON serialization.
+        report = self.make_report(value=0.1 + 0.2, speed_ms=1.0 / 3.0)
+        wire_dict = json.loads(json.dumps(
+            report_to_wire(report), sort_keys=True, separators=(",", ":")
+        ))
+        restored = report_from_wire(wire_dict)
+        assert restored.value == report.value
+        assert restored.speed_ms == report.speed_ms
+
+    def test_nan_value_round_trips(self):
+        # A failed ping's primary value is NaN; non-strict JSON carries it.
+        report = self.make_report(value=float("nan"), samples=[])
+        wire_dict = json.loads(json.dumps(report_to_wire(report)))
+        assert math.isnan(report_from_wire(wire_dict).value)
+
+    def test_malformed_raises_protocol_error(self):
+        good = report_to_wire(self.make_report())
+        for key, value in [("network", "NetZ"), ("kind", "bogus"),
+                           ("lat", "north"), ("start_s", None)]:
+            broken = dict(good)
+            broken[key] = value
+            with pytest.raises(ProtocolError):
+                report_from_wire(broken)
+
+    def test_missing_key_raises_protocol_error(self):
+        good = report_to_wire(self.make_report())
+        del good["client_id"]
+        with pytest.raises(ProtocolError):
+            report_from_wire(good)

@@ -84,6 +84,68 @@ class TestSerialRun:
             SweepRunner(_smoke_grid(), str(tmp_path), max_retries=-1)
 
 
+class TestContextCache:
+    def test_memo_hit_skips_rebuild(self):
+        from repro.sweep.scenarios import WorkerContext
+
+        ctx = WorkerContext()
+        builds = []
+        for _ in range(3):
+            value = ctx.memo(("k",), lambda: builds.append(1) or "v")
+        assert value == "v"
+        assert builds == [1]
+        assert ctx.cache_size == 1
+        assert ctx.evictions == 0
+
+    def test_lru_evicts_least_recently_used(self):
+        from repro.sweep.scenarios import WorkerContext
+
+        ctx = WorkerContext(cache_max=2)
+        ctx.memo(("a",), lambda: "A")
+        ctx.memo(("b",), lambda: "B")
+        ctx.memo(("a",), lambda: "A")  # refresh a: b is now the LRU
+        ctx.memo(("c",), lambda: "C")  # evicts b
+        assert ctx.evictions == 1
+        assert ctx.cache_size == 2
+        rebuilt = []
+        ctx.memo(("b",), lambda: rebuilt.append(1) or "B")
+        assert rebuilt == [1]
+
+    def test_cache_max_validated(self):
+        from repro.sweep.scenarios import WorkerContext
+
+        with pytest.raises(ValueError):
+            WorkerContext(cache_max=0)
+        with pytest.raises(ValueError):
+            SweepRunner(_smoke_grid(), "out", context_cache_max=0)
+
+    def test_cap_recorded_in_status_and_metrics(self, tmp_path):
+        out = str(tmp_path / "out")
+        result = SweepRunner(_smoke_grid(2), out,
+                             context_cache_max=4).run()
+        assert result.success
+        with open(os.path.join(out, STATUS_FILENAME)) as fh:
+            status = json.load(fh)
+        assert status["context_cache"]["max"] == 4
+        assert set(status["context_cache"]["sizes"]) == {"0"}
+        (record0, _) = load_summary(out)
+        cell_metrics = os.path.join(out, CELLS_DIRNAME,
+                                    record0["cell_id"], "metrics.json")
+        with open(cell_metrics) as fh:
+            metrics = json.load(fh)
+        assert metrics["gauges"]["sweep.context_cache_max"] == 4.0
+
+    def test_pool_run_reports_per_worker_sizes(self, tmp_path):
+        out = str(tmp_path / "out")
+        result = SweepRunner(_smoke_grid(4), out, workers=2,
+                             context_cache_max=2).run()
+        assert result.success
+        with open(os.path.join(out, STATUS_FILENAME)) as fh:
+            status = json.load(fh)
+        assert status["context_cache"]["max"] == 2
+        assert set(status["context_cache"]["sizes"]) == {"0", "1"}
+
+
 class TestPoolRun:
     def test_pool_completes_all_cells(self, tmp_path):
         out = str(tmp_path / "out")

@@ -5,11 +5,14 @@ import json
 from benchmarks.check_regression import check, load_history, main
 
 
-def _entry(link=30.0, udp=15.0):
-    return {
+def _entry(link=30.0, udp=15.0, serve=None):
+    entry = {
         "link_state": {"speedup_batch_vs_scalar": link},
         "udp_train": {"speedup_batch_vs_reference": udp},
     }
+    if serve is not None:
+        entry["serve"] = {"reports_per_s": serve}
+    return entry
 
 
 class TestCheck:
@@ -55,6 +58,31 @@ class TestCheck:
     def test_malformed_fresh_result_fails(self):
         warnings, failures = check({"link_state": {}}, [])
         assert failures
+
+    def test_newly_tracked_metric_seeds_its_own_baseline(self):
+        """History predating the serve bench still guards the metrics it
+        has; the new metric passes until history accumulates it."""
+        history = [_entry(30.0, 15.0) for _ in range(5)]  # no serve key
+        warnings, failures = check(
+            _entry(30.0, 9.0, serve=5000.0), history  # udp -40% is real
+        )
+        assert len(failures) == 1
+        assert "udp_train" in failures[0]
+
+    def test_serve_throughput_regression_detected(self):
+        history = [_entry(serve=5000.0) for _ in range(5)]
+        warnings, failures = check(_entry(serve=2500.0), history)  # -50%
+        assert len(failures) == 1
+        assert "serve.reports_per_s" in failures[0]
+
+    def test_mixed_era_history_baselines_per_key(self):
+        history = ([_entry(30.0, 15.0)] * 3
+                   + [_entry(30.0, 15.0, serve=5000.0)] * 2)
+        warnings, failures = check(
+            _entry(30.0, 15.0, serve=4900.0), history
+        )
+        assert warnings == []
+        assert failures == []
 
 
 class TestHistoryLoading:

@@ -21,6 +21,31 @@ class TestParser:
             assert callable(args.func)
 
 
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert package_version() in out
+        # Off PYTHONPATH=src the fallback is the package attribute.
+        assert package_version() == repro.__version__
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.strip()
+
+
 class TestCommands:
     def test_world_info(self, capsys):
         assert main(["world-info", "--seed", "7"]) == 0

@@ -1,0 +1,202 @@
+"""CI smoke test for the coordinator service's crash-recovery story.
+
+Exercises the full deployment loop against real processes over loopback
+TCP::
+
+    server #1 (subprocess) --SIGKILL mid-run--> server #2 (same port,
+        same WAL) --loadgen rides over the restart--> verify
+
+and asserts the two properties the serve subsystem promises:
+
+* **zero dropped reports** — the 50-client loadgen finishes with every
+  report ACKed, its reconnect-and-resend logic riding over the kill;
+* **byte-identical recovery** — after the run quiesces, the restarted
+  server's coordinator registry (fetched over the wire via STATS)
+  matches an offline ``repro serve replay`` of the WAL exactly.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.driver import ServeSession  # noqa: E402
+from repro.serve.loadgen import LoadgenConfig, run_loadgen_sync  # noqa: E402
+from repro.serve.wal import wal_segments  # noqa: E402
+
+CLIENTS = 50
+REPORTS_PER_CLIENT = 100
+START_TIMEOUT_S = 30.0
+#: SIGKILL the first server once this much WAL is durably staged —
+#: early enough that the bulk of the run rides over the restart.
+KILL_AFTER_WAL_BYTES = 4096
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def start_server(wal_dir: str, port_file: str, port: int = 0):
+    """Launch ``repro serve run`` and wait until it reports its port."""
+    if os.path.exists(port_file):
+        os.remove(port_file)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "run",
+         "--port", str(port), "--wal", wal_dir, "--port-file", port_file],
+        env=_env(), cwd=str(REPO_ROOT),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + START_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if os.path.exists(port_file):
+            text = Path(port_file).read_text().strip()
+            if text:
+                return proc, int(text)
+        if proc.poll() is not None:
+            out = proc.stdout.read() if proc.stdout else ""
+            raise RuntimeError(f"server exited during startup:\n{out}")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("server did not write its port file in time")
+
+
+def wal_bytes(wal_dir: str) -> int:
+    return sum(os.path.getsize(p) for p in wal_segments(wal_dir))
+
+
+def fetch_coordinator_snapshot(port: int) -> dict:
+    """The server's coordinator metrics registry, over the wire."""
+
+    async def body():
+        async with ServeSession("127.0.0.1", port, client_id="smoke-stats",
+                                networks=[]) as session:
+            reply = await session.stats()
+            return reply["coordinator"]
+
+    return asyncio.run(body())
+
+
+def offline_replay_snapshot(wal_dir: str) -> dict:
+    """The coordinator registry an offline WAL replay reconstructs."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "replay",
+         "--wal", wal_dir, "--format", "json"],
+        env=_env(), cwd=str(REPO_ROOT),
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_dir = os.path.join(tmp, "wal")
+        port_file = os.path.join(tmp, "port")
+
+        print(f"starting server #1 (WAL in {wal_dir}) ...")
+        proc, port = start_server(wal_dir, port_file)
+        print(f"server #1 up on port {port}; "
+              f"driving {CLIENTS}x{REPORTS_PER_CLIENT} reports ...")
+
+        cfg = LoadgenConfig(
+            port=port, clients=CLIENTS,
+            reports_per_client=REPORTS_PER_CLIENT, concurrency=32,
+            max_reconnects=50, reconnect_delay_s=0.2,
+        )
+        results = {}
+
+        def drive():
+            results["load"] = run_loadgen_sync(cfg)
+
+        loader = threading.Thread(target=drive, daemon=True)
+        loader.start()
+
+        deadline = time.monotonic() + START_TIMEOUT_S
+        while wal_bytes(wal_dir) < KILL_AFTER_WAL_BYTES:
+            if not loader.is_alive():
+                raise RuntimeError("loadgen finished before the kill fired")
+            if time.monotonic() > deadline:
+                raise RuntimeError("WAL never reached the kill threshold")
+            time.sleep(0.01)
+
+        staged = wal_bytes(wal_dir)
+        print(f"SIGKILL server #1 with {staged} WAL bytes staged ...")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+
+        print(f"restarting server #2 on port {port} (recovering WAL) ...")
+        proc2, port2 = start_server(wal_dir, port_file, port=port)
+        assert port2 == port, (port2, port)
+
+        loader.join(timeout=120.0)
+        if loader.is_alive():
+            proc2.kill()
+            raise RuntimeError("loadgen did not finish after the restart")
+        load = results["load"]
+        print(
+            f"loadgen done: acked={load.reports_acked} "
+            f"dropped={load.reports_dropped} retries={load.retries} "
+            f"reconnects={load.reconnects} "
+            f"({load.reports_per_s:.0f} reports/s, "
+            f"p99 ACK {load.ack_p99_ms:.1f} ms)"
+        )
+
+        failures = []
+        if load.reports_dropped != 0:
+            failures.append(
+                f"{load.reports_dropped} report(s) dropped across the kill"
+            )
+        if load.reports_acked != CLIENTS * REPORTS_PER_CLIENT:
+            failures.append(
+                f"acked {load.reports_acked} != "
+                f"{CLIENTS * REPORTS_PER_CLIENT} sent"
+            )
+        if load.reconnects == 0:
+            failures.append("kill did not interrupt any session "
+                            "(smoke raced past the restart)")
+
+        live = fetch_coordinator_snapshot(port)
+        proc2.send_signal(signal.SIGINT)
+        proc2.wait(timeout=30.0)
+
+        replayed = offline_replay_snapshot(wal_dir)
+        canonical = dict(sort_keys=True, separators=(",", ":"))
+        if (json.dumps(live, **canonical)
+                != json.dumps(replayed, **canonical)):
+            failures.append(
+                "offline WAL replay does not match the live recovered "
+                "coordinator registry"
+            )
+        else:
+            ingested = live.get("counters", {}).get(
+                "coordinator.reports_ingested", 0.0
+            )
+            print(f"recovery verified: replay is byte-identical "
+                  f"({ingested:.0f} reports ingested)")
+
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}")
+            return 1
+        print("serve smoke OK")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
