@@ -9,9 +9,15 @@ throughput) against the recent history tail::
     PYTHONPATH=src python benchmarks/run_perf.py
     python benchmarks/check_regression.py
 
-* drop of more than ``WARN_DROP`` (15%) vs the baseline -> warning
-  (``::warning`` annotation under GitHub Actions);
-* drop of more than ``FAIL_DROP`` (30%) -> exit 1.
+* regression past the metric's warn threshold vs the baseline ->
+  warning (``::warning`` annotation under GitHub Actions);
+* regression past its fail threshold -> exit 1.
+
+Thresholds are per noise class (see ``TRACKED``): same-run speedup
+ratios are tight (15% warn / 30% fail) because neighbor load cancels
+out of a ratio; absolute loopback throughput/latency warn at 30% but
+hard-fail only on a catastrophic move (halved throughput, doubled
+latency), because on shared CI those swing 2x with the box's mood.
 
 The baseline is the median of the last ``BASELINE_RUNS`` history
 entries, excluding any trailing entries produced by the fresh run
@@ -35,17 +41,45 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 PERF_PATH = REPO_ROOT / "BENCH_perf.json"
 HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 
-#: (section, key) pairs guarded.  The speedup pairs match run_perf.py's
-#: hard floors; serve throughput has no absolute floor and is guarded
-#: only here, as a non-regression against the history median.
+#: (section, key, direction, noise) tuples guarded.  ``direction``
+#: names which way regression points: "higher" metrics regress by
+#: dropping (speedups, throughput), "lower" metrics regress by rising
+#: (latency percentiles).  ``noise`` picks the threshold class:
+#:
+#: * ``ratio`` — same-run ratios (batch vs scalar in one process, batched
+#:   vs unbatched against one server).  Neighbor load cancels out of a
+#:   ratio, so these are tight: a 30% erosion is code, not weather.
+#: * ``wallclock`` — absolute loopback throughput/latency.  On a shared
+#:   1-CPU CI box these legitimately swing 2x with neighbor load (the
+#:   same commit has measured 2.8k and 6.1k reports/s hours apart), so
+#:   only a catastrophic move hard-fails; the 30% band still surfaces
+#:   as a ``::warning`` annotation for a human to eyeball.
+#:
+#: The speedup entries match run_perf.py's hard floors; serve keys have
+#: no absolute floor and are guarded only here, as non-regressions
+#: against the history median.  Keys absent from older history rows
+#: (e.g. ``reports_per_s_batched`` starts at PR 6) baseline cleanly:
+#: rows contribute per-key.
 TRACKED = (
-    ("link_state", "speedup_batch_vs_scalar"),
-    ("udp_train", "speedup_batch_vs_reference"),
-    ("serve", "reports_per_s"),
+    ("link_state", "speedup_batch_vs_scalar", "higher", "ratio"),
+    ("udp_train", "speedup_batch_vs_reference", "higher", "ratio"),
+    ("serve", "speedup_batched_vs_unbatched", "higher", "ratio"),
+    ("serve", "reports_per_s", "higher", "wallclock"),
+    ("serve", "reports_per_s_batched", "higher", "wallclock"),
+    ("serve", "ack_p95_ms", "lower", "wallclock"),
 )
+
+#: (direction, noise) lookups for the check loop, keyed "section.key".
+_DIRECTION = {f"{s}.{k}": d for s, k, d, _ in TRACKED}
+_NOISE = {f"{s}.{k}": n for s, k, _, n in TRACKED}
 
 WARN_DROP = 0.15
 FAIL_DROP = 0.30
+#: Wall-clock class: warn where ratios would already fail, hard-fail
+#: only past what neighbor load plausibly explains — a halved
+#: throughput ("higher") or a doubled latency ("lower").
+WALLCLOCK_WARN = 0.30
+WALLCLOCK_FAIL = {"higher": 0.50, "lower": 1.00}
 BASELINE_RUNS = 5
 
 
@@ -58,7 +92,7 @@ def _metrics(entry: dict) -> Dict[str, float]:
     being discarded wholesale.
     """
     out: Dict[str, float] = {}
-    for section, key in TRACKED:
+    for section, key, _direction, _noise in TRACKED:
         value = entry.get(section, {}).get(key)
         if isinstance(value, (int, float)):
             out[f"{section}.{key}"] = float(value)
@@ -106,15 +140,30 @@ def check(fresh: dict, history: List[dict]) -> Tuple[List[str], List[str]]:
         baseline = statistics.median(samples)
         if baseline <= 0:
             continue
-        drop = (baseline - current) / baseline
+        #: Regression is direction-aware: a throughput/speedup metric
+        #: regresses by dropping below baseline, a latency metric by
+        #: rising above it — without this, a big ACK-latency win would
+        #: read as a 'drop' and fail the guard.
+        direction = _DIRECTION.get(name, "higher")
+        if direction == "lower":
+            regression = (current - baseline) / baseline
+            verb = "rise"
+        else:
+            regression = (baseline - current) / baseline
+            verb = "drop"
+        if _NOISE.get(name) == "wallclock":
+            warn_at = WALLCLOCK_WARN
+            fail_at = WALLCLOCK_FAIL[direction]
+        else:
+            warn_at, fail_at = WARN_DROP, FAIL_DROP
         label = (
             f"{name}: {current:.1f} vs baseline "
             f"{baseline:.1f} (median of {len(samples)} run(s), "
-            f"{drop:+.0%} drop)"
+            f"{regression:+.0%} {verb})"
         )
-        if drop > FAIL_DROP:
+        if regression > fail_at:
             failures.append(label)
-        elif drop > WARN_DROP:
+        elif regression > warn_at:
             warnings.append(label)
     return warnings, failures
 

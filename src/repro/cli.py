@@ -528,8 +528,11 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
     """``repro serve run``: run the coordinator as a TCP service."""
     import asyncio
 
-    from repro.serve import CoordinatorServer, ServeConfig
+    from repro.serve import CoordinatorServer, ServeConfig, install_uvloop
 
+    if args.uvloop and not install_uvloop():
+        print("uvloop requested but not installed; using stdlib asyncio",
+              file=sys.stderr)
     cfg = ServeConfig(
         host=args.host,
         port=args.port,
@@ -539,6 +542,9 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         ingest_queue_max=args.ingest_queue_max,
         idle_timeout_s=args.idle_timeout,
+        commit_batch_max=args.commit_batch_max,
+        wal_fsync_every=args.wal_fsync_every,
+        wal_fsync_interval_s=args.wal_fsync_interval,
     )
 
     async def serve() -> None:
@@ -578,6 +584,8 @@ def cmd_serve_loadgen(args: argparse.Namespace) -> int:
         clients=args.clients,
         reports_per_client=args.reports_per_client,
         concurrency=args.concurrency,
+        codec=args.codec,
+        batch_size=args.batch_size,
     )
     result = run_loadgen_sync(cfg)
     if args.format == "json":
@@ -806,6 +814,16 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--port-file", metavar="FILE",
                     help="write the bound port here once listening "
                          "(for harnesses that pass --port 0)")
+    pv.add_argument("--commit-batch-max", type=int, default=256,
+                    help="max reports staged per WAL group commit")
+    pv.add_argument("--wal-fsync-every", type=int, default=64,
+                    help="fsync after this many WAL records")
+    pv.add_argument("--wal-fsync-interval", type=float, default=0.0,
+                    help="also fsync pending WAL records older than this "
+                         "many seconds (0 disables the time axis)")
+    pv.add_argument("--uvloop", action="store_true",
+                    help="use uvloop if installed (stdlib asyncio is the "
+                         "deterministic default)")
     pv.set_defaults(func=cmd_serve_run)
     pl = serve_sub.add_parser(
         "loadgen", help="drive a running service with simulated clients"
@@ -817,6 +835,12 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--reports-per-client", type=int, default=10)
     pl.add_argument("--concurrency", type=int, default=64,
                     help="concurrently open sessions")
+    pl.add_argument("--codec", choices=("json", "binary"), default="json",
+                    help="session codec to negotiate (json is the PR-5 "
+                         "wire format)")
+    pl.add_argument("--batch-size", type=int, default=1,
+                    help="reports coalesced per REPORT_BATCH frame "
+                         "(1 keeps the one-REPORT-one-ACK exchange)")
     pl.add_argument("--format", choices=("text", "json"), default="text")
     pl.set_defaults(func=cmd_serve_loadgen)
     pp = serve_sub.add_parser(

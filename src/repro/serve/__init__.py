@@ -24,14 +24,18 @@ from repro.serve.server import (
     CoordinatorServer,
     ServeConfig,
     build_coordinator,
+    install_uvloop,
     replay_wal,
 )
 from repro.serve.wal import WalCorruptionError, WriteAheadLog
 from repro.serve.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
     FrameTooLargeError,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
+    SUPPORTED_CODECS,
     TruncatedFrameError,
     VersionMismatchError,
     WireError,
@@ -40,6 +44,9 @@ from repro.serve.wire import (
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "SUPPORTED_CODECS",
     "WireError",
     "FrameTooLargeError",
     "TruncatedFrameError",
@@ -50,6 +57,7 @@ __all__ = [
     "CoordinatorServer",
     "ServeConfig",
     "build_coordinator",
+    "install_uvloop",
     "replay_wal",
     "ServeSession",
     "ServedClient",

@@ -10,17 +10,28 @@ back, push the REPORT, and retry on RETRY until the server ACKs.
 The driver is strictly half-duplex by construction (one outstanding
 request per session), so the next frame after a REPORT is always its
 ACK or RETRY and the next frame after a POLL is always a TASK or PONG —
-no client-side demultiplexing is needed.
+no client-side demultiplexing is needed.  A REPORT_BATCH is the one
+place two frames can answer one request — a RETRY for the rejected
+tail may precede the range ACK_BATCH for the admitted prefix — so
+:meth:`ServeSession.send_report_batch` tracks the outstanding seq set
+and keeps reading until every report in the batch is settled.
+
+Batching and codec are both opt-in: ``ServeSession(codecs=...)``
+offers a codec preference list in HELLO and adopts whatever WELCOME
+names; ``ServedClient(batch_size=N)`` coalesces up to N reports per
+frame.  The defaults (no codecs key, batch size 1) speak the PR-5 wire
+format byte-for-byte.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.clients.agent import ClientAgent
 from repro.serve.wire import (
+    CODEC_JSON,
     PROTOCOL_VERSION,
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -45,6 +56,7 @@ class DriverStats:
     reports_acked: int = 0
     reports_rejected: int = 0
     retries: int = 0
+    batches_sent: int = 0
     #: Client-observed REPORT->ACK round-trip times (seconds).
     ack_latencies_s: List[float] = field(default_factory=list)
 
@@ -63,15 +75,25 @@ class ServeSession:
         client_id: str,
         networks: List[str],
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        codecs: Optional[Sequence[str]] = None,
     ):
         self.host = host
         self.port = port
         self.client_id = client_id
         self.networks = networks
         self.max_frame_bytes = max_frame_bytes
+        #: Codec preference list offered in HELLO.  ``None`` omits the
+        #: key entirely — the PR-5 handshake, which a server answers
+        #: with plain JSON.
+        self.codecs = list(codecs) if codecs is not None else None
+        #: The negotiated session codec; JSON until WELCOME says
+        #: otherwise (HELLO/WELCOME themselves are always JSON).
+        self.codec = CODEC_JSON
         self.welcome: Optional[Dict[str, Any]] = None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        #: Client-side batch sequence counter (monotonic per session).
+        self._batch_seq = 0
 
     async def __aenter__(self) -> "ServeSession":
         await self.open()
@@ -85,12 +107,16 @@ class ServeSession:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
-        reply = await self.request({
+        self.codec = CODEC_JSON
+        hello: Dict[str, Any] = {
             "type": "HELLO",
             "v": PROTOCOL_VERSION,
             "client_id": self.client_id,
             "networks": self.networks,
-        })
+        }
+        if self.codecs is not None:
+            hello["codecs"] = self.codecs
+        reply = await self.request(hello)
         if reply.get("type") == "ERROR":
             raise WireError(
                 f"server refused session: {reply.get('code')}: "
@@ -99,17 +125,27 @@ class ServeSession:
         if reply.get("type") != "WELCOME":
             raise ProtocolError(f"expected WELCOME, got {reply.get('type')!r}")
         self.welcome = reply
+        self.codec = reply.get("codec", CODEC_JSON)
+        return reply
+
+    async def _send_frame(self, message: Dict[str, Any]) -> None:
+        assert self._writer is not None, "session is not open"
+        self._writer.write(
+            encode_frame(message, self.max_frame_bytes, self.codec)
+        )
+        await self._writer.drain()
+
+    async def _read_reply(self) -> Dict[str, Any]:
+        reply = await read_frame(self._reader, self.max_frame_bytes,
+                                 self.codec)
+        if reply is None:
+            raise WireError("server closed the connection")
         return reply
 
     async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one frame and read the reply frame."""
-        assert self._writer is not None, "session is not open"
-        self._writer.write(encode_frame(message, self.max_frame_bytes))
-        await self._writer.drain()
-        reply = await read_frame(self._reader, self.max_frame_bytes)
-        if reply is None:
-            raise WireError("server closed the connection")
-        return reply
+        await self._send_frame(message)
+        return await self._read_reply()
 
     async def send_report(
         self,
@@ -145,6 +181,82 @@ class ServeSession:
                 )
             raise ProtocolError(f"expected ACK/RETRY, got {kind!r}")
 
+    async def send_report_batch(
+        self,
+        reports_wire: Sequence[Dict[str, Any]],
+        max_retries: int = 64,
+    ) -> Dict[str, Any]:
+        """Push many reports in one frame, resending until all settle.
+
+        Sends one REPORT_BATCH and keeps reading until every report in
+        it is covered by an ACK_BATCH (admitted, possibly rejected by
+        the validator) or a RETRY (the backpressured tail — resent as a
+        fresh, smaller batch after ``retry_after_s``).  Returns a
+        summary dict with ``accepted`` / ``rejected`` report counts and
+        ``_retries``; raises :class:`WireError` when the retry budget
+        runs out or the server errors the session.
+        """
+        if not reports_wire:
+            raise ValueError("empty report batch")
+        pending = list(reports_wire)
+        retries = 0
+        accepted = 0
+        rejected = 0
+        batches = 0
+        while pending:
+            seq_lo = self._batch_seq
+            self._batch_seq += len(pending)
+            await self._send_frame({
+                "type": "REPORT_BATCH",
+                "seq_lo": seq_lo,
+                "reports": pending,
+            })
+            batches += 1
+            #: Seqs of this batch not yet settled by ACK_BATCH/RETRY.
+            outstanding = set(range(seq_lo, seq_lo + len(pending)))
+            resend: List[Dict[str, Any]] = []
+            retry_after_s = 0.05
+            while outstanding:
+                reply = await self._read_reply()
+                kind = reply.get("type")
+                if kind == "ACK_BATCH":
+                    lo, hi = int(reply["seq_lo"]), int(reply["seq_hi"])
+                    outstanding.difference_update(range(lo, hi + 1))
+                    n_rejected = len(reply.get("rejected_seqs") or ())
+                    accepted += (hi - lo + 1) - n_rejected
+                    rejected += n_rejected
+                elif kind == "RETRY":
+                    lo, hi = int(reply["seq_lo"]), int(reply["seq_hi"])
+                    outstanding.difference_update(range(lo, hi + 1))
+                    resend.extend(pending[lo - seq_lo:hi - seq_lo + 1])
+                    retry_after_s = float(
+                        reply.get("retry_after_s", retry_after_s)
+                    )
+                elif kind == "ERROR":
+                    raise WireError(
+                        f"server error: {reply.get('code')}: "
+                        f"{reply.get('detail')}"
+                    )
+                else:
+                    raise ProtocolError(
+                        f"expected ACK_BATCH/RETRY, got {kind!r}"
+                    )
+            if resend:
+                if retries >= max_retries:
+                    raise WireError(
+                        f"{len(resend)} report(s) not accepted after "
+                        f"{retries} retries"
+                    )
+                retries += 1
+                await asyncio.sleep(retry_after_s)
+            pending = resend
+        return {
+            "accepted": accepted,
+            "rejected": rejected,
+            "_retries": retries,
+            "_batches": batches,
+        }
+
     async def stats(self) -> Dict[str, Any]:
         """Fetch the server's STATS_REPLY."""
         reply = await self.request({"type": "STATS"})
@@ -175,7 +287,14 @@ class ServeSession:
 
 
 class ServedClient:
-    """Drive one existing :class:`ClientAgent` over the wire."""
+    """Drive one existing :class:`ClientAgent` over the wire.
+
+    ``batch_size`` > 1 turns on report coalescing: completed reports
+    accumulate in a client-side buffer and go out as one REPORT_BATCH
+    frame when the buffer fills (and at session end, so nothing is ever
+    left behind).  ``codecs`` is the HELLO codec preference list
+    (``None`` — the default — negotiates nothing and speaks PR-5 JSON).
+    """
 
     def __init__(
         self,
@@ -183,9 +302,14 @@ class ServedClient:
         host: str,
         port: int,
         poll_interval_s: float = 60.0,
+        batch_size: int = 1,
+        codecs: Optional[Sequence[str]] = None,
     ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.agent = agent
         self.poll_interval_s = poll_interval_s
+        self.batch_size = int(batch_size)
         self.session = ServeSession(
             host,
             port,
@@ -193,8 +317,10 @@ class ServedClient:
             networks=[n.value for n in sorted(
                 agent.device.networks, key=lambda n: n.value
             )],
+            codecs=codecs,
         )
         self.stats = DriverStats()
+        self._buffer: List[Dict[str, Any]] = []
 
     async def run(self, n_polls: int, start_s: float = 0.0) -> DriverStats:
         """Poll/execute/report for ``n_polls`` sim ticks, then BYE."""
@@ -203,7 +329,22 @@ class ServedClient:
             for i in range(n_polls):
                 t = start_s + i * self.poll_interval_s
                 await self._poll_once(t, loop_time)
+            await self._flush(loop_time)
         return self.stats
+
+    async def _flush(self, loop_time) -> None:
+        """Send the coalescing buffer as one batch (no-op when empty)."""
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        sent_at = loop_time()
+        ack = await self.session.send_report_batch(batch)
+        latency = loop_time() - sent_at
+        self.stats.ack_latencies_s.extend([latency] * len(batch))
+        self.stats.batches_sent += int(ack.get("_batches", 1))
+        self.stats.retries += int(ack.get("_retries", 0))
+        self.stats.reports_acked += int(ack.get("accepted", 0))
+        self.stats.reports_rejected += int(ack.get("rejected", 0))
 
     async def _poll_once(self, t: float, loop_time) -> None:
         point = self.agent.position(t)
@@ -231,6 +372,11 @@ class ServedClient:
             self.stats.tasks_refused += 1
             return
         self.stats.reports_sent += 1
+        if self.batch_size > 1:
+            self._buffer.append(report_to_wire(report))
+            if len(self._buffer) >= self.batch_size:
+                await self._flush(loop_time)
+            return
         sent_at = loop_time()
         ack = await self.session.send_report(report_to_wire(report))
         self.stats.ack_latencies_s.append(loop_time() - sent_at)

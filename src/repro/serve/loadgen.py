@@ -56,6 +56,12 @@ class LoadgenConfig:
     max_reconnects: int = 30
     #: Delay between reconnect attempts.
     reconnect_delay_s: float = 0.2
+    #: Session codec to negotiate ("json" or "binary").  "json" offers
+    #: nothing in HELLO — the PR-5 handshake, byte-for-byte.
+    codec: str = "json"
+    #: Reports coalesced per REPORT_BATCH frame; 1 keeps the PR-5
+    #: one-REPORT-one-ACK wire exchange.
+    batch_size: int = 1
 
 
 @dataclass
@@ -154,6 +160,7 @@ async def _run_one_client(
                 cfg.host, cfg.port,
                 client_id=f"load-{index:05d}",
                 networks=[_NETWORKS[index % len(_NETWORKS)]],
+                codecs=[cfg.codec] if cfg.codec != "json" else None,
             )
             try:
                 await s.open()
@@ -167,35 +174,43 @@ async def _run_one_client(
                 await asyncio.sleep(cfg.reconnect_delay_s)
 
     settled = 0  # reports this client ACKed or explicitly gave up on
+    batch = max(1, cfg.batch_size)
     try:
         session = await connect()
-        for seq in range(cfg.reports_per_client):
-            payload = synthetic_report(index, seq)
-            result.reports_sent += 1
+        for lo in range(0, cfg.reports_per_client, batch):
+            seqs = range(lo, min(lo + batch, cfg.reports_per_client))
+            payloads = [synthetic_report(index, seq) for seq in seqs]
+            result.reports_sent += len(payloads)
             acked = False
             for _ in range(cfg.max_reconnects + 1):
                 try:
                     sent_at = loop_time()
-                    ack = await session.send_report(payload)
-                    latencies.append(loop_time() - sent_at)
-                    result.retries += int(ack.get("_retries", 0))
-                    if ack.get("accepted"):
-                        result.reports_acked += 1
+                    if batch > 1:
+                        ack = await session.send_report_batch(payloads)
+                        n_acc = int(ack.get("accepted", 0))
+                        n_rej = int(ack.get("rejected", 0))
                     else:
-                        result.reports_rejected += 1
+                        ack = await session.send_report(payloads[0])
+                        n_acc = 1 if ack.get("accepted") else 0
+                        n_rej = 1 - n_acc
+                    latency = loop_time() - sent_at
+                    latencies.extend([latency] * len(payloads))
+                    result.retries += int(ack.get("_retries", 0))
+                    result.reports_acked += n_acc
+                    result.reports_rejected += n_rej
                     acked = True
                     break
                 except (WireError, ConnectionError, OSError):
                     #: Server went away mid-report (e.g. the smoke
-                    #: test's kill).  The report may or may not have
+                    #: test's kill).  The report(s) may or may not have
                     #: made the WAL; resending is safe for throughput
                     #: accounting and the recovery comparison replays
                     #: whatever the WAL durably holds.
                     await session.close()
                     session = await connect()
             if not acked:
-                result.reports_dropped += 1
-            settled += 1
+                result.reports_dropped += len(payloads)
+            settled += len(payloads)
         result.sessions_completed += 1
     except (WireError, ConnectionError, OSError) as exc:
         result.sessions_failed += 1

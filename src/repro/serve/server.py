@@ -20,7 +20,23 @@ Session state machine (per connection)::
 * **Backpressure** — reports land in a bounded ingest queue consumed by
   a single writer task (WAL order == ingest order == ACK order).  When
   the queue is full the report is *not* queued and the client receives
-  ``RETRY`` with ``retry_after_s``; a well-behaved client resends.
+  ``RETRY`` with ``retry_after_s``; a well-behaved client resends.  The
+  bound counts *reports*, not frames, so a REPORT_BATCH is admitted up
+  to the remaining budget: the admitted prefix is staged and later
+  range-ACKed (``ACK_BATCH seq_lo..seq_hi``), the rejected tail gets
+  one ``RETRY`` naming its ``seq_lo..seq_hi`` — partial rejection, not
+  all-or-nothing.
+* **Group commit** — the writer task drains the ingest queue greedily
+  (up to ``commit_batch_max`` reports per round) and stages the whole
+  drain with one buffered write + one flush
+  (:meth:`~repro.serve.wal.WriteAheadLog.append_many`), fsyncing under
+  the WAL's count-or-time policy.  ACKs are sent only after the drain's
+  flush, so "ACKed" still means process-crash durable.
+* **Codec negotiation** — HELLO may carry ``codecs`` (client
+  preference order); the server picks the first one it speaks and
+  names it in WELCOME.  HELLO/WELCOME are always canonical JSON; every
+  later frame in the session uses the negotiated codec.  A client that
+  offers nothing gets ``json`` — the PR-5 wire format, byte-for-byte.
 * **Heartbeats / idle timeout** — any frame resets the idle clock;
   ``PING`` exists so an idle-but-alive client can stay connected.  A
   session silent for ``idle_timeout_s`` gets ``ERROR(code="idle-
@@ -44,7 +60,7 @@ import asyncio
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import WiScapeConfig
 from repro.core.controller import MeasurementCoordinator
@@ -56,7 +72,9 @@ from repro.obs.telemetry import Telemetry
 from repro.serve import wire
 from repro.serve.wal import WriteAheadLog
 from repro.serve.wire import (
+    CODEC_JSON,
     PROTOCOL_VERSION,
+    SUPPORTED_CODECS,
     ProtocolError,
     VersionMismatchError,
     WireError,
@@ -67,7 +85,7 @@ from repro.serve.wire import (
 )
 
 __all__ = ["ServeConfig", "CoordinatorServer", "build_coordinator",
-           "replay_wal"]
+           "replay_wal", "install_uvloop"]
 
 #: Buckets for the server-side ACK latency histogram (seconds).
 _ACK_LATENCY_BUCKETS = (
@@ -103,6 +121,30 @@ class ServeConfig:
     #: WAL batching/rotation knobs (see repro.serve.wal).
     wal_fsync_every: int = 64
     wal_segment_max_bytes: int = 8 * 1024 * 1024
+    #: WAL group-commit time window (seconds; 0 = count-only policy).
+    wal_fsync_interval_s: float = 0.0
+    #: Reports the ingest writer drains per WAL group commit (one
+    #: buffered write + one flush covers up to this many reports).
+    commit_batch_max: int = 256
+    #: Frame codecs this server will negotiate (client preference
+    #: order wins among these).  Trimming it to ("json",) refuses
+    #: binary sessions without touching clients.
+    codecs: Tuple[str, ...] = SUPPORTED_CODECS
+
+
+def install_uvloop() -> bool:
+    """Install the uvloop event-loop policy when the package exists.
+
+    Returns True on success and False when uvloop is not importable —
+    stdlib asyncio remains the deterministic default either way, so
+    callers can treat the return value as purely informational.
+    """
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
 
 
 def build_coordinator(
@@ -165,6 +207,9 @@ class _Session:
     reports: int = 0
     #: Round-robin cursor of the per-session task planner.
     task_cursor: int = 0
+    #: Frame codec negotiated in HELLO/WELCOME (every post-handshake
+    #: frame, both directions, uses it).
+    codec: str = CODEC_JSON
 
 
 class CoordinatorServer:
@@ -186,6 +231,7 @@ class CoordinatorServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._server: Optional[asyncio.AbstractServer] = None
         self._ingest_queue: Optional[asyncio.Queue] = None
+        self._ingest_pending = 0
         self._ingest_task: Optional[asyncio.Task] = None
         self._sessions: Dict[int, _Session] = {}
         self._session_ids = itertools.count(1)
@@ -222,17 +268,24 @@ class CoordinatorServer:
                 self.wal_dir,
                 segment_max_bytes=cfg.wal_segment_max_bytes,
                 fsync_every=cfg.wal_fsync_every,
+                fsync_interval_s=cfg.wal_fsync_interval_s,
             )
             self.wal.write_meta({
                 "seed": cfg.seed,
                 "gen_seed": cfg.gen_seed,
                 "radius_m": cfg.radius_m,
                 "protocol_version": PROTOCOL_VERSION,
+                "commit_policy": self.wal.commit_policy,
             })
             self.metrics.gauge("serve.wal_recovered_records").set(
                 self.wal.records_logged
             )
-        self._ingest_queue = asyncio.Queue(maxsize=cfg.ingest_queue_max)
+        #: The queue itself is unbounded; the *report-level* budget
+        #: (``_ingest_pending`` vs ``ingest_queue_max``) is what
+        #: admission checks, so a frame carrying 50 reports weighs 50
+        #: against backpressure, not 1.
+        self._ingest_queue = asyncio.Queue()
+        self._ingest_pending = 0
         self._ingest_task = asyncio.ensure_future(self._ingest_worker())
         self._server = await asyncio.start_server(
             self._handle_connection, host=cfg.host, port=cfg.port
@@ -269,19 +322,22 @@ class CoordinatorServer:
 
     # -- frame I/O -------------------------------------------------------
 
-    def _send(self, writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+    def _send(self, writer: asyncio.StreamWriter, message: Dict[str, Any],
+              codec: str = CODEC_JSON) -> None:
         """Encode and queue one frame on a session's transport."""
-        writer.write(encode_frame(message, self.config.max_frame_bytes))
+        writer.write(encode_frame(message, self.config.max_frame_bytes,
+                                  codec))
         self.metrics.counter("serve.frames_tx").inc()
 
     async def _send_error_and_close(
-        self, writer: asyncio.StreamWriter, code: str, detail: str
+        self, writer: asyncio.StreamWriter, code: str, detail: str,
+        codec: str = CODEC_JSON,
     ) -> None:
         self.metrics.counter("serve.protocol_errors").inc()
         self.metrics.counter(f"serve.error.{code}").inc()
         try:
             self._send(writer, {"type": "ERROR", "code": code,
-                                "detail": detail})
+                                "detail": detail}, codec)
             await writer.drain()
         except (ConnectionError, RuntimeError):
             pass
@@ -309,12 +365,16 @@ class CoordinatorServer:
                 return
             await self._session_loop(reader, session)
         except WireError as exc:
-            await self._send_error_and_close(writer, exc.code, exc.detail)
+            await self._send_error_and_close(
+                writer, exc.code, exc.detail,
+                session.codec if session else CODEC_JSON,
+            )
         except asyncio.TimeoutError:
             self.metrics.counter("serve.idle_timeouts").inc()
             await self._send_error_and_close(
                 writer, "idle-timeout",
                 f"no frame for {cfg.idle_timeout_s}s",
+                session.codec if session else CODEC_JSON,
             )
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -352,6 +412,16 @@ class CoordinatorServer:
         client_id = str(hello.get("client_id") or "")
         if not client_id:
             raise ProtocolError("HELLO without client_id")
+        #: Codec negotiation: first client-offered codec the server
+        #: speaks wins; a HELLO without "codecs" (every PR-5 client)
+        #: stays on canonical JSON.
+        offered = hello.get("codecs")
+        codec = CODEC_JSON
+        if isinstance(offered, list):
+            for candidate in offered:
+                if candidate in cfg.codecs and candidate in SUPPORTED_CODECS:
+                    codec = candidate
+                    break
         session = _Session(
             session_id=next(self._session_ids),
             client_id=client_id,
@@ -360,16 +430,20 @@ class CoordinatorServer:
         )
         self._sessions[session.session_id] = session
         self.metrics.counter("serve.sessions_total").inc()
+        self.metrics.counter(f"serve.sessions_codec.{codec}").inc()
         self.metrics.gauge("serve.sessions_active").set(len(self._sessions))
+        #: WELCOME itself is always JSON; the switch happens after it.
         self._send(writer, {
             "type": "WELCOME",
             "session_id": session.session_id,
             "v": PROTOCOL_VERSION,
+            "codec": codec,
             "heartbeat_s": cfg.heartbeat_s,
             "idle_timeout_s": cfg.idle_timeout_s,
             "max_frame_bytes": cfg.max_frame_bytes,
         })
         await writer.drain()
+        session.codec = codec
         return session
 
     async def _session_loop(
@@ -378,7 +452,8 @@ class CoordinatorServer:
         cfg = self.config
         while True:
             message = await asyncio.wait_for(
-                read_frame(reader, cfg.max_frame_bytes), cfg.idle_timeout_s
+                read_frame(reader, cfg.max_frame_bytes, session.codec),
+                cfg.idle_timeout_s,
             )
             if message is None:
                 return  # peer closed between frames
@@ -386,15 +461,18 @@ class CoordinatorServer:
             kind = message["type"]
             if kind == "REPORT":
                 self._on_report(session, message)
+            elif kind == "REPORT_BATCH":
+                self._on_report_batch(session, message)
             elif kind == "POLL":
                 self._on_poll(session, message)
             elif kind == "PING":
                 self._send(session.writer,
-                           {"type": "PONG", "seq": message.get("seq")})
+                           {"type": "PONG", "seq": message.get("seq")},
+                           session.codec)
             elif kind == "STATS":
                 self._on_stats(session)
             elif kind == "BYE":
-                self._send(session.writer, {"type": "BYE"})
+                self._send(session.writer, {"type": "BYE"}, session.codec)
                 await session.writer.drain()
                 return
             elif kind in wire.FRAME_TYPES:
@@ -413,35 +491,95 @@ class CoordinatorServer:
         if not isinstance(payload, dict):
             raise ProtocolError("REPORT without a report object")
         #: Parse eagerly so a malformed payload is a typed session error
-        #: rather than a poison pill inside the ingest worker.
-        report_from_wire(payload)
+        #: rather than a poison pill inside the ingest worker; the
+        #: parsed report rides the queue so the writer never re-parses.
+        report = report_from_wire(payload)
         self.metrics.counter("serve.reports_received").inc()
-        try:
-            self._ingest_queue.put_nowait(
-                (payload, session.session_id, time.perf_counter())
-            )
-        except asyncio.QueueFull:
+        if self._ingest_pending >= self.config.ingest_queue_max:
             self.metrics.counter("serve.backpressure_rejections").inc()
             self._send(session.writer, {
                 "type": "RETRY",
                 "task_id": payload.get("task_id"),
                 "retry_after_s": self.config.retry_after_s,
-            })
+            }, session.codec)
             return
+        self._ingest_pending += 1
+        self._ingest_queue.put_nowait(
+            ("one", [payload], [report], None, session.session_id,
+             time.perf_counter())
+        )
         self.metrics.histogram(
             "serve.ingest_queue_depth"
-        ).observe(self._ingest_queue.qsize())
+        ).observe(self._ingest_pending)
+
+    def _on_report_batch(
+        self, session: _Session, message: Dict[str, Any]
+    ) -> None:
+        """Admit a REPORT_BATCH up to the report-level budget.
+
+        The admitted prefix becomes one queue item (the writer will
+        group-commit it and answer with a single range ACK_BATCH); the
+        tail that does not fit gets one RETRY naming its seq range —
+        the client resends exactly those.
+        """
+        reports = message.get("reports")
+        if not isinstance(reports, list) or not reports:
+            raise ProtocolError("REPORT_BATCH without a reports list")
+        try:
+            seq_lo = int(message["seq_lo"])
+        except (KeyError, TypeError, ValueError):
+            raise ProtocolError("REPORT_BATCH without integer seq_lo") \
+                from None
+        parsed = []
+        for payload in reports:
+            if not isinstance(payload, dict):
+                raise ProtocolError("REPORT_BATCH carries a non-object "
+                                    "report")
+            #: Same eager-parse contract as single REPORTs: a malformed
+            #: report is a typed session error before anything from the
+            #: batch is admitted.  Parsed reports ride the queue so the
+            #: writer never re-parses the hot path.
+            parsed.append(report_from_wire(payload))
+        self.metrics.counter("serve.reports_received").inc(len(reports))
+        self.metrics.counter("serve.report_batches").inc()
+        self.metrics.histogram("serve.report_batch_size").observe(
+            len(reports)
+        )
+        budget = self.config.ingest_queue_max - self._ingest_pending
+        admitted = min(len(reports), max(0, budget))
+        if admitted > 0:
+            self._ingest_pending += admitted
+            self._ingest_queue.put_nowait(
+                ("batch", reports[:admitted], parsed[:admitted], seq_lo,
+                 session.session_id, time.perf_counter())
+            )
+            self.metrics.histogram(
+                "serve.ingest_queue_depth"
+            ).observe(self._ingest_pending)
+        if admitted < len(reports):
+            #: Partial (or total) rejection: one RETRY for the tail.
+            self.metrics.counter("serve.backpressure_rejections").inc(
+                len(reports) - admitted
+            )
+            self._send(session.writer, {
+                "type": "RETRY",
+                "seq_lo": seq_lo + admitted,
+                "seq_hi": seq_lo + len(reports) - 1,
+                "retry_after_s": self.config.retry_after_s,
+            }, session.codec)
 
     def _on_poll(self, session: _Session, message: Dict[str, Any]) -> None:
         """Answer a position beacon with one TASK (or a PONG)."""
         task = self._plan_task(session, message)
         if task is None:
             self._send(session.writer,
-                       {"type": "PONG", "seq": message.get("seq")})
+                       {"type": "PONG", "seq": message.get("seq")},
+                       session.codec)
             return
         self.metrics.counter("serve.tasks_issued").inc()
         self._send(session.writer, {"type": "TASK",
-                                    "task": task_to_wire(task)})
+                                    "task": task_to_wire(task)},
+                   session.codec)
 
     def _on_stats(self, session: _Session) -> None:
         """Answer STATS with both metric registries and WAL counters."""
@@ -451,6 +589,8 @@ class CoordinatorServer:
                 "records_logged": self.wal.records_logged,
                 "segments_rotated": self.wal.segments_rotated,
                 "fsyncs": self.wal.fsyncs,
+                "group_commits": self.wal.group_commits,
+                "commit_policy": self.wal.commit_policy,
             }
         self._send(session.writer, {
             "type": "STATS_REPLY",
@@ -458,7 +598,7 @@ class CoordinatorServer:
             "serve": self.metrics.snapshot(),
             "wal": wal_stats,
             "sessions_active": len(self._sessions),
-        })
+        }, session.codec)
 
     def _plan_task(
         self, session: _Session, message: Dict[str, Any]
@@ -509,41 +649,110 @@ class CoordinatorServer:
     # -- the ingest worker -----------------------------------------------
 
     async def _ingest_worker(self) -> None:
-        """Single consumer: WAL append -> coordinator ingest -> ACK.
+        """Single consumer: group WAL commit -> coordinator ingest -> ACK.
 
         One task consumes the queue, so WAL order, ingest order, and ACK
         order all agree — the invariant WAL-replay byte-identity needs.
+        Each round drains the queue greedily (up to ``commit_batch_max``
+        reports), stages every drained payload with ONE buffered write
+        and ONE flush (:meth:`WriteAheadLog.append_many`), and only then
+        ingests and ACKs — so an ACK still means "process-crash
+        durable", but a busy server pays one flush per drain instead of
+        one per report.
         """
         assert self._ingest_queue is not None
+        cfg = self.config
+        queue = self._ingest_queue
         while True:
-            payload, session_id, received_at = await self._ingest_queue.get()
+            items = [await queue.get()]
+            drained = len(items[0][1])
+            while drained < cfg.commit_batch_max:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                items.append(item)
+                drained += len(item[1])
             try:
-                seq = None
+                #: Phase 1 — durably stage the whole drain, in order.
+                all_payloads: List[Dict[str, Any]] = []
+                for _, payloads, _, _, _, _ in items:
+                    all_payloads.extend(payloads)
                 if self.wal is not None:
-                    seq = self.wal.append(payload)
-                    self.metrics.counter("serve.wal_appends").inc()
-                accepted = self.coordinator.ingest(report_from_wire(payload))
-                self.metrics.counter(
-                    "serve.reports_ingested" if accepted
-                    else "serve.reports_rejected"
-                ).inc()
-                session = self._sessions.get(session_id)
-                if session is not None:
-                    session.reports += 1
-                    try:
-                        self._send(session.writer, {
-                            "type": "ACK",
-                            "task_id": payload.get("task_id"),
-                            "seq": seq,
-                            "accepted": accepted,
-                        })
-                        self.metrics.counter("serve.reports_acked").inc()
-                        self.metrics.histogram(
-                            "serve.ack_latency_s", _ACK_LATENCY_BUCKETS
-                        ).observe(time.perf_counter() - received_at)
-                    except (ConnectionError, RuntimeError):
-                        #: Session died between enqueue and ACK; the
-                        #: report is durable regardless.
-                        self.metrics.counter("serve.acks_undeliverable").inc()
+                    wal_seqs = self.wal.append_many(all_payloads)
+                    self.metrics.counter("serve.wal_appends").inc(
+                        len(all_payloads)
+                    )
+                    self.metrics.histogram(
+                        "serve.group_commit_reports"
+                    ).observe(len(all_payloads))
+                else:
+                    wal_seqs = [None] * len(all_payloads)
+                #: Phase 2 — ingest and acknowledge, item by item.
+                cursor = 0
+                for (kind, payloads, reports, seq_lo, session_id,
+                     received_at) in items:
+                    seqs = wal_seqs[cursor:cursor + len(payloads)]
+                    cursor += len(payloads)
+                    self._ingest_and_ack(
+                        kind, payloads, reports, seqs, seq_lo, session_id,
+                        received_at,
+                    )
             finally:
-                self._ingest_queue.task_done()
+                self._ingest_pending -= drained
+                for _ in items:
+                    queue.task_done()
+
+    def _ingest_and_ack(
+        self,
+        kind: str,
+        payloads: List[Dict[str, Any]],
+        reports: List[Any],
+        wal_seqs: List[Optional[int]],
+        seq_lo: Optional[int],
+        session_id: int,
+        received_at: float,
+    ) -> None:
+        """Fold one queue item into the coordinator and answer its ACK."""
+        accepted_flags = []
+        for report in reports:
+            accepted = self.coordinator.ingest(report)
+            accepted_flags.append(accepted)
+            self.metrics.counter(
+                "serve.reports_ingested" if accepted
+                else "serve.reports_rejected"
+            ).inc()
+        session = self._sessions.get(session_id)
+        if session is None:
+            return
+        session.reports += len(payloads)
+        if kind == "one":
+            ack: Dict[str, Any] = {
+                "type": "ACK",
+                "task_id": payloads[0].get("task_id"),
+                "seq": wal_seqs[0],
+                "accepted": accepted_flags[0],
+            }
+        else:
+            ack = {
+                "type": "ACK_BATCH",
+                "seq_lo": seq_lo,
+                "seq_hi": seq_lo + len(payloads) - 1,
+                "wal_seq_lo": wal_seqs[0],
+                "wal_seq_hi": wal_seqs[-1],
+                "accepted": sum(1 for a in accepted_flags if a),
+                "rejected_seqs": [
+                    seq_lo + i for i, a in enumerate(accepted_flags)
+                    if not a
+                ],
+            }
+        try:
+            self._send(session.writer, ack, session.codec)
+            self.metrics.counter("serve.reports_acked").inc(len(payloads))
+            self.metrics.histogram(
+                "serve.ack_latency_s", _ACK_LATENCY_BUCKETS
+            ).observe(time.perf_counter() - received_at)
+        except (ConnectionError, RuntimeError):
+            #: Session died between enqueue and ACK; the reports are
+            #: durable regardless.
+            self.metrics.counter("serve.acks_undeliverable").inc()

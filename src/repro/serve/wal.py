@@ -23,14 +23,22 @@ Each record is one line::
     <crc32 hex, 8 chars> <compact sorted-key JSON>\n
 
 The CRC covers the JSON bytes.  Appends go through a buffered file
-handle that is ``flush()``-ed to the OS on every append (so a killed
-*process* loses nothing already acknowledged) and ``fsync()``-ed every
-``fsync_every`` records and at rotation/close (bounding what a killed
-*machine* can lose).  Replay walks segments in order and verifies every
-CRC; a torn or truncated record is only legal as the final record of
-the final segment — exactly what a mid-write crash produces — and
-recovery stops there.  Corruption anywhere else raises
-:class:`WalCorruptionError` loudly instead of silently dropping data.
+handle that is ``flush()``-ed to the OS before the append (or batch
+of appends — see below) returns, so a killed *process* loses nothing
+already acknowledged, and ``fsync()``-ed under the **group-commit
+policy** — every ``fsync_every`` records *or* every
+``fsync_interval_s`` seconds of pending appends, whichever trips
+first, plus at rotation/close (bounding what a killed *machine* can
+lose).  :meth:`WriteAheadLog.append_many` stages a whole batch with a
+single buffered write and a single flush, which is what the server's
+ingest writer leans on: one group commit per queue drain instead of
+one flush per report.  Replay walks segments in order and verifies
+every CRC; a torn or truncated record is only legal as the final
+record of the final segment — exactly what a mid-write crash produces
+(a torn batched write persists a prefix of complete records plus at
+most one partial line, which is the same shape) — and recovery stops
+there.  Corruption anywhere else raises :class:`WalCorruptionError`
+loudly instead of silently dropping data.
 """
 
 from __future__ import annotations
@@ -38,8 +46,9 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 import zlib
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "WAL_META_FILENAME",
@@ -60,6 +69,11 @@ DEFAULT_SEGMENT_MAX_BYTES = 8 * 1024 * 1024
 
 #: Default fsync batch: one fsync per this many appended records.
 DEFAULT_FSYNC_EVERY = 64
+
+#: Default fsync time window (seconds): pending appends older than this
+#: are fsynced even when the count threshold has not tripped.  0
+#: disables the time axis (count-only policy — the PR-5 behavior).
+DEFAULT_FSYNC_INTERVAL_S = 0.0
 
 
 class WalCorruptionError(Exception):
@@ -88,14 +102,18 @@ class WriteAheadLog:
         wal_dir: str,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
         fsync_every: int = DEFAULT_FSYNC_EVERY,
+        fsync_interval_s: float = DEFAULT_FSYNC_INTERVAL_S,
     ):
         if segment_max_bytes < 1:
             raise ValueError("segment_max_bytes must be >= 1")
         if fsync_every < 1:
             raise ValueError("fsync_every must be >= 1")
+        if fsync_interval_s < 0:
+            raise ValueError("fsync_interval_s must be >= 0")
         self.wal_dir = wal_dir
         self.segment_max_bytes = int(segment_max_bytes)
         self.fsync_every = int(fsync_every)
+        self.fsync_interval_s = float(fsync_interval_s)
         os.makedirs(wal_dir, exist_ok=True)
         existing = wal_segments(wal_dir)
         if existing:
@@ -114,7 +132,9 @@ class WriteAheadLog:
             self.records_logged = 0
         self.segments_rotated = 0
         self.fsyncs = 0
+        self.group_commits = 0
         self._since_fsync = 0
+        self._oldest_pending_t: Optional[float] = None
         self._fh = None
         self._fh_bytes = 0
 
@@ -125,30 +145,73 @@ class WriteAheadLog:
         self._fh = open(path, "ab")
         self._fh_bytes = self._fh.tell()
 
+    @staticmethod
+    def encode_record(record: Dict[str, Any]) -> bytes:
+        """One record dict -> its CRC-prefixed WAL line (with newline)."""
+        payload = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return (b"%08x " % (zlib.crc32(payload) & 0xFFFFFFFF,)
+                + payload + b"\n")
+
     def append(self, record: Dict[str, Any]) -> int:
         """Durably stage one record; returns its log sequence number.
 
         The record is written and flushed to the OS before returning
-        (process-crash safe); fsync happens every ``fsync_every``
-        appends (machine-crash window is bounded, not zero).
+        (process-crash safe); fsync happens under the group-commit
+        policy — every ``fsync_every`` appends or ``fsync_interval_s``
+        seconds, whichever trips first (machine-crash window is
+        bounded, not zero).
         """
+        return self.append_many((record,))[0]
+
+    def append_many(self, records: Sequence[Dict[str, Any]]) -> List[int]:
+        """Group-commit a batch of records with ONE write and ONE flush.
+
+        Returns the log sequence number of every record, in order.  The
+        whole batch is flushed to the OS before returning — an ACK sent
+        after this call is process-crash safe for every record in it —
+        and the fsync policy is evaluated once for the batch, so a
+        thousand-report drain costs one flush and at most one fsync
+        instead of a thousand.
+        """
+        if not records:
+            return []
         if self._fh is None:
             self._open_segment()
-        payload = json.dumps(
-            record, sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
-        line = b"%08x " % (zlib.crc32(payload) & 0xFFFFFFFF,) + payload + b"\n"
-        self._fh.write(line)
+        encode = self.encode_record
+        blob = b"".join(encode(r) for r in records)
+        self._fh.write(blob)
         self._fh.flush()
-        seq = self.records_logged
-        self.records_logged += 1
-        self._fh_bytes += len(line)
-        self._since_fsync += 1
-        if self._since_fsync >= self.fsync_every:
-            self.sync()
+        seq_lo = self.records_logged
+        self.records_logged += len(records)
+        self._fh_bytes += len(blob)
+        if self._since_fsync == 0:
+            self._oldest_pending_t = time.monotonic()
+        self._since_fsync += len(records)
+        self.group_commits += 1
+        self.maybe_sync()
         if self._fh_bytes >= self.segment_max_bytes:
             self._rotate()
-        return seq
+        return list(range(seq_lo, seq_lo + len(records)))
+
+    def maybe_sync(self) -> None:
+        """fsync if the group-commit policy says the window is over.
+
+        The count axis (``fsync_every``) and the time axis
+        (``fsync_interval_s``, when non-zero) are ORed: whichever
+        trips first forces the fsync.
+        """
+        if self._since_fsync >= self.fsync_every:
+            self.sync()
+        elif (
+            self.fsync_interval_s > 0
+            and self._since_fsync > 0
+            and self._oldest_pending_t is not None
+            and time.monotonic() - self._oldest_pending_t
+            >= self.fsync_interval_s
+        ):
+            self.sync()
 
     def sync(self) -> None:
         """fsync the active segment (no-op when nothing is pending)."""
@@ -157,6 +220,16 @@ class WriteAheadLog:
         os.fsync(self._fh.fileno())
         self.fsyncs += 1
         self._since_fsync = 0
+        self._oldest_pending_t = None
+
+    @property
+    def commit_policy(self) -> Dict[str, Any]:
+        """The group-commit knobs, JSON-ready (recorded in wal_meta)."""
+        return {
+            "fsync_every": self.fsync_every,
+            "fsync_interval_s": self.fsync_interval_s,
+            "segment_max_bytes": self.segment_max_bytes,
+        }
 
     def _rotate(self) -> None:
         self.sync()

@@ -281,6 +281,30 @@ class SweepRunner:
 
     def _run_pool(self, cells: List[SweepCell]) -> SweepResult:
         ctx = multiprocessing.get_context(self.start_method)
+        self._prewarmed_landscapes = 0
+        if self.start_method == "fork":
+            #: Build each distinct world once in the parent BEFORE any
+            #: worker forks: children then share the landscapes
+            #: copy-on-write instead of each rebuilding them — the
+            #: rebuild is what made an oversubscribed pool slower than
+            #: serial.  Spawned workers can't inherit memory, so the
+            #: prewarm is fork-only (they fall back to per-worker
+            #: memos), and only scenarios flagged ``needs_landscape``
+            #: trigger it — a smoke/bench grid never pays a world build.
+            from repro.sweep.scenarios import (
+                get_scenario,
+                prewarm_shared_landscapes,
+            )
+
+            seeds = sorted({
+                c.seed for c in cells
+                if getattr(get_scenario(c.scenario), "needs_landscape",
+                           False)
+            })
+            if seeds:
+                self._prewarmed_landscapes = prewarm_shared_landscapes(
+                    seeds
+                )
         task_q = ctx.Queue(maxsize=self.queue_depth)
         result_q = ctx.Queue()
         result = SweepResult(out_dir=self.out_dir, total=len(cells))
@@ -496,6 +520,11 @@ class SweepRunner:
                     for wid, s in sorted(cache_stats.items())
                 },
             },
+            #: Landscapes built in the parent pre-fork (0 for serial,
+            #: spawn, or when every seed was already shared).
+            "prewarmed_landscapes": getattr(
+                self, "_prewarmed_landscapes", 0
+            ),
             "durations_s": {
                 k: round(v, 6)
                 for k, v in sorted(getattr(self, "_durations", {}).items())

@@ -34,6 +34,7 @@ from repro.sweep.grid import SweepCell, SweepGrid
 __all__ = [
     "DEFAULT_CONTEXT_CACHE_MAX",
     "WorkerContext",
+    "prewarm_shared_landscapes",
     "scenario",
     "get_scenario",
     "scenario_names",
@@ -77,6 +78,41 @@ MULTISIM_STRATEGIES = [
 #: multi-day traces each weigh tens of megabytes; without a cap a
 #: long multi-seed grid grows worker RSS monotonically.
 DEFAULT_CONTEXT_CACHE_MAX = 16
+
+#: Module-level landscape store, shared copy-on-write by forked
+#: workers.  :func:`prewarm_shared_landscapes` fills it in the parent
+#: process *before* the pool forks, so every worker inherits the
+#: already-built landscapes through fork's memory sharing instead of
+#: rebuilding them per process — on a 1-CPU box the rebuild is most of
+#: why a 4-worker sweep used to run *slower* than serial.  Workers
+#: under the spawn start method see an empty dict and fall back to the
+#: per-worker memo: the prewarm only ever changes build time, never
+#: results (every entry is a pure function of its key).
+_SHARED_LANDSCAPES: Dict[Tuple, Any] = {}
+
+
+def prewarm_shared_landscapes(
+    seeds: Sequence[int],
+    include_road: bool = True,
+    include_nj: bool = True,
+) -> int:
+    """Build each seed's landscape into the shared module-level store.
+
+    Call in the pool parent before forking workers.  Returns how many
+    landscapes were actually built (already-present keys are skipped).
+    """
+    from repro.radio.network import build_landscape
+
+    built = 0
+    for seed in seeds:
+        key = ("landscape", int(seed), include_road, include_nj)
+        if key not in _SHARED_LANDSCAPES:
+            _SHARED_LANDSCAPES[key] = build_landscape(
+                seed=int(seed), include_road=include_road,
+                include_nj=include_nj,
+            )
+            built += 1
+    return built
 
 
 class WorkerContext:
@@ -138,10 +174,19 @@ class WorkerContext:
 
     def landscape(self, seed: int, include_road: bool = True,
                   include_nj: bool = True):
-        """The built (and progressively cache-warmed) world for ``seed``."""
+        """The built (and progressively cache-warmed) world for ``seed``.
+
+        Checks the fork-shared :data:`_SHARED_LANDSCAPES` store first —
+        a prewarmed landscape is used in place (copy-on-write pages,
+        outside the LRU) — and only falls back to the per-worker memo
+        for seeds the parent never prewarmed.
+        """
         from repro.radio.network import build_landscape
 
         key = ("landscape", seed, include_road, include_nj)
+        shared = _SHARED_LANDSCAPES.get(key)
+        if shared is not None:
+            return shared
         return self.memo(key, lambda: build_landscape(
             seed=seed, include_road=include_road, include_nj=include_nj
         ))
@@ -240,10 +285,18 @@ class WorkerContext:
 _REGISTRY: Dict[str, Callable[[SweepCell, WorkerContext], dict]] = {}
 
 
-def scenario(name: str):
-    """Decorator registering a scenario function under ``name``."""
+def scenario(name: str, needs_landscape: bool = False):
+    """Decorator registering a scenario function under ``name``.
+
+    ``needs_landscape`` marks scenarios that (directly or through a
+    memoized trace) call :meth:`WorkerContext.landscape`; the pool
+    runner prewarms the fork-shared landscape store only for those, so
+    lightweight grids (smoke cells, subprocess benches) never pay a
+    world build they will not use.
+    """
 
     def wrap(fn):
+        fn.needs_landscape = needs_landscape
         _REGISTRY[name] = fn
         return fn
 
@@ -656,7 +709,7 @@ def scenario_error(cell: SweepCell, ctx: WorkerContext) -> dict:
     raise RuntimeError(cell.overrides.get("message", "scenario error"))
 
 
-@scenario("ablation_epoch")
+@scenario("ablation_epoch", needs_landscape=True)
 def scenario_ablation_epoch(cell: SweepCell, ctx: WorkerContext) -> dict:
     """One (region, epoch length) point of the epoch-length ablation."""
     ov = cell.overrides
@@ -681,7 +734,7 @@ def scenario_ablation_epoch(cell: SweepCell, ctx: WorkerContext) -> dict:
     }
 
 
-@scenario("ablation_sample_budget")
+@scenario("ablation_sample_budget", needs_landscape=True)
 def scenario_ablation_sample_budget(cell: SweepCell,
                                     ctx: WorkerContext) -> dict:
     """One sample-budget point of the estimation-error ablation."""
@@ -708,7 +761,7 @@ def scenario_ablation_sample_budget(cell: SweepCell,
     }
 
 
-@scenario("ablation_zone_radius")
+@scenario("ablation_zone_radius", needs_landscape=True)
 def scenario_ablation_zone_radius(cell: SweepCell,
                                   ctx: WorkerContext) -> dict:
     """One zone-radius point of the homogeneity/coverage trade-off."""
@@ -728,7 +781,7 @@ def scenario_ablation_zone_radius(cell: SweepCell,
     return dict(stats, radius_m=radius_m)
 
 
-@scenario("ablation_scheduler")
+@scenario("ablation_scheduler", needs_landscape=True)
 def scenario_ablation_scheduler(cell: SweepCell, ctx: WorkerContext) -> dict:
     """One (policy, seed) run of the budgeted-vs-greedy scheduler study."""
     ov = cell.overrides
@@ -756,7 +809,7 @@ def scenario_ablation_scheduler(cell: SweepCell, ctx: WorkerContext) -> dict:
     }
 
 
-@scenario("ablation_switch_cost")
+@scenario("ablation_switch_cost", needs_landscape=True)
 def scenario_ablation_switch_cost(cell: SweepCell,
                                   ctx: WorkerContext) -> dict:
     """One (scheme, switch delay) trial of the switch-cost ablation."""
@@ -778,7 +831,7 @@ def scenario_ablation_switch_cost(cell: SweepCell,
     return dict(trial, scheme=scheme, switch_delay_s=delay)
 
 
-@scenario("driving")
+@scenario("driving", needs_landscape=True)
 def scenario_driving(cell: SweepCell, ctx: WorkerContext) -> dict:
     """One strategy of the multi-network driving comparison (section 4.2).
 

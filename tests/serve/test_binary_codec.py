@@ -1,0 +1,282 @@
+"""Property tests for the opt-in binary frame codec (repro.serve.wire).
+
+The binary codec's contract is strict round-trip identity:
+``decode(encode(x)) == x`` under canonical-JSON comparison for *every*
+message — struct-packable REPORT_BATCHes take the packed fast path,
+everything else silently falls back to the embedded-JSON tag — which is
+what keeps WAL lines byte-identical no matter which codec a session
+negotiated.  Hypothesis drives the edge cases a hand-written table
+misses: NaN/inf floats, unicode ids, empty/huge strings, near-limit
+frames.
+"""
+
+import json
+import math
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.wal import WriteAheadLog
+from repro.serve.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+)
+
+LENGTH_PREFIX = 4
+
+
+def round_trip(message, codec):
+    """encode_frame -> strip length prefix -> decode_payload."""
+    frame = encode_frame(message, MAX_FRAME_BYTES, codec)
+    return decode_payload(frame[LENGTH_PREFIX:], codec)
+
+
+def canonical(message):
+    """Canonical-JSON bytes: the equality the WAL cares about."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":"))
+
+
+#: Doubles including the awkward ones.  NaN != NaN breaks naive dict
+#: equality, so assertions compare canonical JSON (where json.dumps
+#: spells NaN/Infinity deterministically).
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+any_floats = st.floats(allow_nan=True, allow_infinity=True)
+
+#: Ids exercising unicode well beyond ASCII (zone/client ids in the
+#: wild carry device serials, locales, emoji).
+unicode_ids = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=64
+)
+
+int64s = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+
+@st.composite
+def packable_reports(draw):
+    """Wire reports satisfying the packed fast path's exact shape."""
+    return {
+        "task_id": draw(int64s),
+        "client_id": draw(st.text(alphabet=string.printable, max_size=40)),
+        "network": draw(st.sampled_from(["NetA", "NetB", "NetC", ""])),
+        "kind": draw(st.sampled_from(["udp", "ping", "tcp"])),
+        "start_s": draw(any_floats),
+        "end_s": draw(any_floats),
+        "lat": draw(any_floats),
+        "lon": draw(any_floats),
+        "speed_ms": draw(any_floats),
+        "value": draw(any_floats),
+        "samples": draw(st.lists(any_floats, max_size=8)),
+        "extras": draw(st.dictionaries(
+            st.text(max_size=10),
+            st.one_of(any_floats, st.integers(-1000, 1000),
+                      st.text(max_size=10)),
+            max_size=4,
+        )),
+    }
+
+
+@st.composite
+def odd_reports(draw):
+    """Reports that miss the packed shape (extra/missing keys, wrong
+    types) and must survive via the JSON fallback tag."""
+    report = draw(packable_reports())
+    mutation = draw(st.sampled_from(
+        ["drop-key", "extra-key", "int-where-float", "str-task-id"]
+    ))
+    if mutation == "drop-key":
+        report.pop(draw(st.sampled_from(sorted(report))))
+    elif mutation == "extra-key":
+        report["rssi_dbm"] = -70
+    elif mutation == "int-where-float":
+        report["lat"] = 43
+    else:
+        report["task_id"] = "not-an-int"
+    return report
+
+
+class TestBinaryRoundTrip:
+    @given(st.lists(packable_reports(), min_size=1, max_size=20),
+           int64s)
+    @settings(max_examples=60, deadline=None)
+    def test_packed_batch_round_trips(self, reports, seq_lo):
+        message = {"type": "REPORT_BATCH", "seq_lo": seq_lo,
+                   "reports": reports}
+        decoded = round_trip(message, CODEC_BINARY)
+        assert canonical(decoded) == canonical(message)
+
+    @given(st.lists(odd_reports(), min_size=1, max_size=8), int64s)
+    @settings(max_examples=40, deadline=None)
+    def test_fallback_batch_round_trips(self, reports, seq_lo):
+        message = {"type": "REPORT_BATCH", "seq_lo": seq_lo,
+                   "reports": reports}
+        decoded = round_trip(message, CODEC_BINARY)
+        assert canonical(decoded) == canonical(message)
+
+    @given(unicode_ids, st.lists(any_floats, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_unicode_ids_and_awkward_floats(self, client_id, samples):
+        message = {
+            "type": "REPORT_BATCH", "seq_lo": 0,
+            "reports": [{
+                "task_id": 1, "client_id": client_id, "network": "NetA",
+                "kind": "udp", "start_s": 0.0, "end_s": 1.0,
+                "lat": float("nan"), "lon": float("-inf"),
+                "speed_ms": float("inf"), "value": -0.0,
+                "samples": samples, "extras": {},
+            }],
+        }
+        decoded = round_trip(message, CODEC_BINARY)
+        assert canonical(decoded) == canonical(message)
+
+    def test_nan_survives_exactly(self):
+        message = {"type": "REPORT_BATCH", "seq_lo": 5, "reports": [{
+            "task_id": 9, "client_id": "c", "network": "NetB",
+            "kind": "ping", "start_s": float("nan"), "end_s": 2.0,
+            "lat": 43.07, "lon": -89.4, "speed_ms": 0.0,
+            "value": float("nan"), "samples": [float("nan"), 1.5],
+            "extras": {},
+        }]}
+        decoded = round_trip(message, CODEC_BINARY)
+        report = decoded["reports"][0]
+        assert math.isnan(report["start_s"])
+        assert math.isnan(report["value"])
+        assert math.isnan(report["samples"][0])
+        assert report["samples"][1] == 1.5
+
+    def test_negative_zero_sign_preserved(self):
+        message = {"type": "REPORT_BATCH", "seq_lo": 0, "reports": [{
+            "task_id": 1, "client_id": "c", "network": "NetA",
+            "kind": "udp", "start_s": -0.0, "end_s": 0.0, "lat": 0.0,
+            "lon": 0.0, "speed_ms": 0.0, "value": 0.0,
+            "samples": [-0.0], "extras": {},
+        }]}
+        decoded = round_trip(message, CODEC_BINARY)
+        assert math.copysign(1.0, decoded["reports"][0]["start_s"]) == -1.0
+        assert math.copysign(1.0, decoded["reports"][0]["samples"][0]) == -1.0
+
+    @given(st.dictionaries(st.text(max_size=12),
+                           st.one_of(st.integers(-100, 100),
+                                     finite_floats,
+                                     st.text(max_size=12)),
+                           max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_non_batch_messages_round_trip(self, body):
+        message = dict(body)
+        message["type"] = "STATS_REPLY"
+        decoded = round_trip(message, CODEC_BINARY)
+        assert canonical(decoded) == canonical(message)
+
+    def test_max_size_frame_round_trips(self):
+        """A batch filling most of the 1 MiB cap survives intact."""
+        report = {
+            "task_id": 1, "client_id": "x" * 60, "network": "NetA",
+            "kind": "udp", "start_s": 1.0, "end_s": 2.0, "lat": 43.0,
+            "lon": -89.0, "speed_ms": 3.0, "value": 4.0,
+            "samples": [float(i) for i in range(16)], "extras": {},
+        }
+        one = len(encode_frame(
+            {"type": "REPORT_BATCH", "seq_lo": 0, "reports": [report]},
+            MAX_FRAME_BYTES, CODEC_BINARY,
+        ))
+        n = (MAX_FRAME_BYTES - 64) // (one + 8)
+        message = {"type": "REPORT_BATCH", "seq_lo": 0,
+                   "reports": [dict(report) for _ in range(n)]}
+        frame = encode_frame(message, MAX_FRAME_BYTES, CODEC_BINARY)
+        assert len(frame) <= MAX_FRAME_BYTES + LENGTH_PREFIX
+        decoded = decode_payload(frame[LENGTH_PREFIX:], CODEC_BINARY)
+        assert canonical(decoded) == canonical(message)
+
+    def test_binary_smaller_than_json_for_packed_batch(self):
+        reports = [{
+            "task_id": i, "client_id": f"client-{i:04d}",
+            "network": "NetA", "kind": "udp", "start_s": float(i),
+            "end_s": float(i) + 1.0, "lat": 43.07, "lon": -89.4,
+            "speed_ms": 2.0, "value": 5e6,
+            "samples": [1.0, 2.0, 3.0], "extras": {},
+        } for i in range(50)]
+        message = {"type": "REPORT_BATCH", "seq_lo": 0,
+                   "reports": reports}
+        b = encode_frame(message, MAX_FRAME_BYTES, CODEC_BINARY)
+        j = encode_frame(message, MAX_FRAME_BYTES, CODEC_JSON)
+        assert len(b) < len(j)
+
+
+class TestBinaryMalformed:
+    """Hostile payload bytes raise ProtocolError, never crash."""
+
+    def _packed(self, message):
+        return encode_frame(message, MAX_FRAME_BYTES,
+                            CODEC_BINARY)[LENGTH_PREFIX:]
+
+    def simple_batch(self):
+        return {"type": "REPORT_BATCH", "seq_lo": 0, "reports": [{
+            "task_id": 1, "client_id": "c", "network": "NetA",
+            "kind": "udp", "start_s": 0.0, "end_s": 1.0, "lat": 1.0,
+            "lon": 2.0, "speed_ms": 3.0, "value": 4.0,
+            "samples": [], "extras": {},
+        }]}
+
+    def test_empty_payload(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"", CODEC_BINARY)
+
+    def test_unknown_tag(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\x00\x00", CODEC_BINARY)
+
+    def test_truncated_header(self):
+        payload = self._packed(self.simple_batch())
+        with pytest.raises(ProtocolError):
+            decode_payload(payload[:6], CODEC_BINARY)
+
+    @given(st.integers(min_value=1))
+    @settings(max_examples=30, deadline=None)
+    def test_truncation_anywhere_raises(self, cut):
+        payload = self._packed(self.simple_batch())
+        cut = cut % len(payload)
+        if cut == 0:
+            cut = 1
+        with pytest.raises(ProtocolError):
+            decode_payload(payload[:cut], CODEC_BINARY)
+
+    def test_hostile_count_rejected_before_allocation(self):
+        """A header claiming 2**32-1 reports must fail fast."""
+        import struct
+        payload = struct.pack(">BqI", 0x01, 0, 0xFFFFFFFF)
+        with pytest.raises(ProtocolError):
+            decode_payload(payload, CODEC_BINARY)
+
+    def test_trailing_garbage_rejected(self):
+        payload = self._packed(self.simple_batch())
+        with pytest.raises(ProtocolError):
+            decode_payload(payload + b"\x00", CODEC_BINARY)
+
+    def test_bad_utf8_in_fallback_json(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\x00\xff\xfe{", CODEC_BINARY)
+
+
+class TestWalByteIdentityAcrossCodecs:
+    """Same report stream -> byte-identical WAL lines, either codec.
+
+    The WAL stores decoded message dicts re-serialized canonically, so
+    a report that crossed the wire as packed binary and the same report
+    as canonical JSON must append the exact same line.
+    """
+
+    @given(st.lists(st.one_of(packable_reports(), odd_reports()),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_wal_lines_identical(self, reports):
+        message = {"type": "REPORT_BATCH", "seq_lo": 0,
+                   "reports": reports}
+        via_binary = round_trip(message, CODEC_BINARY)["reports"]
+        via_json = round_trip(message, CODEC_JSON)["reports"]
+        lines_binary = [WriteAheadLog.encode_record(r) for r in via_binary]
+        lines_json = [WriteAheadLog.encode_record(r) for r in via_json]
+        assert lines_binary == lines_json

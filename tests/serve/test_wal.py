@@ -85,6 +85,82 @@ class TestRotationAndFsync:
             WriteAheadLog(str(tmp_path / "a"), segment_max_bytes=0)
         with pytest.raises(ValueError):
             WriteAheadLog(str(tmp_path / "b"), fsync_every=0)
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path / "c"), fsync_interval_s=-1.0)
+
+
+class TestGroupCommit:
+    def test_append_many_returns_contiguous_seqs(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir) as wal:
+            seqs = wal.append_many(records(8))
+            more = wal.append_many(records(3, start=8))
+        assert seqs == list(range(8))
+        assert more == [8, 9, 10]
+        assert list(iter_wal_records(wal_dir)) == records(11)
+
+    def test_append_many_is_one_group_commit(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "wal"),
+                           fsync_every=100) as wal:
+            wal.append_many(records(50))
+            assert wal.group_commits == 1
+            assert wal.fsyncs == 0  # below the count threshold
+            wal.append_many(records(60, start=50))
+            assert wal.group_commits == 2
+            assert wal.fsyncs == 1  # 110 pending >= 100 tripped once
+
+    def test_append_many_empty_is_noop(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "wal")) as wal:
+            assert wal.append_many([]) == []
+            assert wal.group_commits == 0
+
+    def test_time_axis_fsync(self, tmp_path):
+        import time as time_mod
+
+        with WriteAheadLog(str(tmp_path / "wal"), fsync_every=10_000,
+                           fsync_interval_s=0.01) as wal:
+            wal.append(records(1)[0])
+            assert wal.fsyncs == 0
+            time_mod.sleep(0.02)
+            #: Next append finds the oldest pending record past the
+            #: window and forces the fsync the count axis never would.
+            wal.append(records(1, start=1)[0])
+            assert wal.fsyncs == 1
+
+    def test_commit_policy_property(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "wal"), fsync_every=7,
+                           fsync_interval_s=0.5,
+                           segment_max_bytes=1234) as wal:
+            assert wal.commit_policy == {
+                "fsync_every": 7,
+                "fsync_interval_s": 0.5,
+                "segment_max_bytes": 1234,
+            }
+
+    def test_rotation_mid_batch_stream_keeps_every_record(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir, segment_max_bytes=150) as wal:
+            for lo in range(0, 30, 5):
+                wal.append_many(records(5, start=lo))
+        assert wal.segments_rotated >= 2
+        assert list(iter_wal_records(wal_dir)) == records(30)
+
+    def test_torn_batched_write_repairs_like_single_appends(self, tmp_path):
+        """A torn append_many tail is the same legal shape (prefix of
+        complete records + one partial line) the repair already fixes."""
+        wal_dir = str(tmp_path / "wal")
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append_many(records(6))
+        seg = wal_segments(wal_dir)[-1]
+        with open(seg, "rb") as fh:
+            data = fh.read()
+        with open(seg, "wb") as fh:
+            fh.write(data[:-9])  # tear into the final record
+        assert list(iter_wal_records(wal_dir)) == records(5)
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append_many(records(2, start=6))
+        assert list(iter_wal_records(wal_dir)) == records(5) + \
+            records(2, start=6)
 
 
 class TestCrashDamage:

@@ -84,6 +84,56 @@ class TestSerialRun:
             SweepRunner(_smoke_grid(), str(tmp_path), max_retries=-1)
 
 
+class TestSharedLandscapes:
+    def test_prewarm_fills_shared_store_once(self):
+        from repro.sweep import scenarios
+        from repro.sweep.scenarios import prewarm_shared_landscapes
+
+        saved = dict(scenarios._SHARED_LANDSCAPES)
+        scenarios._SHARED_LANDSCAPES.clear()
+        try:
+            scenarios._SHARED_LANDSCAPES[("landscape", 3, True, True)] = \
+                "sentinel"
+            # Seed 3 is already shared: only the sentinel-free seeds
+            # would build (none here, so nothing is built at all).
+            assert prewarm_shared_landscapes([3, 3]) == 0
+        finally:
+            scenarios._SHARED_LANDSCAPES.clear()
+            scenarios._SHARED_LANDSCAPES.update(saved)
+
+    def test_context_prefers_shared_landscape(self):
+        from repro.sweep import scenarios
+        from repro.sweep.scenarios import WorkerContext
+
+        saved = dict(scenarios._SHARED_LANDSCAPES)
+        scenarios._SHARED_LANDSCAPES.clear()
+        try:
+            scenarios._SHARED_LANDSCAPES[("landscape", 3, True, True)] = \
+                "shared-world"
+            ctx = WorkerContext()
+            assert ctx.landscape(3) == "shared-world"
+            #: Served from the shared store, never copied into the LRU.
+            assert ctx.cache_size == 0
+        finally:
+            scenarios._SHARED_LANDSCAPES.clear()
+            scenarios._SHARED_LANDSCAPES.update(saved)
+
+    def test_pool_status_records_prewarm_count(self, tmp_path):
+        """Smoke cells never need a landscape, so a pooled smoke run
+        records zero prewarmed landscapes (and pays no world build)."""
+        out = str(tmp_path / "out")
+        SweepRunner(_smoke_grid(), out, workers=2).run(merge=False)
+        with open(os.path.join(out, STATUS_FILENAME)) as fh:
+            status = json.load(fh)
+        assert status["prewarmed_landscapes"] == 0
+
+    def test_prewarm_selects_only_landscape_scenarios(self):
+        from repro.sweep.scenarios import get_scenario
+
+        assert get_scenario("smoke").needs_landscape is False
+        assert get_scenario("ablation_scheduler").needs_landscape is True
+
+
 class TestContextCache:
     def test_memo_hit_skips_rebuild(self):
         from repro.sweep.scenarios import WorkerContext

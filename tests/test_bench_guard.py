@@ -69,11 +69,47 @@ class TestCheck:
         assert len(failures) == 1
         assert "udp_train" in failures[0]
 
-    def test_serve_throughput_regression_detected(self):
+    def test_serve_throughput_wallclock_band_warns_then_fails(self):
+        """Absolute loopback throughput is weather-sensitive: a halving
+        is inside the warn band, only past it does the guard fail."""
         history = [_entry(serve=5000.0) for _ in range(5)]
         warnings, failures = check(_entry(serve=2500.0), history)  # -50%
+        assert len(warnings) == 1
+        assert "serve.reports_per_s" in warnings[0]
+        assert failures == []
+        warnings, failures = check(_entry(serve=2000.0), history)  # -60%
         assert len(failures) == 1
         assert "serve.reports_per_s" in failures[0]
+
+    def test_serve_latency_guard_is_direction_aware(self):
+        """ack_p95_ms regresses by *rising*; a doubling is the wallclock
+        fail bound, and a big improvement (drop) never trips it."""
+        def entry(p95):
+            e = _entry()
+            e["serve"] = {"ack_p95_ms": p95}
+            return e
+
+        history = [entry(10.0) for _ in range(5)]
+        warnings, failures = check(entry(14.0), history)  # +40% rise
+        assert len(warnings) == 1 and failures == []
+        warnings, failures = check(entry(25.0), history)  # +150% rise
+        assert len(failures) == 1
+        assert "serve.ack_p95_ms" in failures[0]
+        warnings, failures = check(entry(4.0), history)  # big win
+        assert warnings == [] and failures == []
+
+    def test_serve_speedup_ratio_guard_is_tight(self):
+        """The batched-vs-unbatched ratio self-normalizes box load, so
+        it keeps the tight 30% fail threshold."""
+        def entry(speedup):
+            e = _entry()
+            e["serve"] = {"speedup_batched_vs_unbatched": speedup}
+            return e
+
+        history = [entry(4.0) for _ in range(5)]
+        warnings, failures = check(entry(2.5), history)  # -38%
+        assert len(failures) == 1
+        assert "speedup_batched_vs_unbatched" in failures[0]
 
     def test_mixed_era_history_baselines_per_key(self):
         history = ([_entry(30.0, 15.0)] * 3

@@ -16,11 +16,18 @@ and asserts the two properties the serve subsystem promises:
 
 Run from the repo root::
 
-    PYTHONPATH=src python tools/serve_smoke.py
+    PYTHONPATH=src python tools/serve_smoke.py [--codec {json,binary}]
+                                               [--batch-size N]
+
+``--codec``/``--batch-size`` select the wire shape the loadgen drives
+(defaults are the PR-5 exchange: JSON, one report per frame); CI runs
+the smoke once per codec so the kill/restart recovery story is proven
+for both.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
 import os
@@ -105,6 +112,14 @@ def offline_replay_snapshot(wal_dir: str) -> dict:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--codec", choices=("json", "binary"),
+                        default="json",
+                        help="session codec the loadgen negotiates")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="reports coalesced per REPORT_BATCH frame")
+    args = parser.parse_args()
+
     with tempfile.TemporaryDirectory() as tmp:
         wal_dir = os.path.join(tmp, "wal")
         port_file = os.path.join(tmp, "port")
@@ -112,12 +127,14 @@ def main() -> int:
         print(f"starting server #1 (WAL in {wal_dir}) ...")
         proc, port = start_server(wal_dir, port_file)
         print(f"server #1 up on port {port}; "
-              f"driving {CLIENTS}x{REPORTS_PER_CLIENT} reports ...")
+              f"driving {CLIENTS}x{REPORTS_PER_CLIENT} reports "
+              f"(codec={args.codec}, batch={args.batch_size}) ...")
 
         cfg = LoadgenConfig(
             port=port, clients=CLIENTS,
             reports_per_client=REPORTS_PER_CLIENT, concurrency=32,
             max_reconnects=50, reconnect_delay_s=0.2,
+            codec=args.codec, batch_size=args.batch_size,
         )
         results = {}
 
