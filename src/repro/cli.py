@@ -29,7 +29,11 @@ writing code:
 * ``serve loadgen``— drive a running service with simulated client
   sessions and report throughput/latency/backpressure;
 * ``serve replay`` — rebuild coordinator state offline from a WAL
-  directory and print its metrics snapshot.
+  directory (or a whole cluster with ``--cluster``) and print its
+  metrics snapshot;
+* ``serve cluster``— run a zone-sharded coordinator cluster: N shard
+  processes behind a routing gateway (SIGUSR1 adds a shard; a killed
+  shard is rebalanced and its WAL drained into the survivors).
 
 ``repro --version`` prints the package version (from installed
 metadata when available, else the source tree's ``__version__``).
@@ -545,6 +549,7 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
         commit_batch_max=args.commit_batch_max,
         wal_fsync_every=args.wal_fsync_every,
         wal_fsync_interval_s=args.wal_fsync_interval,
+        shard_id=args.shard_id,
     )
 
     async def serve() -> None:
@@ -586,6 +591,8 @@ def cmd_serve_loadgen(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         codec=args.codec,
         batch_size=args.batch_size,
+        cluster=args.cluster,
+        client_offset=args.client_offset,
     )
     result = run_loadgen_sync(cfg)
     if args.format == "json":
@@ -614,11 +621,33 @@ def cmd_serve_loadgen(args: argparse.Namespace) -> int:
 
 def cmd_serve_replay(args: argparse.Namespace) -> int:
     """``repro serve replay``: rebuild coordinator state from a WAL."""
-    from repro.serve import WalCorruptionError, replay_wal
+    import json
+
+    from repro.serve import WalCorruptionError, replay_cluster, replay_wal
 
     if not Path(args.wal).is_dir():
         print(f"no such WAL directory: {args.wal}", file=sys.stderr)
         return 2
+    if args.cluster:
+        try:
+            aggregated, per_shard = replay_cluster(args.wal)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except WalCorruptionError as exc:
+            print(f"WAL is corrupt: {exc}", file=sys.stderr)
+            return 1
+        if args.format == "json":
+            print(json.dumps(aggregated, indent=2, sort_keys=True))
+        else:
+            ingested = aggregated["counters"].get(
+                "coordinator.reports_ingested", 0
+            )
+            print(
+                f"replayed cluster {args.wal}: {len(per_shard)} shard "
+                f"WAL(s), {int(ingested)} reports ingested"
+            )
+        return 0
     try:
         coordinator = replay_wal(args.wal)
     except WalCorruptionError as exc:
@@ -633,6 +662,54 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
             f"{s.reports_rejected} rejected, "
             f"{len(coordinator.store)} streams"
         )
+    return 0
+
+
+def cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve cluster``: run a sharded cluster behind a gateway."""
+    import asyncio
+    import signal
+
+    from repro.serve import ClusterConfig, LocalCluster
+
+    cfg = ClusterConfig(
+        cluster_dir=args.dir,
+        shards=args.shards,
+        gateway_port=args.port,
+        gen_seed=args.gen_seed,
+        radius_m=args.radius,
+        ingest_queue_max=args.ingest_queue_max,
+        commit_batch_max=args.commit_batch_max,
+        wal_fsync_every=args.wal_fsync_every,
+    )
+
+    async def run() -> None:
+        cluster = LocalCluster(cfg)
+        await cluster.start()
+        print(
+            f"cluster gateway on {cfg.host}:{cluster.gateway_port} "
+            f"({len(cluster.live_shards)} shards, map "
+            f"{cluster.shard_map.version}); SIGUSR1 adds a shard"
+        )
+        sys.stdout.flush()
+        if args.port_file:
+            Path(args.port_file).write_text(f"{cluster.gateway_port}\n")
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        if hasattr(signal, "SIGUSR1"):
+            loop.add_signal_handler(
+                signal.SIGUSR1,
+                lambda: asyncio.ensure_future(cluster.add_shard()),
+            )
+        try:
+            await stop.wait()
+        finally:
+            await cluster.stop()
+
+    asyncio.run(run())
+    print("cluster stopped; shard WALs closed cleanly")
     return 0
 
 
@@ -824,6 +901,9 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--uvloop", action="store_true",
                     help="use uvloop if installed (stdlib asyncio is the "
                          "deterministic default)")
+    pv.add_argument("--shard-id", default="",
+                    help="this server's shard identity within a cluster "
+                         "(empty = single-node mode, no REDIRECTs)")
     pv.set_defaults(func=cmd_serve_run)
     pl = serve_sub.add_parser(
         "loadgen", help="drive a running service with simulated clients"
@@ -842,15 +922,49 @@ def build_parser() -> argparse.ArgumentParser:
                     help="reports coalesced per REPORT_BATCH frame "
                          "(1 keeps the one-REPORT-one-ACK exchange)")
     pl.add_argument("--format", choices=("text", "json"), default="text")
+    pl.add_argument("--cluster", action="store_true",
+                    help="treat --host/--port as a cluster gateway: fetch "
+                         "the shard map and route batches to the owning "
+                         "shards directly")
+    pl.add_argument("--client-offset", type=int, default=0,
+                    help="added to every client index so parallel loadgen "
+                         "processes drive disjoint client populations")
     pl.set_defaults(func=cmd_serve_loadgen)
     pp = serve_sub.add_parser(
         "replay", help="rebuild coordinator state offline from a WAL"
     )
-    pp.add_argument("--wal", metavar="DIR", required=True)
+    pp.add_argument("--wal", metavar="DIR", required=True,
+                    help="WAL directory (or the cluster directory with "
+                         "--cluster)")
     pp.add_argument("--format", choices=("text", "json"), default="text",
                     help="json prints the full deterministic metrics "
                          "snapshot (the recovery byte-compare artifact)")
+    pp.add_argument("--cluster", action="store_true",
+                    help="replay every live shard WAL named by "
+                         "cluster.json and print the aggregated snapshot")
     pp.set_defaults(func=cmd_serve_replay)
+    pc = serve_sub.add_parser(
+        "cluster", help="run a zone-sharded coordinator cluster"
+    )
+    pc.add_argument("--dir", metavar="DIR", required=True,
+                    help="cluster directory (per-shard WALs, logs, and "
+                         "the cluster.json manifest)")
+    pc.add_argument("--shards", type=int, default=3,
+                    help="shard processes to spawn at startup")
+    pc.add_argument("--port", type=int, default=0,
+                    help="gateway TCP port (0 picks a free one)")
+    pc.add_argument("--port-file", metavar="FILE",
+                    help="write the gateway port here once listening")
+    pc.add_argument("--gen-seed", type=int, default=1)
+    pc.add_argument("--radius", type=float, default=250.0,
+                    help="zone radius of the shared grid (map + shards)")
+    pc.add_argument("--ingest-queue-max", type=int, default=1024,
+                    help="per-shard bounded ingest queue depth")
+    pc.add_argument("--commit-batch-max", type=int, default=256,
+                    help="per-shard WAL group-commit ceiling")
+    pc.add_argument("--wal-fsync-every", type=int, default=64,
+                    help="per-shard fsync cadence (records)")
+    pc.set_defaults(func=cmd_serve_cluster)
 
     return parser
 

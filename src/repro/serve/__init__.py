@@ -9,11 +9,29 @@ backpressure (:mod:`repro.serve.server`), a client driver that runs
 existing agents over the wire (:mod:`repro.serve.driver`), and a
 load-generation harness (:mod:`repro.serve.loadgen`).
 
+Scale-out lives in three more modules: :mod:`repro.serve.shardmap`
+(rendezvous-hashed zone->shard assignment with content-hashed
+versions), :mod:`repro.serve.gateway` (the cluster's control plane:
+map distribution, REDIRECT steering, aggregated STATS), and
+:mod:`repro.serve.cluster` (a local supervisor that spawns shard
+processes, rebalances on death, and drains dead WALs into survivors).
+
 Nothing here is imported by the simulation path — goldens are
 bit-identical when the service is unused.
 """
 
-from repro.serve.driver import DriverStats, ServedClient, ServeSession
+from repro.serve.cluster import ClusterConfig, LocalCluster, replay_cluster
+from repro.serve.driver import (
+    DriverStats,
+    Redirected,
+    ServedClient,
+    ServeSession,
+)
+from repro.serve.gateway import (
+    GatewayConfig,
+    GatewayServer,
+    aggregate_snapshots,
+)
 from repro.serve.loadgen import (
     LoadgenConfig,
     LoadgenResult,
@@ -27,6 +45,7 @@ from repro.serve.server import (
     install_uvloop,
     replay_wal,
 )
+from repro.serve.shardmap import ShardInfo, ShardMap
 from repro.serve.wal import WalCorruptionError, WriteAheadLog
 from repro.serve.wire import (
     CODEC_BINARY,
@@ -62,8 +81,17 @@ __all__ = [
     "ServeSession",
     "ServedClient",
     "DriverStats",
+    "Redirected",
     "LoadgenConfig",
     "LoadgenResult",
     "run_loadgen",
     "run_loadgen_sync",
+    "ShardInfo",
+    "ShardMap",
+    "GatewayConfig",
+    "GatewayServer",
+    "aggregate_snapshots",
+    "ClusterConfig",
+    "LocalCluster",
+    "replay_cluster",
 ]

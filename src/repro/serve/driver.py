@@ -42,7 +42,29 @@ from repro.serve.wire import (
     task_from_wire,
 )
 
-__all__ = ["DriverStats", "ServedClient", "ServeSession"]
+__all__ = ["DriverStats", "Redirected", "ServedClient", "ServeSession"]
+
+
+class Redirected(WireError):
+    """The server answered REDIRECT: frame NOT processed, resend to shard X.
+
+    Raised by :meth:`ServeSession.send_report` (a single report carries
+    no partial-settlement risk, so an exception is the cleanest
+    signal).  ``frame`` is the REDIRECT message — ``shard_id`` /
+    ``host`` / ``port`` name the owner and ``shard_map`` carries the
+    server's current map so the caller can re-route without another
+    round trip.  Batch sends never raise this: see
+    :meth:`ServeSession.send_report_batch`, whose summary returns the
+    redirected payloads instead (a REDIRECT can arrive after part of
+    the original batch was already range-ACKed on a resend round, and
+    an exception would lose that accounting).
+    """
+
+    code = "redirected"
+
+    def __init__(self, frame: Dict[str, Any]):
+        super().__init__(f"redirected to shard {frame.get('shard_id')!r}")
+        self.frame = frame
 
 
 @dataclass
@@ -174,6 +196,8 @@ class ServeSession:
                 retries += 1
                 await asyncio.sleep(float(reply.get("retry_after_s", 0.05)))
                 continue
+            if kind == "REDIRECT":
+                raise Redirected(reply)
             if kind == "ERROR":
                 raise WireError(
                     f"server error: {reply.get('code')}: "
@@ -190,11 +214,16 @@ class ServeSession:
 
         Sends one REPORT_BATCH and keeps reading until every report in
         it is covered by an ACK_BATCH (admitted, possibly rejected by
-        the validator) or a RETRY (the backpressured tail — resent as a
-        fresh, smaller batch after ``retry_after_s``).  Returns a
-        summary dict with ``accepted`` / ``rejected`` report counts and
-        ``_retries``; raises :class:`WireError` when the retry budget
-        runs out or the server errors the session.
+        the validator), a RETRY (the backpressured tail — resent as a
+        fresh, smaller batch after ``retry_after_s``), or a REDIRECT (a
+        shard that does not own the batch's zones; the whole frame is
+        unprocessed).  Returns a summary dict with ``accepted`` /
+        ``rejected`` report counts and ``_retries``; redirected
+        payloads come back under ``"redirected"`` (with the REDIRECT
+        frame under ``"redirect"``) for the caller to re-route — they
+        are NOT resent here, because this session points at the wrong
+        shard by definition.  Raises :class:`WireError` when the retry
+        budget runs out or the server errors the session.
         """
         if not reports_wire:
             raise ValueError("empty report batch")
@@ -203,6 +232,8 @@ class ServeSession:
         accepted = 0
         rejected = 0
         batches = 0
+        redirected: List[Dict[str, Any]] = []
+        redirect_frame: Optional[Dict[str, Any]] = None
         while pending:
             seq_lo = self._batch_seq
             self._batch_seq += len(pending)
@@ -232,6 +263,15 @@ class ServeSession:
                     retry_after_s = float(
                         reply.get("retry_after_s", retry_after_s)
                     )
+                elif kind == "REDIRECT":
+                    #: The whole frame was refused unprocessed; hand the
+                    #: payloads back to the caller for re-routing.
+                    lo, hi = int(reply["seq_lo"]), int(reply["seq_hi"])
+                    outstanding.difference_update(range(lo, hi + 1))
+                    redirected.extend(
+                        pending[lo - seq_lo:hi - seq_lo + 1]
+                    )
+                    redirect_frame = reply
                 elif kind == "ERROR":
                     raise WireError(
                         f"server error: {reply.get('code')}: "
@@ -250,12 +290,16 @@ class ServeSession:
                 retries += 1
                 await asyncio.sleep(retry_after_s)
             pending = resend
-        return {
+        summary: Dict[str, Any] = {
             "accepted": accepted,
             "rejected": rejected,
             "_retries": retries,
             "_batches": batches,
         }
+        if redirected:
+            summary["redirected"] = redirected
+            summary["redirect"] = redirect_frame
+        return summary
 
     async def stats(self) -> Dict[str, Any]:
         """Fetch the server's STATS_REPLY."""

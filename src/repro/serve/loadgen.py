@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.serve.driver import ServeSession
+from repro.serve.shardmap import ShardMap
 from repro.serve.wire import WireError
 
 __all__ = [
@@ -62,6 +63,14 @@ class LoadgenConfig:
     #: Reports coalesced per REPORT_BATCH frame; 1 keeps the PR-5
     #: one-REPORT-one-ACK wire exchange.
     batch_size: int = 1
+    #: Cluster mode: ``host``/``port`` point at the *gateway*; clients
+    #: fetch the shard map from its WELCOME, open sessions to the
+    #: owning shards directly, and follow REDIRECTs when the map moves
+    #: mid-run (the kill-a-shard smoke leans on this).
+    cluster: bool = False
+    #: Added to every client index (ids, report streams) so parallel
+    #: loadgen worker processes drive disjoint deterministic clients.
+    client_offset: int = 0
 
 
 @dataclass
@@ -149,6 +158,7 @@ async def _run_one_client(
 ) -> None:
     """One session: connect (with retries), push every report, close."""
     loop_time = asyncio.get_event_loop().time
+    gindex = cfg.client_offset + index
     session: Optional[ServeSession] = None
     reconnects = 0
 
@@ -158,8 +168,8 @@ async def _run_one_client(
         while True:
             s = ServeSession(
                 cfg.host, cfg.port,
-                client_id=f"load-{index:05d}",
-                networks=[_NETWORKS[index % len(_NETWORKS)]],
+                client_id=f"load-{gindex:05d}",
+                networks=[_NETWORKS[gindex % len(_NETWORKS)]],
                 codecs=[cfg.codec] if cfg.codec != "json" else None,
             )
             try:
@@ -179,7 +189,7 @@ async def _run_one_client(
         session = await connect()
         for lo in range(0, cfg.reports_per_client, batch):
             seqs = range(lo, min(lo + batch, cfg.reports_per_client))
-            payloads = [synthetic_report(index, seq) for seq in seqs]
+            payloads = [synthetic_report(gindex, seq) for seq in seqs]
             result.reports_sent += len(payloads)
             acked = False
             for _ in range(cfg.max_reconnects + 1):
@@ -214,7 +224,7 @@ async def _run_one_client(
         result.sessions_completed += 1
     except (WireError, ConnectionError, OSError) as exc:
         result.sessions_failed += 1
-        result.errors.append(f"client {index}: {exc}")
+        result.errors.append(f"client {gindex}: {exc}")
         #: Everything this client never got an answer for counts as
         #: dropped — the zero-drop acceptance criterion must see it.
         result.reports_dropped += cfg.reports_per_client - settled
@@ -224,6 +234,152 @@ async def _run_one_client(
             await session.close()
 
 
+async def _fetch_cluster_map(cfg: LoadgenConfig) -> ShardMap:
+    """The gateway's current shard map, via a throwaway HELLO."""
+    session = ServeSession(cfg.host, cfg.port, client_id="loadgen-map",
+                           networks=[])
+    try:
+        welcome = await session.open()
+        data = welcome.get("shard_map")
+        if not data:
+            raise WireError("gateway WELCOME carried no shard_map")
+        return ShardMap.from_wire(data)
+    finally:
+        await session.close()
+
+
+async def _run_one_cluster_client(
+    cfg: LoadgenConfig,
+    index: int,
+    result: LoadgenResult,
+    latencies: List[float],
+    holder: Dict[str, Any],
+) -> None:
+    """One cluster session set: route each batch to its owning shard.
+
+    ``holder`` shares the latest :class:`ShardMap` across all clients
+    of this run (one gateway fetch amortizes over everyone).  The
+    routing loop is: partition the window's payloads by owner, send
+    each group down a per-shard session, and on REDIRECT (stale map) or
+    connection loss (dead shard) adopt/refetch the map and re-route the
+    unsettled remainder — up to the reconnect budget, after which the
+    leftovers count as dropped.
+    """
+    loop_time = asyncio.get_event_loop().time
+    gindex = cfg.client_offset + index
+    sessions: Dict[str, ServeSession] = {}
+    reconnects = 0
+
+    async def current_map(refetch: bool = False) -> ShardMap:
+        nonlocal reconnects
+        if refetch or holder.get("map") is None:
+            attempt = 0
+            while True:
+                try:
+                    holder["map"] = await _fetch_cluster_map(cfg)
+                    break
+                except (WireError, ConnectionError, OSError):
+                    attempt += 1
+                    if attempt > cfg.max_reconnects:
+                        raise
+                    reconnects += 1
+                    await asyncio.sleep(cfg.reconnect_delay_s)
+        return holder["map"]
+
+    async def shard_session(info) -> ServeSession:
+        s = sessions.get(info.shard_id)
+        if s is not None:
+            return s
+        s = ServeSession(
+            info.host, info.port,
+            client_id=f"load-{gindex:05d}",
+            networks=[_NETWORKS[gindex % len(_NETWORKS)]],
+            codecs=[cfg.codec] if cfg.codec != "json" else None,
+        )
+        await s.open()
+        sessions[info.shard_id] = s
+        return s
+
+    async def drop_session(shard_id: str) -> None:
+        s = sessions.pop(shard_id, None)
+        if s is not None:
+            await s.close()
+
+    def adopt(map_wire: Any) -> None:
+        """Adopt a REDIRECT-carried map (ignore a malformed one)."""
+        try:
+            holder["map"] = ShardMap.from_wire(map_wire)
+        except WireError:
+            holder["map"] = None
+
+    settled = 0
+    batch = max(1, cfg.batch_size)
+    try:
+        for lo in range(0, cfg.reports_per_client, batch):
+            seqs = range(lo, min(lo + batch, cfg.reports_per_client))
+            payloads = [synthetic_report(gindex, seq) for seq in seqs]
+            result.reports_sent += len(payloads)
+            pending = payloads
+            attempts = 0
+            while pending and attempts <= cfg.max_reconnects:
+                smap = await current_map(refetch=attempts > 0)
+                groups: Dict[str, List[Dict[str, Any]]] = {}
+                unowned: List[Dict[str, Any]] = []
+                for p in pending:
+                    owner = smap.owner_for_position(p["lat"], p["lon"])
+                    if owner is None:
+                        unowned.append(p)
+                    else:
+                        groups.setdefault(owner.shard_id, []).append(p)
+                next_pending = list(unowned)
+                for shard_id in sorted(groups):
+                    group = groups[shard_id]
+                    info = smap.shard(shard_id)
+                    try:
+                        s = await shard_session(info)
+                        sent_at = loop_time()
+                        summary = await s.send_report_batch(group)
+                        latency = loop_time() - sent_at
+                        latencies.extend([latency] * len(group))
+                        result.retries += int(summary.get("_retries", 0))
+                        result.reports_acked += int(
+                            summary.get("accepted", 0)
+                        )
+                        result.reports_rejected += int(
+                            summary.get("rejected", 0)
+                        )
+                        bounced = summary.get("redirected")
+                        if bounced:
+                            adopt(summary["redirect"].get("shard_map"))
+                            next_pending.extend(bounced)
+                    except (WireError, ConnectionError, OSError):
+                        #: Shard gone (or session wedged): re-route the
+                        #: whole group after a map refresh.  Resends may
+                        #: duplicate reports the dead shard already
+                        #: WAL-logged — the drain re-delivers those, and
+                        #: live and replayed state stay consistent.
+                        await drop_session(shard_id)
+                        next_pending.extend(group)
+                        holder["map"] = None
+                        reconnects += 1
+                        await asyncio.sleep(cfg.reconnect_delay_s)
+                if next_pending:
+                    attempts += 1
+                pending = next_pending
+            if pending:
+                result.reports_dropped += len(pending)
+            settled += len(payloads)
+        result.sessions_completed += 1
+    except (WireError, ConnectionError, OSError) as exc:
+        result.sessions_failed += 1
+        result.errors.append(f"client {gindex}: {exc}")
+        result.reports_dropped += cfg.reports_per_client - settled
+    finally:
+        result.reconnects += reconnects
+        for shard_id in list(sessions):
+            await drop_session(shard_id)
+
+
 async def run_loadgen(cfg: LoadgenConfig) -> LoadgenResult:
     """Run the full load shape; returns the aggregate result."""
     result = LoadgenResult(clients=cfg.clients)
@@ -231,9 +387,15 @@ async def run_loadgen(cfg: LoadgenConfig) -> LoadgenResult:
     semaphore = asyncio.Semaphore(max(1, cfg.concurrency))
     loop_time = asyncio.get_event_loop().time
 
+    holder: Dict[str, Any] = {"map": None}
+
     async def guarded(index: int) -> None:
         async with semaphore:
-            await _run_one_client(cfg, index, result, latencies)
+            if cfg.cluster:
+                await _run_one_cluster_client(cfg, index, result,
+                                              latencies, holder)
+            else:
+                await _run_one_client(cfg, index, result, latencies)
 
     started = loop_time()
     await asyncio.gather(*(guarded(i) for i in range(cfg.clients)))

@@ -45,6 +45,16 @@ Session state machine (per connection)::
   (truncated frame, oversized frame, unknown type, version mismatch,
   malformed payload) maps to one ERROR frame naming the
   :class:`~repro.serve.wire.WireError` code, then the session closes.
+* **Shard mode** — when the server is given a ``shard_id`` and a
+  :class:`~repro.serve.shardmap.ShardMap` (pushed by the cluster
+  supervisor via MAP_UPDATE), it answers POLL/REPORT/REPORT_BATCH for
+  zones it does not own with a typed REDIRECT naming the owning shard
+  (and carrying the current map, so a stale client learns the new
+  assignment in the same frame).  A redirected frame is **never**
+  admitted — ownership is checked before the WAL sees anything, so
+  each shard's WAL stays a pure function of the reports it owns.
+  Without a shard id the server is the PR-6 single node, byte-for-byte
+  (see DESIGN.md §11).
 
 Separation of registries: the coordinator keeps its own metrics
 registry (a deterministic function of the ingested report stream — the
@@ -70,6 +80,7 @@ from repro.geo.zones import ZoneGrid
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import Telemetry
 from repro.serve import wire
+from repro.serve.shardmap import ShardMap
 from repro.serve.wal import WriteAheadLog
 from repro.serve.wire import (
     CODEC_JSON,
@@ -130,6 +141,10 @@ class ServeConfig:
     #: order wins among these).  Trimming it to ("json",) refuses
     #: binary sessions without touching clients.
     codecs: Tuple[str, ...] = SUPPORTED_CODECS
+    #: This server's shard identity within a cluster.  Empty (the
+    #: default) means single-node mode: no ownership checks, no
+    #: REDIRECTs — the PR-6 behavior byte-for-byte.
+    shard_id: str = ""
 
 
 def install_uvloop() -> bool:
@@ -237,6 +252,11 @@ class CoordinatorServer:
         self._session_ids = itertools.count(1)
         self._task_ids = itertools.count(1)
         self._closing = False
+        #: Current cluster shard map (None outside a cluster).  Set at
+        #: construction time by the supervisor or over the wire via
+        #: MAP_UPDATE; consulted by the ownership checks only when
+        #: ``config.shard_id`` is non-empty.
+        self.shard_map: Optional[ShardMap] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -433,7 +453,7 @@ class CoordinatorServer:
         self.metrics.counter(f"serve.sessions_codec.{codec}").inc()
         self.metrics.gauge("serve.sessions_active").set(len(self._sessions))
         #: WELCOME itself is always JSON; the switch happens after it.
-        self._send(writer, {
+        welcome: Dict[str, Any] = {
             "type": "WELCOME",
             "session_id": session.session_id,
             "v": PROTOCOL_VERSION,
@@ -441,7 +461,17 @@ class CoordinatorServer:
             "heartbeat_s": cfg.heartbeat_s,
             "idle_timeout_s": cfg.idle_timeout_s,
             "max_frame_bytes": cfg.max_frame_bytes,
-        })
+        }
+        if cfg.shard_id:
+            welcome["shard_id"] = cfg.shard_id
+        if self.shard_map is not None:
+            #: Shard-map negotiation: the version always rides WELCOME;
+            #: the full map only when the client's cached version
+            #: (HELLO ``shard_map_version``) is absent or stale.
+            welcome["shard_map_version"] = self.shard_map.version
+            if hello.get("shard_map_version") != self.shard_map.version:
+                welcome["shard_map"] = self.shard_map.to_wire()
+        self._send(writer, welcome)
         await writer.drain()
         session.codec = codec
         return session
@@ -471,6 +501,8 @@ class CoordinatorServer:
                            session.codec)
             elif kind == "STATS":
                 self._on_stats(session)
+            elif kind == "MAP_UPDATE":
+                self._on_map_update(session, message)
             elif kind == "BYE":
                 self._send(session.writer, {"type": "BYE"}, session.codec)
                 await session.writer.drain()
@@ -485,6 +517,46 @@ class CoordinatorServer:
 
     # -- frame handlers --------------------------------------------------
 
+    def _redirect_for_zone(self, zone) -> Optional[Dict[str, Any]]:
+        """REDIRECT skeleton when this shard does not own ``zone``.
+
+        Returns None in single-node mode, with no map, or when this
+        shard owns the zone.  The frame carries the owning shard's
+        endpoint, the map version, and the full current map — so one
+        frame both bounces the request and refreshes a stale client.
+        """
+        if not self.config.shard_id or self.shard_map is None:
+            return None
+        owner = self.shard_map.owner_of(zone)
+        if owner is None or owner.shard_id == self.config.shard_id:
+            return None
+        return {
+            "type": "REDIRECT",
+            "shard_id": owner.shard_id,
+            "host": owner.host,
+            "port": owner.port,
+            "map_version": self.shard_map.version,
+            "shard_map": self.shard_map.to_wire(),
+        }
+
+    def _on_map_update(
+        self, session: _Session, message: Dict[str, Any]
+    ) -> None:
+        """Adopt a supervisor-pushed shard map; answer MAP_ACK.
+
+        The push is idempotent (same version twice is a no-op) and
+        trusted — any session on the cluster's network may send one,
+        which is the documented trusted-operator assumption (see
+        docs/OPERATIONS.md).
+        """
+        smap = ShardMap.from_wire(message.get("shard_map"))
+        if self.shard_map is None or smap.version != self.shard_map.version:
+            self.shard_map = smap
+            self.metrics.counter("serve.map_updates").inc()
+        self._send(session.writer,
+                   {"type": "MAP_ACK", "map_version": smap.version},
+                   session.codec)
+
     def _on_report(self, session: _Session, message: Dict[str, Any]) -> None:
         """Admit one report into the bounded ingest queue, or RETRY."""
         payload = message.get("report")
@@ -494,6 +566,14 @@ class CoordinatorServer:
         #: rather than a poison pill inside the ingest worker; the
         #: parsed report rides the queue so the writer never re-parses.
         report = report_from_wire(payload)
+        redirect = self._redirect_for_zone(
+            self.coordinator.grid.zone_id_for(report.point)
+        )
+        if redirect is not None:
+            redirect["task_id"] = payload.get("task_id")
+            self.metrics.counter("serve.redirects").inc()
+            self._send(session.writer, redirect, session.codec)
+            return
         self.metrics.counter("serve.reports_received").inc()
         if self._ingest_pending >= self.config.ingest_queue_max:
             self.metrics.counter("serve.backpressure_rejections").inc()
@@ -540,6 +620,20 @@ class CoordinatorServer:
             #: batch is admitted.  Parsed reports ride the queue so the
             #: writer never re-parses the hot path.
             parsed.append(report_from_wire(payload))
+        if self.config.shard_id and self.shard_map is not None:
+            #: Ownership is all-or-nothing per frame: one foreign zone
+            #: redirects the whole batch (nothing is admitted), keeping
+            #: the ACK/WAL semantics of a frame atomic.  The client
+            #: re-partitions by the carried map and resends.
+            zone_of = self.coordinator.grid.zone_id_for
+            for report in parsed:
+                redirect = self._redirect_for_zone(zone_of(report.point))
+                if redirect is not None:
+                    redirect["seq_lo"] = seq_lo
+                    redirect["seq_hi"] = seq_lo + len(reports) - 1
+                    self.metrics.counter("serve.redirects").inc()
+                    self._send(session.writer, redirect, session.codec)
+                    return
         self.metrics.counter("serve.reports_received").inc(len(reports))
         self.metrics.counter("serve.report_batches").inc()
         self.metrics.histogram("serve.report_batch_size").observe(
@@ -569,7 +663,28 @@ class CoordinatorServer:
             }, session.codec)
 
     def _on_poll(self, session: _Session, message: Dict[str, Any]) -> None:
-        """Answer a position beacon with one TASK (or a PONG)."""
+        """Answer a position beacon with one TASK (or a PONG).
+
+        In shard mode a POLL from a zone this shard does not own is
+        answered with REDIRECT — the mobile-client-crosses-shards path:
+        the client reconnects its polling to the named owner.
+        """
+        if self.config.shard_id and self.shard_map is not None:
+            try:
+                point = GeoPoint(float(message["lat"]),
+                                 float(message["lon"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"malformed POLL payload: {exc}"
+                ) from None
+            redirect = self._redirect_for_zone(
+                self.coordinator.grid.zone_id_for(point)
+            )
+            if redirect is not None:
+                redirect["seq"] = message.get("seq")
+                self.metrics.counter("serve.redirects").inc()
+                self._send(session.writer, redirect, session.codec)
+                return
         task = self._plan_task(session, message)
         if task is None:
             self._send(session.writer,
@@ -592,13 +707,18 @@ class CoordinatorServer:
                 "group_commits": self.wal.group_commits,
                 "commit_policy": self.wal.commit_policy,
             }
-        self._send(session.writer, {
+        reply: Dict[str, Any] = {
             "type": "STATS_REPLY",
             "coordinator": self.coordinator.metrics.snapshot(),
             "serve": self.metrics.snapshot(),
             "wal": wal_stats,
             "sessions_active": len(self._sessions),
-        }, session.codec)
+        }
+        if self.config.shard_id:
+            reply["shard_id"] = self.config.shard_id
+        if self.shard_map is not None:
+            reply["shard_map_version"] = self.shard_map.version
+        self._send(session.writer, reply, session.codec)
 
     def _plan_task(
         self, session: _Session, message: Dict[str, Any]

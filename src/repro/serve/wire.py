@@ -43,9 +43,16 @@ ACK_BATCH     server -> client        range-ACK for a staged batch
 RETRY         server -> client        ingest saturated; retry after a delay
 PING/PONG     both                    heartbeat / "no task for you"
 STATS         client -> server        ask for the server's metric snapshots
+REDIRECT      server -> client        frame NOT processed; resend to shard X
+MAP_UPDATE    supervisor -> shard     push a new cluster shard map
+MAP_ACK       shard -> supervisor     shard map adopted (echoes version)
 ERROR         server -> client        typed protocol error; session closes
 BYE           both                    orderly close
 ============  ======================  =====================================
+
+The three cluster frames (REDIRECT / MAP_UPDATE / MAP_ACK) are
+additive: protocol version 1 is unchanged, and a single-node server
+never emits them (see DESIGN.md §11 for the cluster state machine).
 
 Malformed input never tracebacks a session: decoding raises one of the
 typed :class:`WireError` subclasses below, which the session layer maps
@@ -115,7 +122,8 @@ FRAME_TYPES = frozenset(
     {
         "HELLO", "WELCOME", "POLL", "TASK", "REPORT", "REPORT_BATCH",
         "ACK", "ACK_BATCH", "RETRY", "PING", "PONG", "STATS",
-        "STATS_REPLY", "ERROR", "BYE",
+        "STATS_REPLY", "REDIRECT", "MAP_UPDATE", "MAP_ACK", "ERROR",
+        "BYE",
     }
 )
 

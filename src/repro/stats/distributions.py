@@ -52,7 +52,10 @@ class EmpiricalCDF:
         lo = int(math.floor(pos))
         hi = min(lo + 1, self.n - 1)
         frac = pos - lo
-        return self._sorted[lo] * (1.0 - frac) + self._sorted[hi] * frac
+        value = self._sorted[lo] * (1.0 - frac) + self._sorted[hi] * frac
+        #: The interpolation can land 1 ulp outside [lo, hi] (e.g. two
+        #: equal subnormal-adjacent samples); clamp to the data range.
+        return min(max(value, self._sorted[lo]), self._sorted[hi])
 
     def percentile(self, p: float) -> float:
         """Quantile expressed in percent (p in [0, 100])."""
