@@ -68,6 +68,7 @@ TRACKED = (
     ("serve", "reports_per_s_batched", "higher", "wallclock"),
     ("serve", "ack_p95_ms", "lower", "wallclock"),
     ("cluster", "reports_per_s", "higher", "wallclock"),
+    ("store", "ingest_samples_per_s", "higher", "wallclock"),
 )
 
 #: (direction, noise) lookups for the check loop, keyed "section.key".

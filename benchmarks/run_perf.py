@@ -30,7 +30,11 @@ The headline numbers (also asserted here so CI catches regressions):
   >= 2.5x the 1-shard rate *when >= 8 CPUs are visible* (recorded
   either way), with zero drops and the aggregated live-vs-replay
   byte-compare as unconditional hard gates; the 3-shard rate is
-  recorded as ``cluster.reports_per_s`` for the history guard.
+  recorded as ``cluster.reports_per_s`` for the history guard;
+* the measurement store: 100k synthetic reports ingested with
+  incremental rollups (``store.ingest_samples_per_s`` for the history
+  guard), and the rollup-table replay query must answer byte-identically
+  to — and >= 2x faster than — a full JSONL refold of the same stream.
 """
 
 from __future__ import annotations
@@ -591,6 +595,129 @@ def bench_cluster():
     }
 
 
+#: Synthetic reports ingested by the store bench (~300k sample values).
+N_STORE_REPORTS = 100_000
+
+
+def bench_store():
+    """Measurement-store ingest rate and rollup-vs-refold query latency.
+
+    Ingests ``N_STORE_REPORTS`` synthetic reports (pure index
+    arithmetic — no landscape build, so the bench isolates store cost)
+    into a fresh store, then answers the replay-counter question two
+    ways: a SELECT over the incrementally-maintained rollup tables,
+    and a full re-fold of the same stream from a JSONL file (parse +
+    re-validate + accumulate — what every query cost before the
+    store existed).  The two snapshots must be byte-identical; the
+    rollup path must be >= 2x faster.  ``ingest_samples_per_s`` is the
+    history-guarded headline.
+    """
+    from repro.clients.protocol import MeasurementReport, MeasurementType
+    from repro.core.validation import ReportValidator
+    from repro.geo.regions import madison_study_area
+    from repro.geo.zones import ZoneGrid
+    from repro.serve.wire import report_from_wire, report_to_wire
+    from repro.store import (
+        connect,
+        create_run,
+        ingest_reports,
+        replay_snapshot,
+    )
+
+    anchor = madison_study_area().anchor
+    kinds = (MeasurementType.TCP_DOWNLOAD, MeasurementType.UDP_TRAIN,
+             MeasurementType.PING)
+    nets = tuple(NetworkId)
+
+    def synth(i):
+        kind = kinds[i % 3]
+        start = 1000.0 + i * 0.5
+        point = anchor.offset(
+            float((i * 37) % 8000) - 4000.0,
+            float((i * 53) % 8000) - 4000.0,
+        )
+        if kind is MeasurementType.PING:
+            value = 0.02 + (i % 50) * 1e-4
+            samples = [value - 1e-4, value, value + 1e-4]
+        else:
+            value = 1.0e6 + (i % 1000) * 1.0e3
+            samples = []
+        return MeasurementReport(
+            task_id=i, client_id=f"bench-{i % 97}",
+            network=nets[i % len(nets)], kind=kind,
+            start_s=start, end_s=start + 5.0, point=point,
+            speed_ms=10.0, value=value, samples=samples,
+        )
+
+    reports = [synth(i) for i in range(N_STORE_REPORTS)]
+    n_samples = sum(len(r.samples) or 1 for r in reports)
+    grid = ZoneGrid(anchor, radius_m=250.0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl_path = os.path.join(tmp, "reports.jsonl")
+        with open(jsonl_path, "w", encoding="utf-8") as fh:
+            for r in reports:
+                fh.write(json.dumps(report_to_wire(r), sort_keys=True)
+                         + "\n")
+
+        conn = connect(os.path.join(tmp, "bench.sqlite"))
+        run_id = create_run(conn, "bench", kind="bench")
+        t0 = time.perf_counter()
+        ingest_reports(conn, run_id, reports, grid)
+        ingest_s = time.perf_counter() - t0
+
+        def query_store():
+            return replay_snapshot(conn, run_id)
+
+        def refold_jsonl():
+            validator = ReportValidator()
+            ingested = samples_n = rejected = 0
+            reasons = {}
+            with open(jsonl_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    r = report_from_wire(json.loads(line))
+                    outcome = validator.validate(r, r.start_s)
+                    if outcome.ok:
+                        ingested += 1
+                        samples_n += len(r.samples) if r.samples else 1
+                    else:
+                        rejected += 1
+                        reasons[outcome.reason] = (
+                            reasons.get(outcome.reason, 0) + 1
+                        )
+            counters = {}
+            if ingested:
+                counters["coordinator.reports_ingested"] = float(ingested)
+                counters["coordinator.samples_ingested"] = float(samples_n)
+            if rejected:
+                counters["coordinator.reports_rejected"] = float(rejected)
+            for reason in sorted(reasons):
+                counters[f"validator.reject.{reason}"] = float(
+                    reasons[reason]
+                )
+            return {"counters": counters, "gauges": {},
+                    "histograms": {}}
+
+        identical = (
+            json.dumps(query_store(), sort_keys=True)
+            == json.dumps(refold_jsonl(), sort_keys=True)
+        )
+        query_s = _time(query_store, repeat=5)
+        refold_s = _time(refold_jsonl, repeat=3)
+        conn.close()
+    return {
+        "reports": N_STORE_REPORTS,
+        "samples": n_samples,
+        "ingest_s": ingest_s,
+        "ingest_samples_per_s": n_samples / max(ingest_s, 1e-9),
+        "ingest_reports_per_s": N_STORE_REPORTS / max(ingest_s, 1e-9),
+        "rollup_query_ms": query_s * 1e3,
+        "jsonl_refold_ms": refold_s * 1e3,
+        "speedup_query_vs_refold": refold_s / max(query_s, 1e-9),
+        "snapshot_byte_identical": identical,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=7, help="world seed")
@@ -622,6 +749,9 @@ def main():
     print("timing sharded cluster (1-shard vs 3-shard, 4 loadgen "
           "worker processes) ...")
     cluster = bench_cluster()
+    print("timing measurement store (100k-report ingest, rollup query "
+          "vs JSONL refold) ...")
+    store = bench_store()
     print("profiling the batched serve hot path (cProfile) ...")
     profile = profile_serve()
 
@@ -644,6 +774,7 @@ def main():
         "sweep": sweep,
         "serve": serve,
         "cluster": cluster,
+        "store": store,
         "profile": profile,
         "manifest": manifest.to_dict(),
     }
@@ -716,6 +847,20 @@ def main():
             f"{cluster['cpu_count']} CPU(s) visible "
             f"(measured {cluster['speedup_3shard_vs_1shard']:.2f}x)"
         )
+    # Store correctness is unconditional: the rollup tables must answer
+    # the replay question byte-identically to a full refold.  The
+    # latency gate is conservative (the measured gap is orders of
+    # magnitude) so I/O-noisy CI machines never flap on it.
+    if not store["snapshot_byte_identical"]:
+        failures.append(
+            "store rollup snapshot differs from the JSONL refold"
+        )
+    if store["speedup_query_vs_refold"] < 2.0:
+        failures.append(
+            "store rollup query only "
+            f"{store['speedup_query_vs_refold']:.1f}x faster than the "
+            "JSONL refold (< 2x)"
+        )
     if sweep["cells_ok"] < sweep["cells"]:
         failures.append(
             f"sweep completed only {sweep['cells_ok']}/{sweep['cells']} cells"
@@ -749,7 +894,10 @@ def main():
         f"({serve['speedup_batched_vs_unbatched']:.1f}x, "
         f"p99 ACK {serve['ack_p99_ms']:.1f} ms), "
         f"cluster {cluster['reports_per_s']:.0f} reports/s over 3 shards "
-        f"({cluster['speedup_3shard_vs_1shard']:.2f}x vs 1 shard)"
+        f"({cluster['speedup_3shard_vs_1shard']:.2f}x vs 1 shard), "
+        f"store {store['ingest_samples_per_s']:.0f} samples/s ingest "
+        f"(rollup query {store['speedup_query_vs_refold']:.0f}x faster "
+        f"than refold)"
     )
     return 0
 

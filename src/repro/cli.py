@@ -343,17 +343,44 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
-    """``repro obs report``: render a telemetry directory (text or JSON)."""
+    """``repro obs report``: render a telemetry dir or store (text/JSON).
+
+    A measurement-store path (``store.sqlite`` or a directory holding
+    one) is detected automatically and served from its rollup tables;
+    the JSON output is byte-identical to the JSONL path on the same
+    run.
+    """
     import json
 
-    from repro.obs.report import render_report_from_dir, summary_from_dir
+    from repro.obs.report import render_report_from_dir, summary_from_path
+    from repro.store.db import is_store_path
 
     out_dir = Path(args.dir)
+    if is_store_path(str(out_dir)):
+        from repro.store import StoreError
+        from repro.store.queries import render_report_from_store
+
+        try:
+            if args.format == "json":
+                print(json.dumps(
+                    summary_from_path(str(out_dir), run=args.run),
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                print(render_report_from_store(str(out_dir), run=args.run))
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
     if not out_dir.is_dir():
         print(f"no such telemetry directory: {out_dir}", file=sys.stderr)
         return 2
+    if args.run:
+        print("--run applies only to store paths, not telemetry "
+              "directories", file=sys.stderr)
+        return 2
     if args.format == "json":
-        print(json.dumps(summary_from_dir(str(out_dir)), indent=2,
+        print(json.dumps(summary_from_path(str(out_dir)), indent=2,
                          sort_keys=True))
     else:
         print(render_report_from_dir(out_dir))
@@ -379,14 +406,28 @@ def cmd_obs_watch(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_diff(args: argparse.Namespace) -> int:
-    """``repro obs diff``: compare the metrics of two telemetry dirs."""
+    """``repro obs diff``: compare two telemetry dirs and/or stores.
+
+    Either side may be a telemetry directory or a measurement store
+    (with ``--run-a``/``--run-b`` selecting a run when the store holds
+    several); the summaries being diffed are byte-identical across the
+    two sources, so mixing them is safe.
+    """
     from repro.obs.report import render_diff
+    from repro.store import StoreError
+    from repro.store.db import is_store_path
 
     for d in (args.dir_a, args.dir_b):
-        if not Path(d).is_dir():
-            print(f"no such telemetry directory: {d}", file=sys.stderr)
+        if not Path(d).is_dir() and not is_store_path(d):
+            print(f"no such telemetry directory or store: {d}",
+                  file=sys.stderr)
             return 2
-    print(render_diff(args.dir_a, args.dir_b))
+    try:
+        print(render_diff(args.dir_a, args.dir_b,
+                          run_a=args.run_a, run_b=args.run_b))
+    except (StoreError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -423,11 +464,16 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     grid = _sweep_grid_from_args(args)
     if grid is None:
         return 2
+    if args.store and args.no_merge:
+        print("--store requires the merge step (drop --no-merge, or run "
+              "'sweep merge --store' later)", file=sys.stderr)
+        return 2
     try:
         runner = SweepRunner(
             grid, args.out, workers=args.workers,
             max_retries=args.max_retries, start_method=args.start_method,
             context_cache_max=args.context_cache_max,
+            store_path=args.store,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -442,6 +488,8 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     if not args.no_merge:
         print(f"merged artifacts in {Path(args.out).resolve()} "
               "(metrics.json, summary.jsonl)")
+        if args.store:
+            print(f"sweep ingested into store {args.store}")
     return 0 if result.success else 1
 
 
@@ -505,9 +553,12 @@ def cmd_sweep_merge(args: argparse.Namespace) -> int:
     if not out.is_dir():
         print(f"no such sweep directory: {out}", file=sys.stderr)
         return 2
-    result = merge_cells(str(out))
+    result = merge_cells(str(out), store_path=args.store)
     print(f"merged {result.cells} cells ({result.ok} ok) into "
           f"{out / 'metrics.json'} and {out / 'summary.jsonl'}")
+    if result.store_rows is not None:
+        print(f"ingested {result.store_rows} rows into store "
+              f"{result.store_path}")
     for warning in result.warnings:
         print(f"warning: {warning}", file=sys.stderr)
     return 0 if result.cells else 1
@@ -620,7 +671,14 @@ def cmd_serve_loadgen(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_replay(args: argparse.Namespace) -> int:
-    """``repro serve replay``: rebuild coordinator state from a WAL."""
+    """``repro serve replay``: rebuild coordinator state from a WAL.
+
+    With ``--store`` the replay is INSERT-then-SELECT: the WAL is
+    ingested into the measurement store (rollups maintained per
+    transaction) and the printed JSON snapshot is rebuilt from the
+    store's aggregate tables — byte-identical to the in-memory
+    metrics-registry replay of the same WAL.
+    """
     import json
 
     from repro.serve import WalCorruptionError, replay_cluster, replay_wal
@@ -628,6 +686,49 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     if not Path(args.wal).is_dir():
         print(f"no such WAL directory: {args.wal}", file=sys.stderr)
         return 2
+    if args.store and args.cluster:
+        print("--store and --cluster are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.store:
+        from repro.store import (
+            StoreError,
+            connect,
+            import_wal,
+            replay_snapshot,
+            resolve_run,
+            resolve_store_path,
+        )
+
+        label = args.run or Path(args.wal).name or "wal"
+        try:
+            conn = connect(resolve_store_path(args.store))
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            imported = import_wal(conn, args.wal, label,
+                                  replace=args.replace)
+            run = resolve_run(conn, imported.label)
+            snapshot = replay_snapshot(conn, run.run_id)
+        except WalCorruptionError as exc:
+            print(f"WAL is corrupt: {exc}", file=sys.stderr)
+            return 1
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        finally:
+            conn.close()
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(
+                f"replayed WAL {args.wal} into store run "
+                f"{imported.label!r}: {imported.accepted} ingested, "
+                f"{imported.rejected} rejected, "
+                f"{imported.rows_ingested} rows"
+            )
+        return 0
     if args.cluster:
         try:
             aggregated, per_shard = replay_cluster(args.wal)
@@ -711,6 +812,179 @@ def cmd_serve_cluster(args: argparse.Namespace) -> int:
     asyncio.run(run())
     print("cluster stopped; shard WALs closed cleanly")
     return 0
+
+
+def _open_store(path: str, create: bool):
+    """Open the store a CLI argument names, or print the error and None."""
+    from repro.store import StoreError, connect, resolve_store_path
+
+    try:
+        return connect(resolve_store_path(path), create=create)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
+def cmd_store_init(args: argparse.Namespace) -> int:
+    """``repro store init``: create (or migrate) an empty store."""
+    from repro.store import SCHEMA_VERSION, resolve_store_path
+    from repro.store.schema import schema_version
+
+    conn = _open_store(args.store, create=True)
+    if conn is None:
+        return 2
+    try:
+        version = schema_version(conn)
+    finally:
+        conn.close()
+    print(f"store {resolve_store_path(args.store)}: schema v{version} "
+          f"(current is v{SCHEMA_VERSION})")
+    return 0
+
+
+def cmd_store_import(args: argparse.Namespace) -> int:
+    """``repro store import``: backfill a WAL/telemetry dir/sweep root."""
+    from repro.store import StoreError, import_any
+
+    conn = _open_store(args.store, create=True)
+    if conn is None:
+        return 2
+    try:
+        shape, result = import_any(
+            conn, args.source, label=args.label, replace=args.replace
+        )
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        conn.close()
+    detail = ", ".join(
+        f"{n} {table}" for table, n in sorted(result.rows.items())
+    )
+    print(f"imported {shape} {args.source} as run {result.label!r}: "
+          f"{result.rows_ingested} rows ({detail})")
+    if result.accepted or result.rejected:
+        print(f"reports: {result.accepted} accepted, "
+              f"{result.rejected} rejected")
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _store_query_payload(conn, args) -> object:
+    """Evaluate one ``store query --what`` against an open store."""
+    from repro.store import (
+        alert_history,
+        compare_runs,
+        coverage,
+        list_runs,
+        resolve_run,
+        slo_attainment,
+        store_stats,
+    )
+
+    if args.what == "runs":
+        return [
+            {"label": r.label, "kind": r.kind, "epoch_s": r.epoch_s,
+             "source": r.source}
+            for r in list_runs(conn)
+        ]
+    if args.what == "stats":
+        return store_stats(conn)
+    if args.what == "compare":
+        run_a = resolve_run(conn, args.run_a)
+        run_b = resolve_run(conn, args.run_b)
+        return compare_runs(conn, run_a, run_b)
+    run = resolve_run(conn, args.run)
+    if args.what == "coverage":
+        return [
+            {"zone": list(row.zone), "epoch": row.epoch_index,
+             "network": row.network, "kind": row.kind,
+             "n_reports": row.n_reports, "n_samples": row.n_samples,
+             "mean": row.mean, "min": row.min_value, "max": row.max_value}
+            for row in coverage(
+                conn, run.run_id, network=args.network, kind=args.kind,
+                min_samples=args.min_samples,
+            )
+        ]
+    if args.what == "slo":
+        return slo_attainment(conn, run.run_id, floor=args.floor)
+    return alert_history(conn, run.run_id, rule=args.rule)
+
+
+def cmd_store_query(args: argparse.Namespace) -> int:
+    """``repro store query``: typed reads over the rollup tables."""
+    import json
+
+    from repro.store import StoreError
+
+    if args.what == "compare" and not (args.run_a and args.run_b):
+        print("--what compare needs --run-a and --run-b", file=sys.stderr)
+        return 2
+    conn = _open_store(args.store, create=False)
+    if conn is None:
+        return 2
+    try:
+        payload = _store_query_payload(conn, args)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        conn.close()
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif isinstance(payload, list):
+        for row in payload:
+            print(json.dumps(row, sort_keys=True))
+    else:
+        for key, value in sorted(payload.items()):
+            print(f"{key}: {json.dumps(value, sort_keys=True)}")
+    return 0
+
+
+def cmd_store_report(args: argparse.Namespace) -> int:
+    """``repro store report``: the obs report, served from rollups."""
+    import json
+
+    from repro.store import StoreError, summary_from_store
+    from repro.store.queries import render_report_from_store
+
+    try:
+        if args.format == "json":
+            print(json.dumps(
+                summary_from_store(args.store, run=args.run),
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(render_report_from_store(args.store, run=args.run))
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    """``repro store compact``: retention + ANALYZE + VACUUM + check."""
+    from repro.store import RetentionPolicy, StoreError, compact
+    from repro.store.maintenance import integrity_check
+
+    conn = _open_store(args.store, create=False)
+    if conn is None:
+        return 2
+    try:
+        policy = RetentionPolicy(keep_epochs=args.keep_epochs)
+        result = compact(conn, policy)
+        verdict = integrity_check(conn)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        conn.close()
+    print(f"compacted: {result.bytes_before} -> {result.bytes_after} bytes "
+          f"({result.bytes_reclaimed} reclaimed), "
+          f"{result.samples_deleted} samples pruned")
+    print(f"integrity: {verdict}")
+    return 0 if verdict == "ok" else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -798,7 +1072,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr = obs_sub.add_parser(
         "report", help="summarize a telemetry directory (metrics/events/spans)"
     )
-    pr.add_argument("dir", help="telemetry directory written by --telemetry")
+    pr.add_argument("dir", help="telemetry directory written by --telemetry, "
+                                "or a measurement store (store.sqlite)")
     pr.add_argument(
         "--format",
         choices=("text", "json"),
@@ -806,6 +1081,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (json dumps the same summary model the text "
              "report renders)",
     )
+    pr.add_argument("--run", help="run label inside a store (defaults to "
+                                  "the only run; store paths only)")
     pr.set_defaults(func=cmd_obs_report)
     pw = obs_sub.add_parser(
         "watch", help="compact status of a (possibly running) telemetry dir"
@@ -823,8 +1100,10 @@ def build_parser() -> argparse.ArgumentParser:
     pd = obs_sub.add_parser(
         "diff", help="compare two runs' final counters/gauges and alerts"
     )
-    pd.add_argument("dir_a", help="baseline telemetry directory")
-    pd.add_argument("dir_b", help="comparison telemetry directory")
+    pd.add_argument("dir_a", help="baseline telemetry directory or store")
+    pd.add_argument("dir_b", help="comparison telemetry directory or store")
+    pd.add_argument("--run-a", help="run label when dir_a is a store")
+    pd.add_argument("--run-b", help="run label when dir_b is a store")
     pd.set_defaults(func=cmd_obs_diff)
 
     p = sub.add_parser("sweep", help="parallel sharded experiment sweeps")
@@ -851,6 +1130,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "traces (caps worker RSS on long grids)")
     ps.add_argument("--no-merge", action="store_true",
                     help="skip the reduce step (run 'sweep merge' later)")
+    ps.add_argument("--store", metavar="DB",
+                    help="after the merge, ingest the whole sweep into "
+                         "this measurement store (one merged ingest, no "
+                         "per-cell overhead)")
     ps.set_defaults(func=cmd_sweep_run)
     ps = sweep_sub.add_parser(
         "status", help="progress/status of a sweep output directory"
@@ -861,6 +1144,9 @@ def build_parser() -> argparse.ArgumentParser:
         "merge", help="(re-)fold cell artifacts into sweep-level summaries"
     )
     ps.add_argument("out", help="sweep output directory")
+    ps.add_argument("--store", metavar="DB",
+                    help="also ingest the merged sweep into this "
+                         "measurement store")
     ps.set_defaults(func=cmd_sweep_merge)
     ps = sweep_sub.add_parser(
         "list", help="available preset grids and scenarios"
@@ -942,6 +1228,15 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--cluster", action="store_true",
                     help="replay every live shard WAL named by "
                          "cluster.json and print the aggregated snapshot")
+    pp.add_argument("--store", metavar="DB",
+                    help="replay through the measurement store: ingest "
+                         "the WAL and print the snapshot rebuilt from "
+                         "rollups (byte-identical to the in-memory path)")
+    pp.add_argument("--run", help="store run label (default: the WAL "
+                                  "directory's basename)")
+    pp.add_argument("--replace", action="store_true",
+                    help="with --store, re-import over an existing run "
+                         "of the same label")
     pp.set_defaults(func=cmd_serve_replay)
     pc = serve_sub.add_parser(
         "cluster", help="run a zone-sharded coordinator cluster"
@@ -965,6 +1260,70 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--wal-fsync-every", type=int, default=64,
                     help="per-shard fsync cadence (records)")
     pc.set_defaults(func=cmd_serve_cluster)
+
+    p = sub.add_parser(
+        "store", help="embedded queryable measurement store (SQLite)"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    pi = store_sub.add_parser(
+        "init", help="create an empty store (or migrate an existing one)"
+    )
+    pi.add_argument("store", help="store file, or a directory to hold "
+                                  "store.sqlite")
+    pi.set_defaults(func=cmd_store_init)
+    pm = store_sub.add_parser(
+        "import", help="backfill a WAL dir, telemetry dir, or sweep root"
+    )
+    pm.add_argument("store", help="store file (created if missing)")
+    pm.add_argument("source", help="artifact directory to import "
+                                   "(shape is sniffed automatically)")
+    pm.add_argument("--label", help="run label (default: the source "
+                                    "directory's basename)")
+    pm.add_argument("--replace", action="store_true",
+                    help="re-import over an existing run of this label")
+    pm.set_defaults(func=cmd_store_import)
+    pq = store_sub.add_parser(
+        "query", help="typed reads: coverage, SLO floors, alerts, runs"
+    )
+    pq.add_argument("store", help="store file or directory holding one")
+    pq.add_argument("--what", required=True,
+                    choices=("coverage", "slo", "alerts", "runs",
+                             "compare", "stats"),
+                    help="which query to run")
+    pq.add_argument("--run", help="run label (defaults to the only run)")
+    pq.add_argument("--network", help="coverage: filter by network id")
+    pq.add_argument("--kind", help="coverage: filter by measurement kind")
+    pq.add_argument("--min-samples", type=int, default=0,
+                    help="coverage: only (zone, epoch) cells with at "
+                         "least this many samples")
+    pq.add_argument("--floor", type=int, default=10,
+                    help="slo: per-(zone, epoch, network) sample floor "
+                         "(paper Table 2 uses 10)")
+    pq.add_argument("--rule", help="alerts: filter by rule name")
+    pq.add_argument("--run-a", help="compare: baseline run label")
+    pq.add_argument("--run-b", help="compare: comparison run label")
+    pq.add_argument("--format", choices=("text", "json"), default="text",
+                    help="text prints one JSON object per line; json "
+                         "dumps one sorted document")
+    pq.set_defaults(func=cmd_store_query)
+    pt = store_sub.add_parser(
+        "report", help="render the obs report from the store's rollups"
+    )
+    pt.add_argument("store", help="store file or directory holding one")
+    pt.add_argument("--run", help="run label (defaults to the only run)")
+    pt.add_argument("--format", choices=("text", "json"), default="text",
+                    help="json byte-matches 'obs report --format json' "
+                         "on the run's original telemetry directory")
+    pt.set_defaults(func=cmd_store_report)
+    pk = store_sub.add_parser(
+        "compact", help="retention + ANALYZE + VACUUM + integrity check"
+    )
+    pk.add_argument("store", help="store file or directory holding one")
+    pk.add_argument("--keep-epochs", type=int, default=None, metavar="N",
+                    help="prune raw samples more than N epochs behind "
+                         "each run's newest rollup (rollups survive; "
+                         "default keeps everything)")
+    pk.set_defaults(func=cmd_store_compact)
 
     return parser
 

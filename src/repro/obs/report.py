@@ -38,14 +38,18 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "alerts_model",
     "build_summary",
     "load_artifacts",
     "render_diff",
     "render_live",
     "render_report",
     "render_report_from_dir",
+    "render_summary",
     "render_watch",
+    "summarize_histogram",
     "summary_from_dir",
+    "summary_from_path",
 ]
 
 #: Percentiles rendered for every histogram.
@@ -230,44 +234,38 @@ def _finite_or_none(value: Optional[float]) -> Optional[float]:
     return value
 
 
-def build_summary(artifacts: dict) -> dict:
-    """Distill loaded artifacts into one JSON-able summary model.
+def summarize_histogram(snap: dict) -> dict:
+    """One histogram snapshot -> the summary model's count/mean/pXX entry.
 
-    This is the single source both renderers consume: ``obs report``
-    prints it as text, ``obs report --format json`` dumps it verbatim.
+    Shared with :mod:`repro.store.queries`, which rebuilds the same
+    entries from stored snapshots — same function, so the two paths
+    cannot round differently.
     """
-    metrics = artifacts.get("metrics") or {}
-    events = artifacts.get("events") or []
-    spans = artifacts.get("spans") or {}
-    snapshots = artifacts.get("snapshots") or []
-    counters: Dict[str, float] = dict(metrics.get("counters") or {})
-    gauges: Dict[str, float] = dict(metrics.get("gauges") or {})
+    count = snap.get("count", 0)
+    entry = {
+        "count": count,
+        "mean": _finite_or_none(
+            (snap.get("sum", 0.0) / count) if count else None
+        ),
+    }
+    for q in REPORT_QUANTILES:
+        entry[f"p{int(q * 100)}"] = _finite_or_none(
+            quantile_from_snapshot(snap, q)
+        )
+    return entry
 
-    histograms: Dict[str, dict] = {}
-    for name in sorted(metrics.get("histograms") or {}):
-        snap = metrics["histograms"][name]
-        count = snap.get("count", 0)
-        entry = {
-            "count": count,
-            "mean": _finite_or_none(
-                (snap.get("sum", 0.0) / count) if count else None
-            ),
-        }
-        for q in REPORT_QUANTILES:
-            entry[f"p{int(q * 100)}"] = _finite_or_none(
-                quantile_from_snapshot(snap, q)
-            )
-        histograms[name] = entry
 
-    event_volume: Dict[str, int] = {}
-    for e in events:
-        kind = e.get("kind", "?")
-        event_volume[kind] = event_volume.get(kind, 0) + 1
+def alerts_model(alert_events: List[dict], fired: int, resolved: int) -> dict:
+    """Replay alert transitions into the fired/resolved/active view.
 
-    # Replay alert transitions to recover the fired/resolved/active view.
+    ``alert_events`` are the ``alert.fired``/``alert.resolved`` event
+    payloads in log order; ``fired``/``resolved`` are the total counts
+    (callers already have them — from event volume here, from the
+    store's event rollups there).
+    """
     transitions: List[dict] = []
     firing: Dict[Tuple[str, str], dict] = {}
-    for e in events:
+    for e in alert_events:
         kind = e.get("kind")
         if kind not in ("alert.fired", "alert.resolved"):
             continue
@@ -286,9 +284,9 @@ def build_summary(artifacts: dict) -> dict:
             firing[key] = e
         else:
             firing.pop(key, None)
-    alerts = {
-        "fired": event_volume.get("alert.fired", 0),
-        "resolved": event_volume.get("alert.resolved", 0),
+    return {
+        "fired": fired,
+        "resolved": resolved,
         "active": [
             {
                 "rule": rule,
@@ -300,6 +298,35 @@ def build_summary(artifacts: dict) -> dict:
         ],
         "transitions": transitions,
     }
+
+
+def build_summary(artifacts: dict) -> dict:
+    """Distill loaded artifacts into one JSON-able summary model.
+
+    This is the single source both renderers consume: ``obs report``
+    prints it as text, ``obs report --format json`` dumps it verbatim.
+    """
+    metrics = artifacts.get("metrics") or {}
+    events = artifacts.get("events") or []
+    spans = artifacts.get("spans") or {}
+    snapshots = artifacts.get("snapshots") or []
+    counters: Dict[str, float] = dict(metrics.get("counters") or {})
+    gauges: Dict[str, float] = dict(metrics.get("gauges") or {})
+
+    histograms: Dict[str, dict] = {}
+    for name in sorted(metrics.get("histograms") or {}):
+        histograms[name] = summarize_histogram(metrics["histograms"][name])
+
+    event_volume: Dict[str, int] = {}
+    for e in events:
+        kind = e.get("kind", "?")
+        event_volume[kind] = event_volume.get(kind, 0) + 1
+
+    alerts = alerts_model(
+        events,
+        event_volume.get("alert.fired", 0),
+        event_volume.get("alert.resolved", 0),
+    )
 
     slo = {
         name: gauges[name] for name in sorted(gauges) if name.startswith("slo.")
@@ -329,6 +356,29 @@ def build_summary(artifacts: dict) -> dict:
 def summary_from_dir(out_dir: str) -> dict:
     """Tolerantly load ``out_dir`` and build its summary model."""
     return build_summary(load_artifacts(out_dir))
+
+
+def summary_from_path(path: str, run: Optional[str] = None) -> dict:
+    """Summary model for a telemetry directory *or* a measurement store.
+
+    The dispatch point that lets ``obs report``/``obs diff`` take a
+    store file (or a directory holding ``store.sqlite``) anywhere they
+    take a telemetry directory.  The store path reconstructs the same
+    model from rollup tables — byte-identical under ``--format json``
+    by contract (tested).  ``run`` picks a run label inside a store and
+    is rejected for plain directories, where it has no meaning.
+    """
+    from repro.store.db import is_store_path  # deferred: cold path
+
+    if is_store_path(path):
+        from repro.store.queries import summary_from_store
+
+        return summary_from_store(path, run=run)
+    if run is not None:
+        raise ValueError(
+            f"--run only applies to store files; {path} is a directory"
+        )
+    return summary_from_dir(path)
 
 
 # -- text rendering ---------------------------------------------------------
@@ -383,9 +433,9 @@ def _render_manifest(manifest: Optional[dict], lines: List[str]) -> None:
         )
 
 
-def _render_counters(metrics: dict, lines: List[str]) -> None:
-    counters = metrics.get("counters", {})
-    gauges = metrics.get("gauges", {})
+def _render_counters(summary: dict, lines: List[str]) -> None:
+    counters = summary.get("counters", {})
+    gauges = summary.get("gauges", {})
     if not counters and not gauges:
         return
     lines.append(_section("counters & gauges"))
@@ -548,6 +598,34 @@ def _render_budget_convergence(events: List[dict], lines: List[str]) -> None:
     lines.append(table.render(indent="  "))
 
 
+def render_summary(
+    summary: dict,
+    recal_events: Optional[List[dict]] = None,
+    title: str = "telemetry report",
+) -> str:
+    """Render the text report from an already-built summary model.
+
+    Every section reads the summary except budget convergence, which
+    needs the raw ``calibration.recalibrate`` events — the file path
+    passes the whole event list (the renderer filters), the store path
+    passes a kind-indexed query's rows.
+    """
+    lines = [f"== {title} " + "=" * max(1, 64 - len(title))]
+    _render_warnings(summary["warnings"], lines)
+    _render_manifest(summary.get("manifest"), lines)
+    _render_counters(summary, lines)
+    _render_histograms(summary, lines)
+    _render_spans(summary.get("spans") or {}, lines)
+    _render_event_volume(summary, lines)
+    _render_alerts(summary, lines)
+    _render_slo(summary, lines)
+    _render_snapshots(summary, lines)
+    _render_budget_convergence(recal_events or [], lines)
+    if len(lines) == 1:
+        lines.append("  (no telemetry recorded)")
+    return "\n".join(lines)
+
+
 def render_report(
     metrics: dict,
     events: List[dict],
@@ -568,20 +646,7 @@ def render_report(
             "warnings": warnings or [],
         }
     )
-    lines = [f"== {title} " + "=" * max(1, 64 - len(title))]
-    _render_warnings(summary["warnings"], lines)
-    _render_manifest(manifest, lines)
-    _render_counters(metrics, lines)
-    _render_histograms(summary, lines)
-    _render_spans(spans, lines)
-    _render_event_volume(summary, lines)
-    _render_alerts(summary, lines)
-    _render_slo(summary, lines)
-    _render_snapshots(summary, lines)
-    _render_budget_convergence(events, lines)
-    if len(lines) == 1:
-        lines.append("  (no telemetry recorded)")
-    return "\n".join(lines)
+    return render_summary(summary, recal_events=events, title=title)
 
 
 def render_report_from_dir(out_dir: str, title: Optional[str] = None) -> str:
@@ -666,10 +731,18 @@ def render_watch(out_dir: str) -> str:
     return "\n".join(lines)
 
 
-def render_diff(dir_a: str, dir_b: str) -> str:
-    """Compare two runs' final counters/gauges and alert activity."""
-    a = summary_from_dir(dir_a)
-    b = summary_from_dir(dir_b)
+def render_diff(dir_a: str, dir_b: str,
+                run_a: Optional[str] = None,
+                run_b: Optional[str] = None) -> str:
+    """Compare two runs' final counters/gauges and alert activity.
+
+    Either side may be a telemetry directory or a measurement store
+    (``run_a``/``run_b`` select a run label inside a store) — the
+    summaries compared are identical either way, so mixing sources is
+    legitimate.
+    """
+    a = summary_from_path(dir_a, run=run_a)
+    b = summary_from_path(dir_b, run=run_b)
     lines = [f"diff {dir_a} vs {dir_b}"]
     for w in a["warnings"]:
         lines.append(f"  ! A: {w}")

@@ -1,0 +1,143 @@
+"""Compaction and retention: keeping year-scale stores operable.
+
+The retention model follows the schema's one invariant worth stating
+twice: **rollups are the product, raw samples are the receipts.**
+Retention (:func:`apply_retention`) deletes old raw sample rows while
+leaving every rollup untouched — coverage, SLO, and replay-counter
+queries keep answering exactly as before, only per-sample drill-down
+ages out.  (One consequence is deliberate: the replay-snapshot
+reject counters come from raw rejected rows, so a run you still intend
+to byte-compare against ``serve replay`` should not be pruned yet.)
+
+Compaction (:func:`compact`) is the disk-shape counterpart: ANALYZE to
+refresh the query planner's statistics, then VACUUM to return the space
+deletes left behind.  Both are wrappers, not magic — the point of
+having them here is that the CLI and the runbook name one operation
+with the right order of steps.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.store.db import StoreError, database_path, file_size, transaction
+
+__all__ = [
+    "CompactResult",
+    "RetentionPolicy",
+    "apply_retention",
+    "compact",
+    "drop_run",
+    "integrity_check",
+    "store_stats",
+]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What to prune: raw samples older than a cutoff, per run.
+
+    ``keep_epochs`` counts backwards from each run's newest rollup
+    epoch: samples whose epoch falls more than ``keep_epochs`` behind
+    it are deleted.  ``None`` disables pruning (the default posture —
+    retention is always an explicit operator choice).
+    """
+
+    keep_epochs: Optional[int] = None
+
+
+@dataclass
+class CompactResult:
+    """What one compaction pass did to the file."""
+
+    bytes_before: int
+    bytes_after: int
+    samples_deleted: int = 0
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        """How much smaller the store file got (never negative)."""
+        return max(0, self.bytes_before - self.bytes_after)
+
+
+def apply_retention(conn: sqlite3.Connection,
+                    policy: RetentionPolicy) -> int:
+    """Delete raw samples past the policy's horizon; rollups survive.
+
+    Returns the number of sample rows deleted.  Runs in one
+    transaction per run so a crash prunes whole runs, never half of
+    one.
+    """
+    if policy.keep_epochs is None:
+        return 0
+    if policy.keep_epochs < 0:
+        raise StoreError("keep_epochs must be >= 0")
+    deleted = 0
+    runs = conn.execute("SELECT run_id, epoch_s FROM runs").fetchall()
+    for run_id, epoch_s in runs:
+        newest = conn.execute(
+            "SELECT MAX(epoch_index) FROM rollups WHERE run_id = ?",
+            (run_id,),
+        ).fetchone()[0]
+        if newest is None:
+            continue
+        cutoff_s = (int(newest) - int(policy.keep_epochs)) * float(epoch_s)
+        with transaction(conn):
+            cur = conn.execute(
+                "DELETE FROM samples WHERE run_id = ? AND start_s < ?",
+                (run_id, cutoff_s),
+            )
+            deleted += cur.rowcount
+    return deleted
+
+
+def drop_run(conn: sqlite3.Connection, label: str) -> None:
+    """Remove a run and (via cascades) everything it owns."""
+    with transaction(conn):
+        cur = conn.execute("DELETE FROM runs WHERE label = ?", (label,))
+        if not cur.rowcount:
+            raise StoreError(f"no run {label!r} to drop")
+
+
+def compact(conn: sqlite3.Connection,
+            policy: Optional[RetentionPolicy] = None) -> CompactResult:
+    """Retention (optional) then ANALYZE + VACUUM; report size delta.
+
+    VACUUM needs the connection outside any transaction — which the
+    store's autocommit connections guarantee — and rewrites the whole
+    file, so this is a maintenance-window operation, not a hot-path
+    one.
+    """
+    path = database_path(conn)
+    before = file_size(path) if path else 0
+    deleted = apply_retention(conn, policy) if policy else 0
+    conn.execute("ANALYZE")
+    conn.execute("VACUUM")
+    # In WAL mode the vacuumed image lives in the -wal sidecar until a
+    # checkpoint; truncate it so the main file reflects the new size.
+    conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    after = file_size(path) if path else 0
+    return CompactResult(
+        bytes_before=before, bytes_after=after, samples_deleted=deleted
+    )
+
+
+def integrity_check(conn: sqlite3.Connection) -> str:
+    """SQLite's own integrity verdict (the string ``"ok"`` when healthy)."""
+    return str(conn.execute("PRAGMA integrity_check").fetchone()[0])
+
+
+def store_stats(conn: sqlite3.Connection) -> Dict[str, int]:
+    """Row counts per table plus the file size, for ``store query``."""
+    stats: Dict[str, int] = {}
+    for table in ("runs", "samples", "rollups", "metrics", "histograms",
+                  "spans", "events", "event_rollups", "alerts",
+                  "snapshot_stats"):
+        stats[table] = int(
+            conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+        )
+    path = database_path(conn)
+    stats["file_bytes"] = file_size(path) if path else 0
+    return stats

@@ -44,6 +44,10 @@ class MergeResult:
         self.cells = 0
         self.ok = 0
         self.warnings: List[str] = []
+        #: Rows ingested into a measurement store, when the reduce pass
+        #: was given a store target (None otherwise).
+        self.store_rows: Optional[int] = None
+        self.store_path: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"MergeResult(cells={self.cells}, ok={self.ok}, "
@@ -143,12 +147,22 @@ def merge_metrics(cell_metrics: List[Tuple[str, dict]],
     }
 
 
-def merge_cells(out_dir: str) -> MergeResult:
+def merge_cells(out_dir: str,
+                store_path: Optional[str] = None) -> MergeResult:
     """Reduce ``out_dir``'s cells into summary.jsonl + merged metrics.json.
 
     Tolerant by design: unreadable or missing cell artifacts become
     warnings on the returned :class:`MergeResult`, never exceptions —
     a partially-complete sweep must still be summarizable.
+
+    With ``store_path``, the reducer additionally performs **one**
+    merged ingest of the whole sweep root (the root run plus every
+    cell run) into the measurement store at that path — a single
+    post-merge import rather than per-cell store overhead on the hot
+    execution path.  The sweep's label in the store is the output
+    directory's basename; a run of the same label is replaced, so
+    re-merging is idempotent.  ``MergeResult.store_rows`` records how
+    many rows landed.
     """
     result = MergeResult(out_dir)
     records = _load_cell_records(out_dir, result)
@@ -189,7 +203,33 @@ def merge_cells(out_dir: str) -> MergeResult:
     with open(os.path.join(out_dir, METRICS_FILENAME), "w",
               encoding="utf-8") as fh:
         fh.write(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    if store_path is not None:
+        _ingest_into_store(out_dir, store_path, result)
     return result
+
+
+def _ingest_into_store(out_dir: str, store_path: str,
+                       result: MergeResult) -> None:
+    """One merged store ingest of the reduced sweep root (tolerant)."""
+    from repro.store import (
+        StoreError,
+        connect,
+        import_sweep_root,
+        resolve_store_path,
+    )
+
+    label = os.path.basename(os.path.normpath(out_dir)) or "sweep"
+    try:
+        conn = connect(resolve_store_path(store_path))
+        try:
+            imported = import_sweep_root(conn, out_dir, label, replace=True)
+        finally:
+            conn.close()
+    except StoreError as exc:
+        result.warnings.append(f"store ingest failed: {exc}")
+        return
+    result.store_rows = imported.rows_ingested
+    result.store_path = store_path
 
 
 def load_summary(out_dir: str) -> List[dict]:

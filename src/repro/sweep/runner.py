@@ -208,6 +208,7 @@ class SweepRunner:
         start_method: str = "auto",
         queue_depth: Optional[int] = None,
         context_cache_max: Optional[int] = None,
+        store_path: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -224,6 +225,10 @@ class SweepRunner:
         #: LRU bound on each worker's WorkerContext memo (the
         #: ``sweep.context_cache_max`` knob); None takes the default.
         self.context_cache_max = context_cache_max
+        #: Measurement-store target: when set, the reducer performs one
+        #: merged ingest of the whole sweep after the fold (never
+        #: per-cell — workers stay store-free on the hot path).
+        self.store_path = store_path
 
     # -- public API ------------------------------------------------------
 
@@ -254,7 +259,9 @@ class SweepRunner:
         if merge:
             from repro.sweep.reduce import merge_cells
 
-            merge_cells(self.out_dir)
+            merged = merge_cells(self.out_dir, store_path=self.store_path)
+            if merged.store_rows is not None:
+                self._record_store_status(merged)
         return result
 
     # -- serial path -----------------------------------------------------
@@ -532,4 +539,21 @@ class SweepRunner:
         }
         with open(os.path.join(self.out_dir, STATUS_FILENAME), "w",
                   encoding="utf-8") as fh:
+            fh.write(json.dumps(status, indent=2, sort_keys=True) + "\n")
+
+    def _record_store_status(self, merged) -> None:
+        """Note the reducer's store ingest in sweep_status.json.
+
+        The status file is the sweep's non-deterministic record, which
+        is exactly where a filesystem path belongs (the store's own
+        ``logical_dump`` stays path-free for byte-comparisons).
+        """
+        path = os.path.join(self.out_dir, STATUS_FILENAME)
+        with open(path, "r", encoding="utf-8") as fh:
+            status = json.load(fh)
+        status["store"] = {
+            "path": merged.store_path,
+            "rows_ingested": merged.store_rows,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(status, indent=2, sort_keys=True) + "\n")

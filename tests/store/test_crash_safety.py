@@ -1,0 +1,110 @@
+"""Crash-safety: SIGKILL mid-ingest must leave rollups == committed rows.
+
+A writer child ingests an endless report stream in small batches; the
+parent watches the row count through a concurrent WAL-mode reader and
+SIGKILLs the child mid-stream.  Reopening the store must find (a) only
+whole batches committed and (b) rollups exactly equal to a pure-Python
+refold of the committed samples — the same-transaction invariant the
+writers module exists to provide.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.store import connect
+from repro.store.db import StoreError
+
+from tests.store.helpers import fold_rollups, stored_rollups
+
+BATCH_SIZE = 50
+MIN_ROWS_BEFORE_KILL = 200
+
+_CHILD = """
+import sys
+from repro.store import connect, create_run, ingest_reports
+from tests.store.helpers import default_grid, make_report
+
+conn = connect(sys.argv[1])
+run_id = create_run(conn, "crash", "wal")
+
+def endless():
+    i = 0
+    while True:
+        yield make_report(i)
+        i += 1
+
+ingest_reports(conn, run_id, endless(), default_grid(),
+               batch_size={batch_size})
+""".format(batch_size=BATCH_SIZE)
+
+
+def _poll_rows(path, deadline_s=60.0):
+    """Row count via a concurrent reader, once it crosses the kill floor."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            conn = connect(path, create=False)
+        except StoreError:
+            time.sleep(0.05)
+            continue
+        try:
+            row = conn.execute("SELECT COUNT(*) FROM samples").fetchone()
+        except Exception:
+            row = (0,)
+        finally:
+            conn.close()
+        if row[0] >= MIN_ROWS_BEFORE_KILL:
+            return row[0]
+        time.sleep(0.05)
+    raise AssertionError(
+        f"writer never reached {MIN_ROWS_BEFORE_KILL} committed rows"
+    )
+
+
+def test_sigkill_mid_ingest_leaves_consistent_rollups(tmp_path):
+    store_path = str(tmp_path / "store.sqlite")
+    repo_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(repo_root, "src"), repo_root]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD, store_path],
+        env=env, cwd=repo_root,
+    )
+    try:
+        _poll_rows(store_path)
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+
+    conn = connect(store_path, create=False)
+    try:
+        run_id, = conn.execute(
+            "SELECT run_id FROM runs WHERE label = 'crash'").fetchone()
+        committed, = conn.execute(
+            "SELECT COUNT(*) FROM samples WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        # only whole batches survive: the interrupted one rolled back
+        assert committed >= MIN_ROWS_BEFORE_KILL
+        assert committed % BATCH_SIZE == 0
+        # rollups were written in the same transactions as their rows,
+        # so they must equal a from-scratch refold — float for float
+        assert stored_rollups(conn, run_id) == fold_rollups(conn, run_id)
+        n_reports, = conn.execute(
+            "SELECT COALESCE(SUM(n_reports), 0) FROM rollups"
+            " WHERE run_id = ?", (run_id,)).fetchone()
+        accepted, = conn.execute(
+            "SELECT COUNT(*) FROM samples WHERE run_id = ? AND accepted = 1",
+            (run_id,)).fetchone()
+        assert n_reports == accepted == committed  # every report is clean
+    finally:
+        conn.close()

@@ -1,0 +1,121 @@
+"""Retention/compaction tests (repro.store.maintenance)."""
+
+import pytest
+
+from repro.store import (
+    RetentionPolicy,
+    StoreError,
+    apply_retention,
+    compact,
+    connect,
+    coverage,
+    create_run,
+    drop_run,
+    ingest_reports,
+    integrity_check,
+    replay_snapshot,
+    resolve_run,
+    store_stats,
+)
+
+from tests.store.helpers import EPOCH_S, default_grid, make_report
+
+
+@pytest.fixture
+def store(tmp_path):
+    conn = connect(str(tmp_path / "store.sqlite"))
+    yield conn
+    conn.close()
+
+
+def _spread_reports(n_epochs=6, per_epoch=4):
+    """Reports spread one batch per epoch across ``n_epochs`` epochs."""
+    reports = []
+    for e in range(n_epochs):
+        for j in range(per_epoch):
+            reports.append(
+                make_report(e * per_epoch + j, start_s=e * EPOCH_S + 60.0)
+            )
+    return reports
+
+
+class TestRetention:
+    def test_prunes_samples_but_keeps_rollups(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id, _spread_reports(), default_grid())
+        rollups_before = coverage(store, run_id)
+        snap_before = replay_snapshot(store, run_id)
+
+        deleted = apply_retention(store, RetentionPolicy(keep_epochs=2))
+        assert deleted > 0
+        remaining = store.execute(
+            "SELECT COUNT(*) FROM samples WHERE run_id = ?", (run_id,)
+        ).fetchone()[0]
+        assert remaining == 24 - deleted
+        # aggregates are the product; pruning receipts must not move them
+        assert coverage(store, run_id) == rollups_before
+        assert replay_snapshot(store, run_id) == snap_before
+
+        epochs_left = {row[0] for row in store.execute(
+            "SELECT DISTINCT CAST(start_s / ? AS INTEGER) FROM samples"
+            " WHERE run_id = ?", (EPOCH_S, run_id))}
+        assert epochs_left == {3, 4, 5}  # newest epoch minus keep_epochs
+
+    def test_none_policy_is_noop(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id, _spread_reports(), default_grid())
+        assert apply_retention(store, RetentionPolicy()) == 0
+        n = store.execute("SELECT COUNT(*) FROM samples").fetchone()[0]
+        assert n == 24
+
+    def test_negative_keep_epochs_refused(self, store):
+        with pytest.raises(StoreError, match="keep_epochs"):
+            apply_retention(store, RetentionPolicy(keep_epochs=-1))
+
+    def test_empty_run_survives_retention(self, store):
+        create_run(store, "empty", "wal")
+        assert apply_retention(store, RetentionPolicy(keep_epochs=0)) == 0
+
+
+class TestDropAndCompact:
+    def test_drop_run_cascades_everywhere(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id, _spread_reports(), default_grid())
+        drop_run(store, "r")
+        stats = store_stats(store)
+        for table in ("runs", "samples", "rollups"):
+            assert stats[table] == 0, table
+
+    def test_drop_unknown_run_refused(self, store):
+        with pytest.raises(StoreError, match="no run"):
+            drop_run(store, "ghost")
+
+    def test_compact_reclaims_space_after_drop(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id,
+                       [make_report(i) for i in range(2000)],
+                       default_grid())
+        store.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        drop_run(store, "r")
+        result = compact(store)
+        assert result.bytes_after < result.bytes_before
+        assert result.bytes_reclaimed == \
+            result.bytes_before - result.bytes_after
+        assert integrity_check(store) == "ok"
+
+    def test_compact_applies_policy_and_counts(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id, _spread_reports(), default_grid())
+        result = compact(store, RetentionPolicy(keep_epochs=0))
+        assert result.samples_deleted == 20  # all but the newest epoch
+        assert resolve_run(store, "r").label == "r"
+        assert integrity_check(store) == "ok"
+
+    def test_store_stats_shape(self, store):
+        stats = store_stats(store)
+        assert stats["file_bytes"] > 0
+        assert set(stats) == {
+            "runs", "samples", "rollups", "metrics", "histograms",
+            "spans", "events", "event_rollups", "alerts",
+            "snapshot_stats", "file_bytes",
+        }

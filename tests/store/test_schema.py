@@ -1,0 +1,137 @@
+"""Schema versioning and migration tests (repro.store.schema)."""
+
+import sqlite3
+
+import pytest
+
+from repro.store.db import StoreError, connect
+from repro.store.schema import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    SchemaError,
+    applied_versions,
+    apply_migrations,
+    schema_version,
+)
+
+
+class TestFreshStore:
+    def test_connect_migrates_to_current(self, tmp_path):
+        conn = connect(str(tmp_path / "s.sqlite"))
+        try:
+            assert schema_version(conn) == SCHEMA_VERSION
+            assert applied_versions(conn) == [m[0] for m in MIGRATIONS]
+        finally:
+            conn.close()
+
+    def test_version_zero_before_any_migration(self, tmp_path):
+        raw = sqlite3.connect(str(tmp_path / "raw.sqlite"),
+                              isolation_level=None)
+        try:
+            assert schema_version(raw) == 0
+        finally:
+            raw.close()
+
+    def test_every_table_exists(self, tmp_path):
+        conn = connect(str(tmp_path / "s.sqlite"))
+        try:
+            tables = {
+                row[0] for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        finally:
+            conn.close()
+        assert {
+            "runs", "samples", "rollups", "metrics", "histograms",
+            "spans", "events", "event_rollups", "alerts",
+            "snapshot_stats", "schema_migrations",
+        } <= tables
+
+
+class TestMigrationPath:
+    def test_applies_exactly_once(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        for _ in range(3):  # re-opening must not re-apply or duplicate
+            conn = connect(path)
+            rows = conn.execute(
+                "SELECT version, COUNT(*) FROM schema_migrations"
+                " GROUP BY version"
+            ).fetchall()
+            conn.close()
+            assert rows == [(v, 1) for v in
+                            [m[0] for m in MIGRATIONS]]
+
+    def test_v1_to_v2_upgrade(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        conn = connect(path, target_version=1)
+        assert schema_version(conn) == 1
+        cols = {row[1] for row in conn.execute(
+            "PRAGMA table_info(runs)")}
+        assert "notes" not in cols
+        conn.close()
+
+        conn = connect(path)  # default target: migrate forward to v2
+        try:
+            assert schema_version(conn) == SCHEMA_VERSION
+            cols = {row[1] for row in conn.execute(
+                "PRAGMA table_info(runs)")}
+            assert "notes" in cols
+            indexes = {row[0] for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'")}
+            assert "idx_samples_reject" in indexes
+        finally:
+            conn.close()
+
+    def test_upgrade_preserves_rows(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        conn = connect(path, target_version=1)
+        conn.execute(
+            "INSERT INTO runs (label, kind, epoch_s, warnings_json)"
+            " VALUES ('r1', 'wal', 1800.0, '[]')"
+        )
+        conn.close()
+        conn = connect(path)
+        try:
+            row = conn.execute(
+                "SELECT label, notes FROM runs").fetchone()
+        finally:
+            conn.close()
+        assert row == ("r1", "")
+
+
+class TestDowngradeRefusal:
+    def test_apply_migrations_refuses_downgrade(self, tmp_path):
+        conn = connect(str(tmp_path / "s.sqlite"))
+        try:
+            with pytest.raises(SchemaError, match="downgrade"):
+                apply_migrations(conn, target=1)
+        finally:
+            conn.close()
+
+    def test_connect_refuses_older_target(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        connect(path).close()  # now at SCHEMA_VERSION
+        with pytest.raises(SchemaError):
+            connect(path, target_version=1)
+
+    def test_unknown_target_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            connect(str(tmp_path / "s.sqlite"),
+                    target_version=SCHEMA_VERSION + 1)
+
+
+class TestPathHandling:
+    def test_missing_file_without_create(self, tmp_path):
+        with pytest.raises(StoreError, match="no such store"):
+            connect(str(tmp_path / "absent.sqlite"), create=False)
+
+    def test_directory_is_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="directory"):
+            connect(str(tmp_path))
+
+    def test_non_store_file_is_rejected(self, tmp_path):
+        junk = tmp_path / "junk.sqlite"
+        junk.write_text("this is not a database\n" * 10)
+        with pytest.raises(StoreError):
+            connect(str(junk))

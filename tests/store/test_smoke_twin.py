@@ -1,0 +1,68 @@
+"""Tier-1 twin of the CI ``store-smoke`` job (tools/store_smoke.py).
+
+Same sequence — build a WAL, prove the replay byte-contract, build a
+telemetry run, prove the report byte-contract, compact, re-verify —
+but in-process against artifact builders instead of live servers, so
+the contract coverage survives in environments without CI.
+"""
+
+import json
+
+from repro.cli import main
+
+from tests.store.helpers import make_report, write_telemetry_dir, write_wal
+
+
+def _cli(capsys, *argv):
+    rc = main(list(argv))
+    captured = capsys.readouterr()
+    return rc, captured.out
+
+
+def test_store_smoke_sequence(capsys, tmp_path):
+    db = str(tmp_path / "smoke.sqlite")
+    wal_dir = write_wal(
+        tmp_path / "wal",
+        [make_report(i) for i in range(30)] + [make_report(77,
+                                                           speed_ms=500.0)],
+    )
+    tel_dir = write_telemetry_dir(tmp_path / "live")
+
+    # contract 1: WAL replay through the store == registry replay
+    rc, plain = _cli(capsys, "serve", "replay", "--wal", wal_dir,
+                     "--format", "json")
+    assert rc == 0
+    rc, stored = _cli(capsys, "serve", "replay", "--wal", wal_dir,
+                      "--store", db, "--run", "wal", "--format", "json")
+    assert rc == 0
+    assert stored == plain
+
+    # contract 2: obs report from the store == from the files
+    rc, _ = _cli(capsys, "store", "import", db, tel_dir, "--label",
+                 "live")
+    assert rc == 0
+    rc, from_dir = _cli(capsys, "obs", "report", tel_dir, "--format",
+                        "json")
+    assert rc == 0
+    rc, from_store = _cli(capsys, "obs", "report", db, "--run", "live",
+                          "--format", "json")
+    assert rc == 0
+    assert from_store == from_dir
+
+    # compaction must not disturb either contract
+    rc, out = _cli(capsys, "store", "compact", db)
+    assert rc == 0 and "integrity: ok" in out
+    rc, stored_again = _cli(capsys, "serve", "replay", "--wal", wal_dir,
+                            "--store", db, "--run", "wal", "--format",
+                            "json", "--replace")
+    assert rc == 0 and stored_again == plain
+    rc, from_store_again = _cli(capsys, "obs", "report", db, "--run",
+                                "live", "--format", "json")
+    assert rc == 0 and from_store_again == from_dir
+
+    # and the store still answers operational queries
+    rc, out = _cli(capsys, "store", "query", db, "--what", "stats",
+                   "--format", "json")
+    assert rc == 0
+    stats = json.loads(out)
+    assert stats["runs"] == 2 and stats["samples"] == 31

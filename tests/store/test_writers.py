@@ -1,0 +1,202 @@
+"""Ingest-path tests (repro.store.writers): rollup math, idempotence."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    StoreError,
+    classify_source,
+    connect,
+    create_run,
+    import_any,
+    import_telemetry_dir,
+    import_wal,
+    ingest_reports,
+    list_runs,
+)
+
+from tests.store.helpers import (
+    EPOCH_S,
+    default_grid,
+    fold_rollups,
+    make_report,
+    stored_rollups,
+    write_telemetry_dir,
+    write_wal,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    conn = connect(str(tmp_path / "store.sqlite"))
+    yield conn
+    conn.close()
+
+
+class TestIngestReports:
+    def test_rollups_match_pure_python_fold(self, store):
+        reports = [make_report(i) for i in range(60)]
+        reports += [make_report(i, samples=[0.02, 0.021, 0.022])
+                    for i in range(60, 75, 3)]
+        run_id = create_run(store, "r", "wal")
+        result = ingest_reports(store, run_id, reports, default_grid())
+        assert result.accepted == len(reports)
+        assert stored_rollups(store, run_id) == fold_rollups(store, run_id)
+
+    def test_rejected_reports_get_row_but_no_rollup(self, store):
+        good = make_report(0)
+        bad_speed = make_report(1, speed_ms=500.0)
+        bad_duration = make_report(2, end_offset_s=-1.0)
+        run_id = create_run(store, "r", "wal")
+        result = ingest_reports(
+            store, run_id, [good, bad_speed, bad_duration], default_grid()
+        )
+        assert (result.accepted, result.rejected) == (1, 2)
+        reasons = dict(store.execute(
+            "SELECT reject_reason, COUNT(*) FROM samples"
+            " WHERE run_id = ? AND accepted = 0 GROUP BY reject_reason",
+            (run_id,),
+        ).fetchall())
+        assert reasons == {"implausible-speed": 1, "negative-duration": 1}
+        n_rollups = store.execute(
+            "SELECT COUNT(*) FROM rollups WHERE run_id = ?", (run_id,)
+        ).fetchone()[0]
+        assert n_rollups == 1  # only the accepted report rolled up
+
+    def test_seq_continues_across_ingest_calls(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id,
+                       [make_report(i) for i in range(5)], default_grid())
+        ingest_reports(store, run_id,
+                       [make_report(i) for i in range(5, 8)], default_grid())
+        seqs = [row[0] for row in store.execute(
+            "SELECT seq FROM samples WHERE run_id = ? ORDER BY seq",
+            (run_id,))]
+        assert seqs == list(range(8))
+        # incremental rollups across both calls still equal one fold
+        assert stored_rollups(store, run_id) == fold_rollups(store, run_id)
+
+    def test_scalar_value_becomes_single_sample(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id, [make_report(0)], default_grid())
+        n_samples, samples_json = store.execute(
+            "SELECT n_samples, samples_json FROM samples WHERE run_id = ?",
+            (run_id,)).fetchone()
+        assert n_samples == 1
+        assert json.loads(samples_json) == [make_report(0).value]
+
+    def test_small_batches_commit_everything(self, store):
+        reports = [make_report(i) for i in range(23)]
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id, reports, default_grid(), batch_size=4)
+        n = store.execute(
+            "SELECT COUNT(*) FROM samples WHERE run_id = ?", (run_id,)
+        ).fetchone()[0]
+        assert n == 23
+        assert stored_rollups(store, run_id) == fold_rollups(store, run_id)
+
+    def test_epoch_index_uses_run_epoch(self, store):
+        run_id = create_run(store, "r", "wal", epoch_s=600.0)
+        report = make_report(0, start_s=1250.0)
+        ingest_reports(store, run_id, [report], default_grid(),
+                       epoch_s=600.0)
+        epoch_index = store.execute(
+            "SELECT epoch_index FROM rollups WHERE run_id = ?", (run_id,)
+        ).fetchone()[0]
+        assert epoch_index == int(1250.0 // 600.0) == 2
+        assert stored_rollups(store, run_id) == \
+            fold_rollups(store, run_id, epoch_s=600.0)
+
+
+class TestCreateRun:
+    def test_duplicate_label_refused(self, store):
+        create_run(store, "r", "wal")
+        with pytest.raises(StoreError, match="already exists"):
+            create_run(store, "r", "wal")
+
+    def test_replace_drops_old_run_and_children(self, store):
+        run_id = create_run(store, "r", "wal")
+        ingest_reports(store, run_id,
+                       [make_report(i) for i in range(4)], default_grid())
+        create_run(store, "r", "wal", replace=True)
+        # the cascade removed the old run's rows table-wide (sqlite may
+        # reuse the rowid, so count globally rather than per run_id)
+        for table in ("samples", "rollups"):
+            n = store.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            assert n == 0, table
+        assert [r.label for r in list_runs(store)] == ["r"]
+
+
+class TestImportWal:
+    def test_wal_roundtrip_counts(self, store, tmp_path):
+        reports = [make_report(i) for i in range(12)]
+        reports.append(make_report(99, speed_ms=500.0))
+        wal_dir = write_wal(tmp_path / "wal", reports)
+        result = import_wal(store, wal_dir, "w")
+        assert (result.accepted, result.rejected) == (12, 1)
+        assert result.rows["samples"] == 13
+        assert result.rows_ingested > 13  # runs + samples + rollups
+        run = list_runs(store)[0]
+        assert run.kind == "wal"
+        assert run.manifest["radius_m"] == 250.0
+
+    def test_wal_grid_radius_honored(self, store, tmp_path):
+        reports = [make_report(i) for i in range(6)]
+        wal_dir = write_wal(tmp_path / "wal", reports, radius_m=500.0)
+        import_wal(store, wal_dir, "w")
+        run_id = list_runs(store)[0].run_id
+        from repro.geo.regions import madison_study_area
+        from repro.geo.zones import ZoneGrid
+
+        grid = ZoneGrid(madison_study_area().anchor, radius_m=500.0)
+        want = {grid.zone_id_for(r.point) for r in reports}
+        got = {tuple(row) for row in store.execute(
+            "SELECT DISTINCT zone_q, zone_r FROM samples"
+            " WHERE run_id = ? AND accepted = 1", (run_id,))}
+        assert got == want
+
+
+class TestImportTelemetry:
+    def test_rows_by_table(self, store, tmp_path):
+        out = write_telemetry_dir(tmp_path / "tel")
+        result = import_telemetry_dir(store, out, "t")
+        assert result.rows["metrics"] == 4      # 2 counters + 2 gauges
+        assert result.rows["histograms"] == 1
+        assert result.rows["spans"] == 2
+        assert result.rows["events"] == 4
+        assert result.rows["alerts"] == 2
+        assert result.rows["event_rollups"] == 4
+        run = list_runs(store)[0]
+        assert run.kind == "monitor"  # from the manifest's run_kind
+
+    def test_alert_rows_mirror_events(self, store, tmp_path):
+        out = write_telemetry_dir(tmp_path / "tel")
+        import_telemetry_dir(store, out, "t")
+        run_id = list_runs(store)[0].run_id
+        rows = store.execute(
+            "SELECT transition, rule FROM alerts WHERE run_id = ?"
+            " ORDER BY seq", (run_id,)).fetchall()
+        assert rows == [("fired", "slo.under_coverage"),
+                        ("resolved", "slo.under_coverage")]
+
+
+class TestClassifyAndImportAny:
+    def test_classify_each_shape(self, store, tmp_path):
+        wal_dir = write_wal(tmp_path / "wal", [make_report(0)])
+        tel_dir = write_telemetry_dir(tmp_path / "tel")
+        assert classify_source(wal_dir) == "wal"
+        assert classify_source(tel_dir) == "telemetry"
+        with pytest.raises(StoreError, match="no such artifact"):
+            classify_source(str(tmp_path / "absent"))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(StoreError, match="nothing importable"):
+            classify_source(str(empty))
+
+    def test_import_any_defaults_label_to_basename(self, store, tmp_path):
+        wal_dir = write_wal(tmp_path / "mywal", [make_report(0)])
+        shape, result = import_any(store, wal_dir)
+        assert shape == "wal"
+        assert result.label == "mywal"
+        assert [r.label for r in list_runs(store)] == ["mywal"]

@@ -66,3 +66,43 @@ class TestWorkerCountInvariance:
         for record in load_summary(runs[1]):
             assert "wall" not in str(sorted(record)).lower()
             assert "duration" not in str(sorted(record)).lower()
+
+
+class TestStoreTargetDeterminism:
+    """The guarantee extends into the measurement store.
+
+    Two sweeps at different worker counts, ingested into two stores,
+    must produce equal logical dumps — run labels come from the out
+    dir's basename, so both runs use the same basename under different
+    parents (host paths are excluded from the dump by design).
+    """
+
+    def _run_with_store(self, parent, workers):
+        import json
+
+        from repro.store import connect, logical_dump
+
+        out = str(parent / "sweep")
+        store_path = str(parent / "store.sqlite")
+        result = SweepRunner(preset_grid("smoke"), out, workers=workers,
+                             store_path=store_path).run()
+        assert result.success
+        with open(os.path.join(out, "sweep_status.json")) as fh:
+            status = json.load(fh)
+        conn = connect(store_path, create=False)
+        try:
+            dump = json.dumps(logical_dump(conn), sort_keys=True)
+        finally:
+            conn.close()
+        return status, dump
+
+    def test_store_content_invariant_under_worker_count(
+            self, tmp_path_factory):
+        status_1, dump_1 = self._run_with_store(
+            tmp_path_factory.mktemp("store-serial"), workers=1)
+        status_2, dump_2 = self._run_with_store(
+            tmp_path_factory.mktemp("store-parallel"), workers=2)
+        assert status_1["store"]["rows_ingested"] > 0
+        assert status_1["store"]["rows_ingested"] == \
+            status_2["store"]["rows_ingested"]
+        assert dump_1 == dump_2
